@@ -1,0 +1,34 @@
+"""Figure 4(c): MobileBERT encoder, 1-4 chips.
+
+Paper result: partitioning on 4 chips suppresses the off-chip transfers and
+yields a super-linear 4.7x speedup, at the cost of a slight increase in
+per-inference energy (smaller kernels utilise the cluster less well).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import energy_runtime_table, runtime_breakdown_table
+from repro.experiments.fig4 import run_fig4c
+
+
+def test_fig4c_runtime_and_energy(run_once):
+    sweep = run_once(run_fig4c)
+    print()
+    print("Fig. 4(c) MobileBERT")
+    print(runtime_breakdown_table(sweep))
+    print(energy_runtime_table(sweep))
+
+    speedups = sweep.speedups()
+    energies = sweep.energies_joules()
+
+    # Super-linear speedup at 4 chips, in the neighbourhood of 4.7x.
+    assert speedups[4] > 4.0
+    assert 4.0 < speedups[4] < 5.5
+    # The 4-chip system runs with on-chip weights, the single chip does not.
+    assert sweep.report_for(4).runs_from_on_chip_memory
+    assert not sweep.report_for(1).runs_from_on_chip_memory
+    # Off-chip traffic drops by an order of magnitude at 4 chips.
+    assert sweep.report_for(1).total_l3_bytes > 4 * sweep.report_for(4).total_l3_bytes
+    # ... but the energy per block slightly increases (utilisation loss).
+    assert energies[4] > energies[1]
+    assert energies[4] < energies[1] * 1.25

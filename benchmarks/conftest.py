@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper.  The
+underlying experiments are deterministic analytical simulations, so a
+single round per benchmark is enough; the value of the harness is the
+printed series (compared against the paper in EXPERIMENTS.md) and the
+shape assertions, not statistical timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark and return its result."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Numerical demonstration that the partitioning scheme is exact.
+
+The performance results of the paper rest on a mathematical identity: the
+head-split attention and F-split FFN, summed across chips, compute exactly
+the same function as the un-partitioned block.  This example makes that
+identity tangible: it builds a random-weight TinyLlama block, scatters the
+weights across 1-8 virtual chips (no element is ever duplicated), executes
+both versions in numpy, and prints the worst-case numerical difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import tinyllama_42m, mobilebert
+from repro.numerics import (
+    BlockWeights,
+    DistributedBlock,
+    ReferenceBlock,
+    verify_partition_equivalence,
+)
+
+
+def main() -> None:
+    for config in (tinyllama_42m(), mobilebert()):
+        print(f"Model: {config.name} "
+              f"(H={config.num_heads}, E={config.embed_dim}, F={config.ffn_dim})")
+        for num_chips in (1, 2, 4, config.num_heads):
+            report = verify_partition_equivalence(config, num_chips, rows=8, seed=7)
+            status = "OK " if report.is_equivalent(1e-9) else "FAIL"
+            print(f"  {num_chips:>2} chips: max |error| = {report.max_abs_error:.2e}  "
+                  f"weights scattered exactly once: "
+                  f"{report.weights_scattered_exactly_once}  [{status}]")
+        print()
+
+    # Show the per-chip parameter counts explicitly for one case.
+    config = tinyllama_42m()
+    weights = BlockWeights.random(config, seed=3)
+    block = DistributedBlock.from_num_chips(weights, 8)
+    x = np.random.default_rng(11).standard_normal((4, config.embed_dim))
+    reference = ReferenceBlock(weights).forward(x)
+    distributed = block.forward(x)
+    print("TinyLlama block on 8 virtual chips:")
+    print(f"  total scattered parameters : {block.total_scattered_parameters():,}")
+    print(f"  un-partitioned block       : "
+          f"{config.attention_weight_params + config.ffn_weight_params:,}")
+    print(f"  max |reference - distributed| = "
+          f"{float(np.max(np.abs(reference - distributed))):.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: partition TinyLlama across 8 MCUs and measure one block.
+
+This is the smallest end-to-end use of the library:
+
+1. pick a model configuration and an inference mode,
+2. pick a multi-chip platform (8 Siracusa chips joined by MIPI links),
+3. call :func:`repro.evaluate_block`, which partitions the block with the
+   paper's tensor-parallel scheme, schedules it, simulates it, and applies
+   the analytical energy model,
+4. inspect runtime, runtime breakdown, energy, and where the weights live.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+from repro import (
+    autoregressive,
+    evaluate_block,
+    siracusa_platform,
+    speedup,
+    tinyllama_42m,
+)
+from repro.core import RuntimeCategory
+from repro.units import format_bytes, format_energy, format_time
+
+
+def main() -> None:
+    model = tinyllama_42m()
+    workload = autoregressive(model, context_len=128)
+    print(f"Model: {model.name}, {model.total_params / 1e6:.1f} M parameters")
+    print(f"One block's weights: {format_bytes(model.block_weight_bytes)}")
+    print(f"Workload: {workload.describe()}")
+    print()
+
+    # Single-chip reference first, then the 8-chip distributed system.
+    single_chip = evaluate_block(workload, siracusa_platform(1))
+    distributed = evaluate_block(workload, siracusa_platform(8))
+
+    for report in (single_chip, distributed):
+        print(f"=== {report.num_chips} chip(s) ===")
+        print(f"  block runtime : {report.block_cycles:,.0f} cycles "
+              f"({format_time(report.block_runtime_seconds)})")
+        print(f"  block energy  : {format_energy(report.block_energy_joules)}")
+        print(f"  off-chip (L3) : {format_bytes(report.total_l3_bytes)} per block")
+        print(f"  chip-to-chip  : {format_bytes(report.total_c2c_bytes)} per block")
+        print(f"  weights on-chip during execution: {report.runs_from_on_chip_memory}")
+        breakdown = report.runtime_breakdown()
+        print("  runtime breakdown (average cycles per chip):")
+        for category in (
+            RuntimeCategory.COMPUTE,
+            RuntimeCategory.DMA_L3_L2,
+            RuntimeCategory.DMA_L2_L1,
+            RuntimeCategory.CHIP_TO_CHIP,
+            RuntimeCategory.IDLE,
+        ):
+            print(f"    {category.value:<14} {breakdown[category]:>12,.0f}")
+        print()
+
+    gain = speedup(single_chip.block_cycles, distributed.block_cycles)
+    edp_gain = single_chip.energy_delay_product / distributed.energy_delay_product
+    print(f"Speedup of 8 chips over 1 chip : {gain:.1f}x "
+          f"({'super' if gain > 8 else 'sub'}-linear)")
+    print(f"EDP improvement                : {edp_gain:.1f}x")
+    print()
+    print("The paper reports 26.1x speedup and 27.2x EDP improvement for this "
+          "configuration; see EXPERIMENTS.md for the full comparison.")
+
+
+if __name__ == "__main__":
+    main()

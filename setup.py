@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that editable installs keep working on environments whose packaging
+toolchain predates PEP 660 (for example offline machines without the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""repro: distributed Transformer inference on low-power MCUs.
+
+A reproduction of "Distributed Inference with Minimal Off-Chip Traffic for
+Transformers on Low-Power MCUs" (DATE 2025): a tensor-parallel partitioning
+scheme that scatters Transformer weights across a network of Siracusa-like
+MCUs with no replication and only two synchronisations per block, an
+event-driven multi-chip simulator, the paper's analytical energy model, and
+the experiment harness that regenerates every figure and table of the
+paper's evaluation.
+
+Typical usage::
+
+    from repro import (
+        autoregressive, tinyllama_42m, siracusa_platform, evaluate_block,
+    )
+
+    workload = autoregressive(tinyllama_42m(), context_len=128)
+    report = evaluate_block(workload, siracusa_platform(8))
+    print(report.summary())
+"""
+
+from .analysis import (
+    BlockReport,
+    ChipCountSweep,
+    GenerationReport,
+    ScalingPoint,
+    SweepResult,
+    chip_count_sweep,
+    evaluate_block,
+    evaluate_generation,
+    scaling_points,
+    speedup,
+)
+from .core import (
+    BlockPartition,
+    BlockProgram,
+    BlockScheduler,
+    ChipPartition,
+    MemoryPlan,
+    PrefetchAccounting,
+    WeightResidency,
+    chip_footprint,
+    partition_block,
+    plan_memory,
+)
+from .energy import EnergyBreakdown, EnergyModel, EnergyReport, energy_of
+from .graph import (
+    FfnKind,
+    InferenceMode,
+    TransformerConfig,
+    Workload,
+    autoregressive,
+    encoder,
+    prompt,
+)
+from .hw import (
+    ChipModel,
+    ChipToChipLink,
+    ClusterModel,
+    MultiChipPlatform,
+    mipi_link,
+    siracusa_chip,
+    siracusa_platform,
+)
+from .kernels import KernelLibrary, MatmulEfficiencyModel
+from .models import (
+    get_model,
+    list_models,
+    mobilebert,
+    tinyllama_42m,
+    tinyllama_gated,
+    tinyllama_scaled,
+)
+from .sim import MultiChipSimulator, SimulationResult, simulate_block
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockPartition",
+    "BlockProgram",
+    "BlockReport",
+    "BlockScheduler",
+    "ChipCountSweep",
+    "ChipModel",
+    "ChipPartition",
+    "ChipToChipLink",
+    "ClusterModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyReport",
+    "FfnKind",
+    "GenerationReport",
+    "InferenceMode",
+    "KernelLibrary",
+    "MatmulEfficiencyModel",
+    "MemoryPlan",
+    "MultiChipPlatform",
+    "MultiChipSimulator",
+    "PrefetchAccounting",
+    "ScalingPoint",
+    "SimulationResult",
+    "SweepResult",
+    "TransformerConfig",
+    "WeightResidency",
+    "Workload",
+    "autoregressive",
+    "chip_count_sweep",
+    "chip_footprint",
+    "encoder",
+    "energy_of",
+    "evaluate_block",
+    "evaluate_generation",
+    "get_model",
+    "list_models",
+    "mipi_link",
+    "mobilebert",
+    "partition_block",
+    "plan_memory",
+    "prompt",
+    "scaling_points",
+    "simulate_block",
+    "siracusa_chip",
+    "siracusa_platform",
+    "speedup",
+    "tinyllama_42m",
+    "tinyllama_gated",
+    "tinyllama_scaled",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Evaluation, metrics, sweeps, and plain-text figure rendering."""
+
+from .evaluate import BlockReport, evaluate_block
+from .export import (
+    report_to_dict,
+    sweep_to_csv,
+    sweep_to_json,
+    sweep_to_records,
+    write_sweep,
+)
+from .generation import GenerationReport, GenerationStep, evaluate_generation
+from .metrics import (
+    ScalingPoint,
+    edp_improvement,
+    energy_ratio,
+    is_super_linear,
+    parallel_efficiency,
+    scaling_points,
+    speedup,
+)
+from .sweep import ChipCountSweep, SweepResult, chip_count_sweep
+from .tables import (
+    comparison_table,
+    energy_runtime_table,
+    format_table,
+    runtime_breakdown_table,
+    scaling_table,
+)
+
+__all__ = [
+    "BlockReport",
+    "ChipCountSweep",
+    "GenerationReport",
+    "GenerationStep",
+    "ScalingPoint",
+    "SweepResult",
+    "chip_count_sweep",
+    "comparison_table",
+    "edp_improvement",
+    "energy_ratio",
+    "energy_runtime_table",
+    "evaluate_block",
+    "evaluate_generation",
+    "format_table",
+    "is_super_linear",
+    "parallel_efficiency",
+    "report_to_dict",
+    "runtime_breakdown_table",
+    "scaling_points",
+    "scaling_table",
+    "speedup",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "sweep_to_records",
+    "write_sweep",
+]

@@ -1,0 +1,172 @@
+"""High-level evaluation API.
+
+:func:`evaluate_block` is the main entry point of the library: it takes a
+workload and a platform, partitions one Transformer block with the paper's
+scheme, schedules it, simulates it, and applies the energy model.  The
+resulting :class:`BlockReport` carries everything the examples, benchmarks,
+and figure harnesses need: runtime, runtime breakdown, traffic, energy,
+energy-delay product, and the weight-residency regime of every chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.placement import PrefetchAccounting, WeightResidency
+from ..core.schedule import BlockProgram, RuntimeCategory
+from ..core.scheduler import BlockScheduler
+from ..energy.model import EnergyModel, EnergyReport
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from ..kernels.library import KernelLibrary
+from ..sim.simulator import MultiChipSimulator
+from ..sim.trace import SimulationResult
+
+
+@dataclass(frozen=True)
+class BlockReport:
+    """Complete evaluation of one Transformer block on one platform.
+
+    Attributes:
+        workload: The evaluated workload.
+        platform: The platform it ran on.
+        program: The scheduled block program.
+        simulation: The simulation trace.
+        energy: The energy report derived from the trace.
+    """
+
+    workload: Workload
+    platform: MultiChipPlatform
+    program: BlockProgram
+    simulation: SimulationResult
+    energy: EnergyReport
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    @property
+    def num_chips(self) -> int:
+        """Number of chips used."""
+        return self.platform.num_chips
+
+    @property
+    def block_cycles(self) -> float:
+        """Runtime of one Transformer block in cycles."""
+        return self.simulation.total_cycles
+
+    @property
+    def block_runtime_seconds(self) -> float:
+        """Runtime of one Transformer block in seconds."""
+        return self.simulation.runtime_seconds
+
+    @property
+    def inference_cycles(self) -> float:
+        """Estimated runtime of a full forward pass (all blocks) in cycles.
+
+        The paper reports per-block numbers; the full pass is the per-block
+        cost times the layer count (embedding lookup and the LM head are
+        outside the scope of the partitioning scheme and are not modelled).
+        """
+        return self.block_cycles * self.workload.config.num_layers
+
+    @property
+    def inference_runtime_seconds(self) -> float:
+        """Estimated runtime of a full forward pass in seconds."""
+        return self.inference_cycles / self.platform.frequency_hz
+
+    def runtime_breakdown(self) -> Dict[RuntimeCategory, float]:
+        """Average per-chip cycles by category (the Fig. 4 stacked bars)."""
+        return self.simulation.breakdown_average()
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    @property
+    def block_energy_joules(self) -> float:
+        """Energy of one Transformer block in joules."""
+        return self.energy.total_joules
+
+    @property
+    def inference_energy_joules(self) -> float:
+        """Estimated energy of a full forward pass in joules."""
+        return self.block_energy_joules * self.workload.config.num_layers
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Per-block energy-delay product in joule-seconds."""
+        return self.energy.energy_delay_product
+
+    # ------------------------------------------------------------------
+    # Memory placement
+    # ------------------------------------------------------------------
+    def residencies(self) -> Dict[int, WeightResidency]:
+        """Weight-residency regime selected for every chip."""
+        return {
+            chip_id: plan.residency
+            for chip_id, plan in self.program.memory_plans.items()
+        }
+
+    @property
+    def runs_from_on_chip_memory(self) -> bool:
+        """Whether every chip executes the block with on-chip weights."""
+        return all(
+            residency.is_on_chip for residency in self.residencies().values()
+        )
+
+    @property
+    def total_l3_bytes(self) -> float:
+        """Off-chip traffic of one block, summed over chips."""
+        return self.simulation.total_l3_l2_bytes
+
+    @property
+    def total_c2c_bytes(self) -> float:
+        """Chip-to-chip traffic of one block."""
+        return self.simulation.total_c2c_bytes
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.workload.name} on {self.num_chips} chip(s): "
+            f"{self.block_cycles:.0f} cycles/block, "
+            f"{self.block_energy_joules * 1e3:.3f} mJ/block, "
+            f"on-chip={self.runs_from_on_chip_memory}"
+        )
+
+
+def evaluate_block(
+    workload: Workload,
+    platform: MultiChipPlatform,
+    *,
+    kernel_library: Optional[KernelLibrary] = None,
+    prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN,
+    record_events: bool = False,
+) -> BlockReport:
+    """Partition, schedule, simulate, and measure one Transformer block.
+
+    Args:
+        workload: The model/mode/sequence-length combination to evaluate.
+        platform: The multi-chip platform to run on.
+        kernel_library: Optional custom kernel cost models.
+        prefetch_accounting: How double-buffered weight prefetches are
+            charged to runtime (the paper's accounting is ``HIDDEN``).
+        record_events: Keep per-step trace events for debugging.
+
+    Returns:
+        A :class:`BlockReport` with runtime, energy, and placement details.
+    """
+    scheduler = BlockScheduler(
+        platform=platform,
+        kernel_library=kernel_library,
+        prefetch_accounting=prefetch_accounting,
+    )
+    program = scheduler.build(workload)
+    simulation = MultiChipSimulator(program=program, record_events=record_events).run()
+    energy = EnergyModel(platform).from_simulation(simulation)
+    return BlockReport(
+        workload=workload,
+        platform=platform,
+        program=program,
+        simulation=simulation,
+        energy=energy,
+    )

@@ -1,0 +1,122 @@
+"""Export of evaluation results to CSV and JSON.
+
+Sweeps and reports are plain Python objects; these helpers serialise them
+into formats that downstream tooling (plotting scripts, spreadsheets,
+regression dashboards) can consume without importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from ..core.schedule import RuntimeCategory
+from ..errors import AnalysisError
+from .evaluate import BlockReport
+from .sweep import SweepResult
+
+#: Column order of the sweep CSV export.
+SWEEP_CSV_COLUMNS = (
+    "workload",
+    "num_chips",
+    "block_cycles",
+    "block_runtime_seconds",
+    "block_energy_joules",
+    "energy_delay_product",
+    "speedup",
+    "l3_bytes",
+    "c2c_bytes",
+    "on_chip",
+    "compute_cycles",
+    "dma_l3_l2_cycles",
+    "dma_l2_l1_cycles",
+    "chip_to_chip_cycles",
+    "idle_cycles",
+)
+
+
+def report_to_dict(report: BlockReport, speedup: float | None = None) -> Dict[str, Any]:
+    """Flatten one :class:`BlockReport` into JSON-serialisable primitives."""
+    breakdown = report.runtime_breakdown()
+    record: Dict[str, Any] = {
+        "workload": report.workload.name,
+        "num_chips": report.num_chips,
+        "block_cycles": report.block_cycles,
+        "block_runtime_seconds": report.block_runtime_seconds,
+        "block_energy_joules": report.block_energy_joules,
+        "energy_delay_product": report.energy_delay_product,
+        "l3_bytes": report.total_l3_bytes,
+        "c2c_bytes": report.total_c2c_bytes,
+        "on_chip": report.runs_from_on_chip_memory,
+        "residencies": {
+            str(chip_id): residency.value
+            for chip_id, residency in report.residencies().items()
+        },
+        "compute_cycles": breakdown[RuntimeCategory.COMPUTE],
+        "dma_l3_l2_cycles": breakdown[RuntimeCategory.DMA_L3_L2],
+        "dma_l2_l1_cycles": breakdown[RuntimeCategory.DMA_L2_L1],
+        "chip_to_chip_cycles": breakdown[RuntimeCategory.CHIP_TO_CHIP],
+        "idle_cycles": breakdown[RuntimeCategory.IDLE],
+        "energy_breakdown_joules": {
+            "compute": report.energy.total.compute,
+            "l2_l1": report.energy.total.l2_l1,
+            "l3_l2": report.energy.total.l3_l2,
+            "chip_to_chip": report.energy.total.chip_to_chip,
+        },
+    }
+    if speedup is not None:
+        record["speedup"] = speedup
+    return record
+
+
+def sweep_to_records(sweep: SweepResult) -> List[Dict[str, Any]]:
+    """Flatten a sweep into one record per chip count."""
+    speedups = sweep.speedups()
+    return [
+        report_to_dict(report, speedup=speedups[report.num_chips])
+        for report in sweep.reports
+    ]
+
+
+def sweep_to_json(sweep: SweepResult, *, indent: int = 2) -> str:
+    """Serialise a sweep to a JSON document."""
+    document = {
+        "workload": sweep.workload.name,
+        "chip_counts": sweep.chip_counts,
+        "results": sweep_to_records(sweep),
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Serialise a sweep to CSV (one row per chip count)."""
+    records = sweep_to_records(sweep)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=SWEEP_CSV_COLUMNS, extrasaction="ignore")
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def write_sweep(sweep: SweepResult, path: str) -> None:
+    """Write a sweep to ``path``; the format follows the file extension.
+
+    ``.json`` produces the JSON document, ``.csv`` the CSV table.
+
+    Raises:
+        AnalysisError: For unsupported extensions.
+    """
+    lowered = path.lower()
+    if lowered.endswith(".json"):
+        payload = sweep_to_json(sweep)
+    elif lowered.endswith(".csv"):
+        payload = sweep_to_csv(sweep)
+    else:
+        raise AnalysisError(
+            f"unsupported export extension for {path!r}; use .json or .csv"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

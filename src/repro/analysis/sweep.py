@@ -1,0 +1,133 @@
+"""Chip-count sweeps: the backbone of every figure in the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.placement import PrefetchAccounting
+from ..core.schedule import RuntimeCategory
+from ..errors import AnalysisError
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from ..hw.presets import siracusa_platform
+from ..kernels.library import KernelLibrary
+from .evaluate import BlockReport, evaluate_block
+from .metrics import ScalingPoint, scaling_points
+
+#: Factory signature used to build a platform for a given chip count.
+PlatformFactory = Callable[[int], MultiChipPlatform]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Evaluations of one workload across several chip counts.
+
+    Attributes:
+        workload: The swept workload.
+        reports: One :class:`BlockReport` per chip count, in sweep order.
+    """
+
+    workload: Workload
+    reports: tuple
+
+    def __post_init__(self) -> None:
+        if not self.reports:
+            raise AnalysisError("a sweep needs at least one chip count")
+
+    @property
+    def chip_counts(self) -> List[int]:
+        """Chip counts of the sweep, in order."""
+        return [report.num_chips for report in self.reports]
+
+    @property
+    def baseline(self) -> BlockReport:
+        """The first (reference) report, normally the single-chip system."""
+        return self.reports[0]
+
+    def report_for(self, num_chips: int) -> BlockReport:
+        """The report of one particular chip count."""
+        for report in self.reports:
+            if report.num_chips == num_chips:
+                return report
+        raise AnalysisError(f"sweep has no entry for {num_chips} chips")
+
+    def scaling(self) -> List[ScalingPoint]:
+        """Speedups/energy ratios relative to the first chip count."""
+        return scaling_points(list(self.reports))
+
+    def speedups(self) -> Dict[int, float]:
+        """Chip count -> speedup relative to the sweep's first entry."""
+        return {point.num_chips: point.speedup for point in self.scaling()}
+
+    def energies_joules(self) -> Dict[int, float]:
+        """Chip count -> per-block energy in joules."""
+        return {
+            report.num_chips: report.block_energy_joules for report in self.reports
+        }
+
+    def cycles(self) -> Dict[int, float]:
+        """Chip count -> per-block runtime in cycles."""
+        return {report.num_chips: report.block_cycles for report in self.reports}
+
+    def breakdowns(self) -> Dict[int, Dict[RuntimeCategory, float]]:
+        """Chip count -> average per-chip runtime breakdown."""
+        return {
+            report.num_chips: report.runtime_breakdown() for report in self.reports
+        }
+
+
+@dataclass
+class ChipCountSweep:
+    """Runs one workload across a list of chip counts.
+
+    Attributes:
+        platform_factory: Builds the platform for each chip count; defaults
+            to the Siracusa + MIPI preset used throughout the paper.
+        prefetch_accounting: Prefetch runtime-accounting policy.
+        kernel_library: Optional custom kernel cost models (shared across
+            chip counts).
+    """
+
+    platform_factory: PlatformFactory = siracusa_platform
+    prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN
+    kernel_library: Optional[KernelLibrary] = None
+    _cache: Dict[tuple, BlockReport] = field(default_factory=dict, repr=False)
+
+    def run(self, workload: Workload, chip_counts: Sequence[int]) -> SweepResult:
+        """Evaluate ``workload`` on every chip count of ``chip_counts``."""
+        if not chip_counts:
+            raise AnalysisError("chip_counts must not be empty")
+        reports = []
+        for num_chips in chip_counts:
+            if num_chips <= 0:
+                raise AnalysisError(f"invalid chip count {num_chips}")
+            reports.append(self._evaluate(workload, num_chips))
+        return SweepResult(workload=workload, reports=tuple(reports))
+
+    def _evaluate(self, workload: Workload, num_chips: int) -> BlockReport:
+        key = (workload.name, workload.seq_len, num_chips, self.prefetch_accounting)
+        if key not in self._cache:
+            platform = self.platform_factory(num_chips)
+            self._cache[key] = evaluate_block(
+                workload,
+                platform,
+                kernel_library=self.kernel_library,
+                prefetch_accounting=self.prefetch_accounting,
+            )
+        return self._cache[key]
+
+
+def chip_count_sweep(
+    workload: Workload,
+    chip_counts: Sequence[int],
+    *,
+    platform_factory: PlatformFactory = siracusa_platform,
+    prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN,
+) -> SweepResult:
+    """Convenience wrapper around :class:`ChipCountSweep`."""
+    sweep = ChipCountSweep(
+        platform_factory=platform_factory,
+        prefetch_accounting=prefetch_accounting,
+    )
+    return sweep.run(workload, chip_counts)

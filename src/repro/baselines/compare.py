@@ -1,0 +1,125 @@
+"""Head-to-head comparison of the partitioning approaches (Table I ablation).
+
+The paper's Table I is a qualitative comparison of prior work; this module
+backs it with a quantitative ablation in which every approach runs on the
+same Siracusa-like platform, the same workload, and the same cost models,
+so the differences come only from the partitioning strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import format_table
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from ..units import format_bytes, format_energy
+from .pipeline_parallel import evaluate_pipeline_parallel
+from .single_chip import evaluate_single_chip
+from .tensor_parallel import evaluate_tensor_parallel
+from .types import BaselineResult
+from .weight_replicated import evaluate_weight_replicated
+
+
+def compare_approaches(
+    workload: Workload, platform: MultiChipPlatform
+) -> List[BaselineResult]:
+    """Evaluate all approaches on the same workload and platform.
+
+    Returns the results ordered as: single chip, weight-replicated sequence
+    parallelism, pipeline parallelism, and the paper's tensor-parallel
+    scheme.
+    """
+    return [
+        evaluate_single_chip(workload, platform),
+        evaluate_weight_replicated(workload, platform),
+        evaluate_pipeline_parallel(workload, platform),
+        evaluate_tensor_parallel(workload, platform),
+    ]
+
+
+def comparison_rows(results: List[BaselineResult]) -> List[List[str]]:
+    """Render comparison results as table rows (one per approach)."""
+    baseline = results[0]
+    rows: List[List[str]] = []
+    for result in results:
+        rows.append(
+            [
+                result.approach,
+                str(result.num_chips),
+                "yes" if result.weights_replicated else "no",
+                "yes" if result.uses_pipelining else "no",
+                str(result.synchronisations_per_block),
+                format_bytes(result.weight_bytes_per_chip),
+                f"{result.block_cycles:,.0f}",
+                f"{result.speedup_over(baseline):.2f}x",
+                format_energy(result.block_energy_joules),
+                format_bytes(result.l3_bytes_per_block),
+            ]
+        )
+    return rows
+
+
+def render_comparison(results: List[BaselineResult]) -> str:
+    """Plain-text Table-I-style comparison with measured columns."""
+    headers = [
+        "Approach",
+        "Chips",
+        "Weight dup.",
+        "Pipelining",
+        "Syncs/block",
+        "Weights/chip",
+        "Cycles/block",
+        "Speedup",
+        "Energy/block",
+        "L3/block",
+    ]
+    return format_table(headers, comparison_rows(results))
+
+
+def qualitative_table() -> Dict[str, Dict[str, str]]:
+    """The literal content of the paper's Table I (qualitative comparison)."""
+    return {
+        "DeepThings [20]": {
+            "Model": "CNN",
+            "Scale": "Low-Power",
+            "Platform": "Raspberry Pi",
+            "Pipelining": "No",
+            "Weight Duplication": "Yes",
+        },
+        "Efficiently Scaling Transformer Inference [13]": {
+            "Model": "Transformer",
+            "Scale": "Datacenter",
+            "Platform": "TPU",
+            "Pipelining": "No",
+            "Weight Duplication": "No",
+        },
+        "DeepSpeed Inference [12]": {
+            "Model": "Transformer",
+            "Scale": "Datacenter",
+            "Platform": "GPU",
+            "Pipelining": "Yes",
+            "Weight Duplication": "No",
+        },
+        "When the Edge Meets Transformers [21]": {
+            "Model": "Transformer",
+            "Scale": "Low-Power",
+            "Platform": "CPU",
+            "Pipelining": "No",
+            "Weight Duplication": "Yes",
+        },
+        "Hermes [22]": {
+            "Model": "Transformer",
+            "Scale": "Low-Power",
+            "Platform": "CPU",
+            "Pipelining": "Yes",
+            "Weight Duplication": "No",
+        },
+        "Ours": {
+            "Model": "Transformer",
+            "Scale": "Extreme Edge",
+            "Platform": "Siracusa (MCU)",
+            "Pipelining": "No",
+            "Weight Duplication": "No",
+        },
+    }

@@ -1,0 +1,29 @@
+"""Single-chip baseline (the reference every speedup is normalised to)."""
+
+from __future__ import annotations
+
+from ..analysis.evaluate import evaluate_block
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from .types import BaselineResult
+
+
+def evaluate_single_chip(
+    workload: Workload, platform: MultiChipPlatform
+) -> BaselineResult:
+    """Evaluate the workload on a single chip of the given platform."""
+    single = platform.with_num_chips(1)
+    report = evaluate_block(workload, single)
+    plan = report.program.memory_plan(0)
+    return BaselineResult(
+        approach="Single chip",
+        num_chips=1,
+        block_cycles=report.block_cycles,
+        block_energy_joules=report.block_energy_joules,
+        l3_bytes_per_block=report.total_l3_bytes,
+        weight_bytes_per_chip=plan.block_weight_bytes,
+        weights_replicated=False,
+        synchronisations_per_block=0,
+        uses_pipelining=False,
+        notes="all weights and traffic on one chip",
+    )

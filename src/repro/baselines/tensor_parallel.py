@@ -1,0 +1,37 @@
+"""The paper's approach, wrapped as a comparable baseline entry."""
+
+from __future__ import annotations
+
+from ..analysis.evaluate import evaluate_block
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from .types import BaselineResult
+
+
+def evaluate_tensor_parallel(
+    workload: Workload, platform: MultiChipPlatform
+) -> BaselineResult:
+    """Evaluate the paper's tensor-parallel scheme on ``platform``.
+
+    This is a thin adapter over :func:`repro.analysis.evaluate_block` that
+    reshapes the result into the comparison-table format, so the ablation
+    in Table I compares all approaches through the same simulator and
+    energy model.
+    """
+    report = evaluate_block(workload, platform)
+    weight_bytes_per_chip = max(
+        plan.block_weight_bytes for plan in report.program.memory_plans.values()
+    )
+    syncs = 0 if platform.num_chips == 1 else 2
+    return BaselineResult(
+        approach="Ours (tensor parallel, scattered weights)",
+        num_chips=platform.num_chips,
+        block_cycles=report.block_cycles,
+        block_energy_joules=report.block_energy_joules,
+        l3_bytes_per_block=report.total_l3_bytes,
+        weight_bytes_per_chip=weight_bytes_per_chip,
+        weights_replicated=False,
+        synchronisations_per_block=syncs,
+        uses_pipelining=False,
+        notes="head-split MHSA, F-split FFN, hierarchical all-reduce",
+    )

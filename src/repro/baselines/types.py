@@ -1,0 +1,61 @@
+"""Shared result type for the partitioning-approach comparison (Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Summary of one partitioning approach on one workload and platform.
+
+    The fields are the quantities Table I of the paper compares (weight
+    duplication, platform scale) plus the measurable outcomes our ablation
+    adds on top (latency, energy, off-chip traffic).
+
+    Attributes:
+        approach: Human-readable approach name.
+        num_chips: Number of chips used.
+        block_cycles: Average latency of one Transformer block in cycles.
+        block_energy_joules: Average energy of one Transformer block.
+        l3_bytes_per_block: Off-chip traffic per block, summed over chips.
+        weight_bytes_per_chip: Block weight bytes each chip must store.
+        weights_replicated: Whether weights are duplicated across chips.
+        synchronisations_per_block: Inter-chip synchronisation points per
+            block (0 for a single chip).
+        uses_pipelining: Whether the approach relies on pipeline parallelism
+            (and therefore on batching to reach full utilisation).
+        notes: Free-form remarks shown in the comparison table.
+    """
+
+    approach: str
+    num_chips: int
+    block_cycles: float
+    block_energy_joules: float
+    l3_bytes_per_block: float
+    weight_bytes_per_chip: int
+    weights_replicated: bool
+    synchronisations_per_block: int
+    uses_pipelining: bool = False
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_chips <= 0:
+            raise AnalysisError("num_chips must be positive")
+        if self.block_cycles <= 0:
+            raise AnalysisError("block_cycles must be positive")
+        if self.block_energy_joules < 0 or self.l3_bytes_per_block < 0:
+            raise AnalysisError("energy and traffic cannot be negative")
+        if self.weight_bytes_per_chip < 0:
+            raise AnalysisError("weight bytes cannot be negative")
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP proxy in joule-cycles (frequency-independent comparison)."""
+        return self.block_energy_joules * self.block_cycles
+
+    def speedup_over(self, other: "BaselineResult") -> float:
+        """Runtime speedup of this approach over another."""
+        return other.block_cycles / self.block_cycles

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main entry points
+without writing any Python:
+
+* ``models``      — list the registered model configurations,
+* ``evaluate``    — evaluate one Transformer block on a chip count,
+* ``sweep``       — run a chip-count sweep and print (or export) the
+  Fig. 4/5-style tables,
+* ``experiments`` — regenerate the paper's figures and tables,
+* ``verify``      — numerically verify the partitioning scheme's exactness.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .analysis.evaluate import evaluate_block
+from .analysis.export import write_sweep
+from .analysis.sweep import chip_count_sweep
+from .analysis.tables import energy_runtime_table, runtime_breakdown_table
+from .core.placement import PrefetchAccounting
+from .graph.transformer import InferenceMode
+from .graph.workload import Workload
+from .hw.presets import siracusa_platform
+from .models.registry import get_model, list_models
+from .numerics.verify import verify_partition_equivalence
+from .units import format_bytes, format_energy, format_time
+
+#: Default sequence lengths per inference mode (the paper's setup).
+_DEFAULT_SEQ_LEN = {
+    InferenceMode.AUTOREGRESSIVE: 128,
+    InferenceMode.PROMPT: 16,
+    InferenceMode.ENCODER: 268,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed Transformer inference on low-power MCUs "
+            "(DATE 2025 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("models", help="list registered model configurations")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate one Transformer block on a chip count"
+    )
+    _add_workload_arguments(evaluate)
+    evaluate.add_argument(
+        "--chips", type=int, default=8, help="number of chips (default: 8)"
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a chip-count sweep and print the figure tables"
+    )
+    _add_workload_arguments(sweep)
+    sweep.add_argument(
+        "--chips",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="chip counts to sweep (default: 1 2 4 8)",
+    )
+    sweep.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="optional export path (.csv or .json)",
+    )
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's figures and tables"
+    )
+    experiments.add_argument(
+        "--only",
+        choices=["fig4", "fig5", "fig6", "table1", "headline", "all"],
+        default="all",
+        help="which experiment to run (default: all)",
+    )
+
+    verify = subparsers.add_parser(
+        "verify", help="numerically verify the partitioning scheme's exactness"
+    )
+    verify.add_argument("--model", default="tinyllama-42m")
+    verify.add_argument("--chips", type=int, default=8)
+    verify.add_argument("--rows", type=int, default=4)
+
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        default="tinyllama-42m",
+        help="registered model name (see `repro models`)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=[mode.value for mode in InferenceMode],
+        default=InferenceMode.AUTOREGRESSIVE.value,
+        help="inference mode (default: autoregressive)",
+    )
+    parser.add_argument(
+        "--seq-len",
+        type=int,
+        default=None,
+        help="sequence/context length (default: the paper's value per mode)",
+    )
+    parser.add_argument(
+        "--prefetch",
+        choices=[policy.value for policy in PrefetchAccounting],
+        default=PrefetchAccounting.HIDDEN.value,
+        help="prefetch runtime accounting policy (default: hidden)",
+    )
+
+
+def _workload_from_args(args: argparse.Namespace) -> Workload:
+    config = get_model(args.model)
+    mode = InferenceMode(args.mode)
+    seq_len = args.seq_len if args.seq_len is not None else _DEFAULT_SEQ_LEN[mode]
+    return Workload(config=config, mode=mode, seq_len=seq_len)
+
+
+def _command_models() -> List[str]:
+    lines = []
+    for name in list_models():
+        config = get_model(name)
+        lines.append(
+            f"{name:<24} E={config.embed_dim} F={config.ffn_dim} "
+            f"H={config.num_heads} L={config.num_layers} "
+            f"params={config.total_params / 1e6:.1f}M "
+            f"block={format_bytes(config.block_weight_bytes)}"
+        )
+    return lines
+
+
+def _command_evaluate(args: argparse.Namespace) -> List[str]:
+    workload = _workload_from_args(args)
+    platform = siracusa_platform(args.chips)
+    report = evaluate_block(
+        workload, platform, prefetch_accounting=PrefetchAccounting(args.prefetch)
+    )
+    breakdown = report.runtime_breakdown()
+    lines = [
+        report.summary(),
+        f"  runtime    : {report.block_cycles:,.0f} cycles "
+        f"({format_time(report.block_runtime_seconds)}) per block",
+        f"  energy     : {format_energy(report.block_energy_joules)} per block",
+        f"  L3 traffic : {format_bytes(report.total_l3_bytes)} per block",
+        f"  C2C traffic: {format_bytes(report.total_c2c_bytes)} per block",
+        "  breakdown  : "
+        + ", ".join(
+            f"{category.value}={value:,.0f}" for category, value in breakdown.items()
+        ),
+    ]
+    return lines
+
+
+def _command_sweep(args: argparse.Namespace) -> List[str]:
+    workload = _workload_from_args(args)
+    sweep = chip_count_sweep(
+        workload,
+        args.chips,
+        prefetch_accounting=PrefetchAccounting(args.prefetch),
+    )
+    lines = [
+        f"Chip-count sweep for {workload.name}",
+        runtime_breakdown_table(sweep),
+        "",
+        energy_runtime_table(sweep),
+    ]
+    if args.output:
+        write_sweep(sweep, args.output)
+        lines.append(f"wrote {args.output}")
+    return lines
+
+
+def _command_experiments(args: argparse.Namespace) -> List[str]:
+    from .experiments import (
+        render_fig4,
+        render_fig5,
+        render_fig6,
+        render_headline,
+        render_table1,
+        run_fig4,
+        run_fig5,
+        run_fig6,
+        run_headline,
+        run_table1,
+    )
+
+    runners = {
+        "fig4": lambda: render_fig4(run_fig4()),
+        "fig5": lambda: render_fig5(run_fig5()),
+        "fig6": lambda: render_fig6(run_fig6()),
+        "table1": lambda: render_table1(run_table1()),
+        "headline": lambda: render_headline(run_headline()),
+    }
+    if args.only == "all":
+        from .experiments.runner import render_all, run_all
+
+        return [render_all(run_all())]
+    return [runners[args.only]()]
+
+
+def _command_verify(args: argparse.Namespace) -> List[str]:
+    config = get_model(args.model)
+    report = verify_partition_equivalence(config, args.chips, rows=args.rows)
+    status = "EXACT" if report.is_equivalent() else "MISMATCH"
+    return [
+        f"model={args.model} chips={args.chips} rows={args.rows}",
+        f"  max |error|           : {report.max_abs_error:.3e}",
+        f"  mean |error|          : {report.mean_abs_error:.3e}",
+        f"  weights scattered once: {report.weights_scattered_exactly_once}",
+        f"  verdict               : {status}",
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro`` command-line interface."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "models":
+        lines = _command_models()
+    elif args.command == "evaluate":
+        lines = _command_evaluate(args)
+    elif args.command == "sweep":
+        lines = _command_sweep(args)
+    elif args.command == "experiments":
+        lines = _command_experiments(args)
+    elif args.command == "verify":
+        lines = _command_verify(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""The paper's core contribution: tensor-parallel block partitioning.
+
+This package contains the partitioner (head-split attention, F-split FFN,
+no weight replication), the per-chip memory footprint and weight-placement
+logic, the hierarchical collective plans, and the block scheduler that
+assembles per-chip execution schedules for the simulator.
+"""
+
+from .collectives import (
+    CollectivePlan,
+    CommRound,
+    Transfer,
+    all_to_one_reduce,
+    estimate_plan_cycles,
+    hierarchical_all_reduce,
+    hierarchical_broadcast,
+)
+from .footprint import (
+    ActivationFootprint,
+    ChipFootprint,
+    activation_footprint,
+    chip_footprint,
+)
+from .partition import BlockPartition, ChipPartition, partition_block, split_evenly
+from .placement import MemoryPlan, PrefetchAccounting, WeightResidency, plan_memory
+from .schedule import (
+    BlockProgram,
+    ChipSchedule,
+    ComputeStep,
+    DmaChannelName,
+    DmaStep,
+    PrefetchJoinStep,
+    PrefetchStep,
+    RecvStep,
+    RuntimeCategory,
+    SendStep,
+    Step,
+)
+from .scheduler import L3_STREAM_TILE_BYTES, BlockScheduler
+
+__all__ = [
+    "ActivationFootprint",
+    "BlockPartition",
+    "BlockProgram",
+    "BlockScheduler",
+    "ChipFootprint",
+    "ChipPartition",
+    "ChipSchedule",
+    "CollectivePlan",
+    "CommRound",
+    "ComputeStep",
+    "DmaChannelName",
+    "DmaStep",
+    "L3_STREAM_TILE_BYTES",
+    "MemoryPlan",
+    "PrefetchAccounting",
+    "PrefetchJoinStep",
+    "PrefetchStep",
+    "RecvStep",
+    "RuntimeCategory",
+    "SendStep",
+    "Step",
+    "Transfer",
+    "WeightResidency",
+    "activation_footprint",
+    "all_to_one_reduce",
+    "chip_footprint",
+    "estimate_plan_cycles",
+    "hierarchical_all_reduce",
+    "hierarchical_broadcast",
+    "partition_block",
+    "plan_memory",
+    "split_evenly",
+]

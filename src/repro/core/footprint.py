@@ -1,0 +1,144 @@
+"""Per-chip memory footprint accounting.
+
+The central question of the paper is whether a chip's share of the model
+fits in its on-chip (L2) memory: if it does, the block runs with stationary
+on-chip weights and off-chip traffic disappears from the critical path; if
+it does not, weights stream from L3 and dominate runtime and energy.
+
+The footprint of a chip for one workload consists of:
+
+* the weight slice of one Transformer block (and, when double-buffering,
+  a second copy for the next block being prefetched),
+* the KV-cache slice for **all** layers (it must persist across the whole
+  forward pass in autoregressive and prompt modes),
+* the resident activations of the block (inputs, partial outputs, and the
+  larger of the attention-stage or FFN-stage working set),
+* the runtime reserve of the chip (code, stacks, scratch), which is part of
+  the chip model rather than of this footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.transformer import TransformerConfig
+from ..graph.workload import Workload
+from .partition import ChipPartition
+
+
+@dataclass(frozen=True)
+class ActivationFootprint:
+    """Peak resident activation bytes of one block on one chip."""
+
+    input_bytes: int
+    residual_bytes: int
+    attention_working_bytes: int
+    ffn_working_bytes: int
+    partial_output_bytes: int
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak simultaneously-live activation bytes."""
+        stage = max(self.attention_working_bytes, self.ffn_working_bytes)
+        return (
+            self.input_bytes
+            + self.residual_bytes
+            + self.partial_output_bytes
+            + stage
+        )
+
+
+@dataclass(frozen=True)
+class ChipFootprint:
+    """Memory requirements of one chip for one workload.
+
+    Attributes:
+        chip_id: The chip this footprint belongs to.
+        block_weight_bytes: Weight slice of a single Transformer block.
+        model_weight_bytes: Weight slices of all blocks combined.
+        kv_cache_bytes: KV-cache slice across all layers.
+        activations: Peak activation working set of one block.
+    """
+
+    chip_id: int
+    block_weight_bytes: int
+    model_weight_bytes: int
+    kv_cache_bytes: int
+    activations: ActivationFootprint
+
+    @property
+    def activation_bytes(self) -> int:
+        """Peak resident activation bytes."""
+        return self.activations.peak_bytes
+
+    @property
+    def persistent_bytes(self) -> int:
+        """Bytes that must stay resident regardless of weight placement."""
+        return self.kv_cache_bytes + self.activation_bytes
+
+    def required_bytes(self, *, weight_copies: int = 1, whole_model: bool = False) -> int:
+        """Total L2 bytes needed under a given weight-placement strategy.
+
+        Args:
+            weight_copies: 1 for single-buffered block weights, 2 when the
+                next block's weights are double-buffered alongside.
+            whole_model: If true, size for all blocks' weights resident at
+                once (the 32/64-chip regime of the scalability study).
+        """
+        if whole_model:
+            weights = self.model_weight_bytes
+        else:
+            weights = weight_copies * self.block_weight_bytes
+        return weights + self.persistent_bytes
+
+
+def activation_footprint(
+    config: TransformerConfig, workload: Workload, chip: ChipPartition
+) -> ActivationFootprint:
+    """Compute the peak activation working set of one block on one chip."""
+    act = config.act_dtype.size_bytes
+    rows = workload.query_rows
+    kv_rows = workload.new_kv_rows
+    attended = workload.attended_positions
+    embed = config.embed_dim
+    proj = chip.num_heads * config.head_dim
+
+    input_bytes = rows * embed * act
+    residual_bytes = rows * embed * act
+    partial_output_bytes = rows * embed * act
+
+    queries = rows * proj * act
+    new_keys_values = 2 * kv_rows * proj * act
+    scores = chip.num_heads * rows * attended * act
+    context = rows * proj * act
+    attention_working = queries + new_keys_values + scores + context
+
+    ffn_intermediate = rows * chip.ffn_cols * act
+    if config.num_ffn_matrices == 3:
+        ffn_intermediate *= 2
+    ffn_working = ffn_intermediate
+
+    return ActivationFootprint(
+        input_bytes=input_bytes,
+        residual_bytes=residual_bytes,
+        attention_working_bytes=attention_working,
+        ffn_working_bytes=ffn_working,
+        partial_output_bytes=partial_output_bytes,
+    )
+
+
+def chip_footprint(
+    config: TransformerConfig, workload: Workload, chip: ChipPartition
+) -> ChipFootprint:
+    """Compute the full memory footprint of one chip for a workload."""
+    block_weights = chip.weight_slice_bytes(config)
+    kv_bytes = (
+        chip.kv_cache(config, workload).total_bytes if workload.uses_kv_cache else 0
+    )
+    return ChipFootprint(
+        chip_id=chip.chip_id,
+        block_weight_bytes=block_weights,
+        model_weight_bytes=block_weights * config.num_layers,
+        kv_cache_bytes=kv_bytes,
+        activations=activation_footprint(config, workload, chip),
+    )

@@ -1,0 +1,149 @@
+"""Weight placement: deciding where a chip's weights live.
+
+Given a chip's memory footprint and its L2 budget, the placement logic
+selects one of four regimes, ordered from best to worst:
+
+* ``ALL_RESIDENT`` — every block's weight slice fits on-chip at once.  No
+  steady-state L3 traffic at all; this is the 32/64-chip regime of the
+  paper's scalability study, where "double-buffering is no longer required,
+  resulting in a further energy reduction".
+* ``DOUBLE_BUFFERED`` — one block's slice fits twice, so the next block's
+  weights are prefetched from L3 while the current block executes.  L3
+  traffic (and its energy) remains, but it overlaps with computation.
+* ``SINGLE_BUFFERED`` — one block's slice fits, but there is no room for a
+  prefetch buffer; the block's weights are loaded from L3 *before* the
+  block executes, exposing the full transfer latency.
+* ``STREAMED`` — even a single block's slice does not fit; weights stream
+  through L2 during execution, serialising off-chip transfers with
+  computation (and, for multi-row GEMMs, re-streaming the weights once per
+  row tile).
+
+The prefetch *accounting policy* controls how the double-buffered regime's
+L3 transfers are charged to runtime; see :class:`PrefetchAccounting`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..hw.chip import ChipModel
+from .footprint import ChipFootprint
+
+
+class WeightResidency(str, enum.Enum):
+    """Where a chip's weights live during block execution."""
+
+    ALL_RESIDENT = "all_resident"
+    DOUBLE_BUFFERED = "double_buffered"
+    SINGLE_BUFFERED = "single_buffered"
+    STREAMED = "streamed"
+
+    @property
+    def is_on_chip(self) -> bool:
+        """Whether the current block executes with on-chip-resident weights."""
+        return self in (
+            WeightResidency.ALL_RESIDENT,
+            WeightResidency.DOUBLE_BUFFERED,
+            WeightResidency.SINGLE_BUFFERED,
+        )
+
+
+class PrefetchAccounting(str, enum.Enum):
+    """How double-buffered L3 prefetches are charged to runtime.
+
+    ``HIDDEN`` reproduces the paper's accounting: the prefetch of the next
+    block's weights is assumed to overlap fully with the current block's
+    execution, so it contributes energy but no runtime.  ``OVERLAP`` is the
+    conservative policy: only the part of the prefetch that exceeds the
+    block's execution time is charged.  ``BLOCKING`` charges the full
+    prefetch, as if double-buffering were disabled.
+    """
+
+    HIDDEN = "hidden"
+    OVERLAP = "overlap"
+    BLOCKING = "blocking"
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """The placement decision for one chip.
+
+    Attributes:
+        chip_id: Chip this plan belongs to.
+        residency: Selected weight-residency regime.
+        l2_budget_bytes: L2 bytes available for model data on the chip.
+        required_bytes: L2 bytes the selected regime occupies.
+        block_weight_bytes: Weight slice of one block (convenience copy).
+        l3_weight_bytes_per_block: Weight bytes crossing the L3 interface
+            per block in steady state (0 when all weights are resident).
+    """
+
+    chip_id: int
+    residency: WeightResidency
+    l2_budget_bytes: int
+    required_bytes: int
+    block_weight_bytes: int
+    l3_weight_bytes_per_block: int
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the L2 budget occupied by the selected regime."""
+        if self.l2_budget_bytes <= 0:
+            return float("inf")
+        return self.required_bytes / self.l2_budget_bytes
+
+
+def plan_memory(chip_model: ChipModel, footprint: ChipFootprint) -> MemoryPlan:
+    """Select the weight-residency regime for one chip.
+
+    The regimes are tried from best to worst and the first one whose
+    footprint fits in the chip's available L2 is selected.  ``STREAMED`` is
+    the fallback and is always accepted (its resident footprint is just the
+    persistent data plus a streaming buffer the runtime reserve accounts
+    for).
+    """
+    budget = chip_model.l2_available_bytes
+    block_bytes = footprint.block_weight_bytes
+
+    all_resident = footprint.required_bytes(whole_model=True)
+    if all_resident <= budget:
+        return MemoryPlan(
+            chip_id=footprint.chip_id,
+            residency=WeightResidency.ALL_RESIDENT,
+            l2_budget_bytes=budget,
+            required_bytes=all_resident,
+            block_weight_bytes=block_bytes,
+            l3_weight_bytes_per_block=0,
+        )
+
+    double_buffered = footprint.required_bytes(weight_copies=2)
+    if double_buffered <= budget:
+        return MemoryPlan(
+            chip_id=footprint.chip_id,
+            residency=WeightResidency.DOUBLE_BUFFERED,
+            l2_budget_bytes=budget,
+            required_bytes=double_buffered,
+            block_weight_bytes=block_bytes,
+            l3_weight_bytes_per_block=block_bytes,
+        )
+
+    single_buffered = footprint.required_bytes(weight_copies=1)
+    if single_buffered <= budget:
+        return MemoryPlan(
+            chip_id=footprint.chip_id,
+            residency=WeightResidency.SINGLE_BUFFERED,
+            l2_budget_bytes=budget,
+            required_bytes=single_buffered,
+            block_weight_bytes=block_bytes,
+            l3_weight_bytes_per_block=block_bytes,
+        )
+
+    return MemoryPlan(
+        chip_id=footprint.chip_id,
+        residency=WeightResidency.STREAMED,
+        l2_budget_bytes=budget,
+        required_bytes=footprint.persistent_bytes,
+        block_weight_bytes=block_bytes,
+        l3_weight_bytes_per_block=block_bytes,
+    )

@@ -1,0 +1,354 @@
+"""Block scheduler: turns a partition into per-chip execution schedules.
+
+The scheduler stitches together everything built so far:
+
+1. the tensor-parallel :class:`~repro.core.partition.BlockPartition`
+   (who owns which heads and FFN columns),
+2. each chip's :class:`~repro.core.placement.MemoryPlan`
+   (where its weights live),
+3. the kernel cost models (how long each operator takes and how much
+   L2<->L1 traffic it generates),
+4. the hierarchical collective plans (the two synchronisations per block),
+
+and emits a :class:`~repro.core.schedule.BlockProgram` that the
+event-driven simulator executes.  The schedule it builds for one block is
+exactly the paper's execution scheme (Sec. IV and Fig. 3):
+
+* every chip computes its partial MHSA (Q/K/V projections for its heads,
+  attention, output projection slice),
+* the partial outputs are reduced hierarchically onto the root chip, which
+  merges the residual, applies the normalisation, and broadcasts the
+  result,
+* every chip computes its FFN slice, followed by the second
+  reduce / residual / normalisation / broadcast,
+* depending on the weight-residency regime, weights are streamed from L3,
+  loaded per block, or prefetched for the next block in the background.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SchedulingError
+from ..graph.ops import ElementwiseKind, ElementwiseOp, NormOp, Operator
+from ..graph.transformer import BlockSlice, build_block_operators
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from ..kernels.library import KernelLibrary
+from .collectives import CollectivePlan, hierarchical_all_reduce, hierarchical_broadcast
+from .footprint import chip_footprint
+from .partition import BlockPartition, ChipPartition, partition_block
+from .placement import MemoryPlan, PrefetchAccounting, WeightResidency, plan_memory
+from .schedule import (
+    BlockProgram,
+    ChipSchedule,
+    ComputeStep,
+    DmaChannelName,
+    DmaStep,
+    PrefetchJoinStep,
+    PrefetchStep,
+    RecvStep,
+    SendStep,
+    Step,
+)
+
+#: Tile size used when streaming or loading weights over the L3 interface;
+#: each tile pays the off-chip channel's per-transaction setup cost.
+L3_STREAM_TILE_BYTES = 64 * 1024
+
+
+@dataclass
+class BlockScheduler:
+    """Builds :class:`BlockProgram` instances for a platform.
+
+    Attributes:
+        platform: The multi-chip platform to schedule for.
+        kernel_library: Kernel cost models; defaults to a library built on
+            the platform's cluster.
+        prefetch_accounting: How double-buffered prefetches are charged to
+            runtime (see :class:`PrefetchAccounting`).
+    """
+
+    platform: MultiChipPlatform
+    kernel_library: Optional[KernelLibrary] = None
+    prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN
+    _library: KernelLibrary = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._library = self.kernel_library or KernelLibrary(
+            cluster=self.platform.chip.cluster
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        workload: Workload,
+        partition: Optional[BlockPartition] = None,
+    ) -> BlockProgram:
+        """Build the program for one Transformer block of ``workload``.
+
+        Args:
+            workload: The inference workload to schedule.
+            partition: Optional pre-built partition; by default the block is
+                partitioned across all chips of the platform with
+                :func:`repro.core.partition.partition_block`.
+
+        Raises:
+            SchedulingError: If the partition does not match the platform.
+        """
+        config = workload.config
+        if partition is None:
+            partition = partition_block(config, self.platform.num_chips)
+        if partition.num_chips != self.platform.num_chips:
+            raise SchedulingError(
+                f"partition covers {partition.num_chips} chips but the platform "
+                f"has {self.platform.num_chips}"
+            )
+
+        reduce_bytes = (
+            workload.query_rows * config.embed_dim * config.act_dtype.size_bytes
+        )
+        all_reduce = hierarchical_all_reduce(self.platform, reduce_bytes)
+        broadcast = hierarchical_broadcast(self.platform, reduce_bytes)
+
+        memory_plans: Dict[int, MemoryPlan] = {}
+        schedules: Dict[int, ChipSchedule] = {}
+        for chip in partition.chips:
+            footprint = chip_footprint(config, workload, chip)
+            plan = plan_memory(self.platform.chip, footprint)
+            memory_plans[chip.chip_id] = plan
+            steps = self._build_chip_steps(
+                workload, chip, plan, all_reduce, broadcast
+            )
+            schedules[chip.chip_id] = ChipSchedule(
+                chip_id=chip.chip_id, steps=tuple(steps)
+            )
+
+        return BlockProgram(
+            workload=workload,
+            platform=self.platform,
+            partition=partition,
+            memory_plans=memory_plans,
+            schedules=schedules,
+            prefetch_accounting=self.prefetch_accounting,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-chip schedule construction
+    # ------------------------------------------------------------------
+    def _build_chip_steps(
+        self,
+        workload: Workload,
+        chip: ChipPartition,
+        plan: MemoryPlan,
+        all_reduce: CollectivePlan,
+        broadcast: CollectivePlan,
+    ) -> List[Step]:
+        config = workload.config
+        streamed = plan.residency is WeightResidency.STREAMED
+        operators = build_block_operators(
+            config,
+            query_rows=workload.query_rows,
+            kv_rows=workload.new_kv_rows,
+            attended_positions=workload.attended_positions,
+            slice_=BlockSlice(
+                num_heads=chip.num_heads,
+                ffn_cols=chip.ffn_cols,
+                holds_norms=False,
+                holds_residual=False,
+            ),
+        )
+
+        steps: List[Step] = []
+        steps.extend(self._weight_staging_steps(plan))
+        steps.extend(self._stage_steps("attn", operators.attention, streamed))
+        steps.extend(
+            self._synchronisation_steps("attn", workload, chip, all_reduce, broadcast)
+        )
+        steps.extend(self._stage_steps("ffn", operators.ffn, streamed))
+        steps.extend(
+            self._synchronisation_steps("ffn", workload, chip, all_reduce, broadcast)
+        )
+        if (
+            plan.residency is WeightResidency.DOUBLE_BUFFERED
+            and self.prefetch_accounting is PrefetchAccounting.OVERLAP
+        ):
+            steps.append(PrefetchJoinStep(name="weights.prefetch_join"))
+        return steps
+
+    def _weight_staging_steps(self, plan: MemoryPlan) -> List[Step]:
+        """Steps that bring the block's weights on-chip (or start doing so)."""
+        if plan.l3_weight_bytes_per_block == 0:
+            return []
+        transfers = max(
+            1, math.ceil(plan.block_weight_bytes / L3_STREAM_TILE_BYTES)
+        )
+        if plan.residency is WeightResidency.SINGLE_BUFFERED:
+            return [
+                DmaStep(
+                    name="weights.load_block",
+                    channel=DmaChannelName.L3_L2,
+                    num_bytes=plan.block_weight_bytes,
+                    num_transfers=transfers,
+                )
+            ]
+        if plan.residency is WeightResidency.DOUBLE_BUFFERED:
+            if self.prefetch_accounting is PrefetchAccounting.BLOCKING:
+                return [
+                    DmaStep(
+                        name="weights.load_block",
+                        channel=DmaChannelName.L3_L2,
+                        num_bytes=plan.block_weight_bytes,
+                        num_transfers=transfers,
+                    )
+                ]
+            return [
+                PrefetchStep(
+                    name="weights.prefetch_next_block",
+                    num_bytes=plan.block_weight_bytes,
+                )
+            ]
+        # STREAMED: weights are fetched per operator inside the stages.
+        return []
+
+    def _stage_steps(
+        self, stage: str, operators: List[Operator], streamed: bool
+    ) -> List[Step]:
+        """Kernel (and, when streaming, weight-fetch) steps of one stage."""
+        steps: List[Step] = []
+        for op in operators:
+            cost = self._library.cost(op)
+            if streamed and cost.weight_bytes > 0:
+                stream_bytes = cost.streamed_weight_bytes
+                transfers = max(1, math.ceil(stream_bytes / L3_STREAM_TILE_BYTES))
+                steps.append(
+                    DmaStep(
+                        name=f"{stage}.{op.name}.stream_weights",
+                        channel=DmaChannelName.L3_L2,
+                        num_bytes=stream_bytes,
+                        num_transfers=transfers,
+                    )
+                )
+            steps.append(
+                ComputeStep(
+                    name=f"{stage}.{op.name}",
+                    compute_cycles=cost.compute_cycles,
+                    l2_l1_bytes=cost.l2_l1_bytes,
+                    overlap_dma=not streamed,
+                )
+            )
+        return steps
+
+    def _synchronisation_steps(
+        self,
+        stage: str,
+        workload: Workload,
+        chip: ChipPartition,
+        all_reduce: CollectivePlan,
+        broadcast: CollectivePlan,
+    ) -> List[Step]:
+        """One of the block's two synchronisations, seen from ``chip``.
+
+        Consists of the hierarchical all-reduce (with per-message
+        accumulation on the receivers), the residual merge and
+        normalisation on the root chip, and the hierarchical broadcast.
+        In the single-chip case only the residual and normalisation remain.
+        """
+        config = workload.config
+        rows = workload.query_rows
+        steps: List[Step] = []
+
+        for round_index, round_ in enumerate(all_reduce.rounds):
+            for transfer in round_.transfers:
+                tag = f"{stage}.reduce.r{round_index}.{transfer.src}->{transfer.dst}"
+                if transfer.src == chip.chip_id:
+                    steps.append(
+                        SendStep(
+                            name=f"{stage}.reduce.send_to_{transfer.dst}",
+                            dst=transfer.dst,
+                            num_bytes=transfer.num_bytes,
+                            tag=tag,
+                        )
+                    )
+                elif transfer.dst == chip.chip_id:
+                    steps.append(
+                        RecvStep(
+                            name=f"{stage}.reduce.recv_from_{transfer.src}",
+                            src=transfer.src,
+                            num_bytes=transfer.num_bytes,
+                            tag=tag,
+                        )
+                    )
+                    steps.append(self._accumulate_step(stage, config, rows, transfer.src))
+
+        if chip.is_reduce_root:
+            residual = ElementwiseOp(
+                name=f"{stage}.residual_add",
+                rows=rows,
+                cols=config.embed_dim,
+                kind=ElementwiseKind.ADD,
+                act_dtype=config.act_dtype,
+            )
+            norm = NormOp(
+                name=f"{stage}.norm",
+                rows=rows,
+                cols=config.embed_dim,
+                kind=config.norm_kind,
+                act_dtype=config.act_dtype,
+            )
+            for op in (residual, norm):
+                cost = self._library.cost(op)
+                steps.append(
+                    ComputeStep(
+                        name=op.name,
+                        compute_cycles=cost.compute_cycles,
+                        l2_l1_bytes=cost.l2_l1_bytes,
+                        overlap_dma=True,
+                    )
+                )
+
+        for round_index, round_ in enumerate(broadcast.rounds):
+            for transfer in round_.transfers:
+                tag = f"{stage}.bcast.r{round_index}.{transfer.src}->{transfer.dst}"
+                if transfer.src == chip.chip_id:
+                    steps.append(
+                        SendStep(
+                            name=f"{stage}.bcast.send_to_{transfer.dst}",
+                            dst=transfer.dst,
+                            num_bytes=transfer.num_bytes,
+                            tag=tag,
+                        )
+                    )
+                elif transfer.dst == chip.chip_id:
+                    steps.append(
+                        RecvStep(
+                            name=f"{stage}.bcast.recv_from_{transfer.src}",
+                            src=transfer.src,
+                            num_bytes=transfer.num_bytes,
+                            tag=tag,
+                        )
+                    )
+        return steps
+
+    def _accumulate_step(
+        self, stage: str, config, rows: int, src: int
+    ) -> ComputeStep:
+        """The element-wise accumulation a reduce receiver performs."""
+        accumulate = ElementwiseOp(
+            name=f"{stage}.reduce_accumulate_from_{src}",
+            rows=rows,
+            cols=config.embed_dim,
+            kind=ElementwiseKind.ADD,
+            act_dtype=config.act_dtype,
+        )
+        cost = self._library.cost(accumulate)
+        return ComputeStep(
+            name=accumulate.name,
+            compute_cycles=cost.compute_cycles,
+            l2_l1_bytes=cost.l2_l1_bytes,
+            overlap_dma=True,
+        )

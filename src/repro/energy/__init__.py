@@ -1,0 +1,5 @@
+"""Analytical energy modelling (the paper's Sec. V-A equation)."""
+
+from .model import EnergyBreakdown, EnergyModel, EnergyReport, energy_of
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyReport", "energy_of"]

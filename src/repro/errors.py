@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, hardware, or partitioning configuration is invalid."""
+
+
+class PartitioningError(ReproError):
+    """A requested partitioning cannot be constructed.
+
+    Raised, for example, when more chips are requested than attention heads
+    are available to distribute, or when a partitioner is asked to place a
+    workload it does not support.
+    """
+
+
+class SchedulingError(ReproError):
+    """A per-chip schedule could not be built from a partition."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent state.
+
+    Typical causes are deadlocks (a chip waits on a message that is never
+    sent) or schedules that reference unknown chips or channels.
+    """
+
+
+class MemoryCapacityError(ReproError):
+    """A tensor or working set does not fit in the targeted memory level."""
+
+
+class AnalysisError(ReproError):
+    """An analysis or experiment was asked to combine incompatible results."""

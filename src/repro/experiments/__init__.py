@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per figure/table of the paper."""
+
+from .fig4 import Fig4Result, render_fig4, run_fig4, run_fig4a, run_fig4b, run_fig4c
+from .fig5 import Fig5Result, render_fig5, run_fig5
+from .fig6 import Fig6Result, render_fig6, run_fig6
+from .headline import HeadlineMetric, HeadlineResult, render_headline, run_headline
+from .table1 import Table1Result, render_table1, run_table1
+
+__all__ = [
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "HeadlineMetric",
+    "HeadlineResult",
+    "Table1Result",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_headline",
+    "render_table1",
+    "run_fig4",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4c",
+    "run_fig5",
+    "run_fig6",
+    "run_headline",
+    "run_table1",
+]

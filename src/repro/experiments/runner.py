@@ -1,0 +1,69 @@
+"""Run every experiment of the paper in one go.
+
+``python -m repro.experiments.runner`` prints the reproduction of every
+figure and table plus the headline comparison; this is also what
+EXPERIMENTS.md is generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fig4 import Fig4Result, render_fig4, run_fig4
+from .fig5 import Fig5Result, render_fig5, run_fig5
+from .fig6 import Fig6Result, render_fig6, run_fig6
+from .headline import HeadlineResult, render_headline, run_headline
+from .table1 import Table1Result, render_table1, run_table1
+
+
+@dataclass(frozen=True)
+class FullReproduction:
+    """Results of every experiment in the paper's evaluation section."""
+
+    fig4: Fig4Result
+    fig5: Fig5Result
+    fig6: Fig6Result
+    table1: Table1Result
+    headline: HeadlineResult
+
+
+def run_all() -> FullReproduction:
+    """Run every experiment (takes a few seconds on a laptop)."""
+    return FullReproduction(
+        fig4=run_fig4(),
+        fig5=run_fig5(),
+        fig6=run_fig6(),
+        table1=run_table1(),
+        headline=run_headline(),
+    )
+
+
+def render_all(results: FullReproduction) -> str:
+    """Plain-text report covering every figure and table."""
+    sections = [
+        ("=" * 72, ""),
+        ("Figure 4 — runtime breakdown and speedup", render_fig4(results.fig4)),
+        ("Figure 5 — energy vs. runtime", render_fig5(results.fig5)),
+        ("Figure 6 — scalability study (scaled-up TinyLlama)", render_fig6(results.fig6)),
+        ("Table I — partitioning-approach comparison", render_table1(results.table1)),
+        ("Headline numbers — paper vs. measured", render_headline(results.headline)),
+    ]
+    parts = []
+    for title, body in sections:
+        if body:
+            parts.append(title)
+            parts.append("-" * len(title))
+            parts.append(body)
+            parts.append("")
+        else:
+            parts.append(title)
+    return "\n".join(parts)
+
+
+def main() -> None:
+    """Entry point for ``python -m repro.experiments.runner``."""
+    print(render_all(run_all()))
+
+
+if __name__ == "__main__":
+    main()

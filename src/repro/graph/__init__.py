@@ -1,0 +1,74 @@
+"""Workload intermediate representation.
+
+This package describes *what* is computed: tensor shapes, operator costs,
+Transformer block structure, KV-cache sizing, and inference workloads.  It
+knows nothing about chips, memories, or partitioning — those live in
+:mod:`repro.hw` and :mod:`repro.core`.
+"""
+
+from .dtypes import DType, FLOAT16, FLOAT32, INT16, INT32, INT8, dtype_from_name
+from .kvcache import KVCacheSpec, kv_cache_for_slice
+from .ops import (
+    ActivationKind,
+    ActivationOp,
+    AttentionMatmulOp,
+    ElementwiseKind,
+    ElementwiseOp,
+    LinearOp,
+    NormKind,
+    NormOp,
+    Operator,
+    SoftmaxOp,
+    total_macs,
+    total_weight_bytes,
+)
+from .tensor import TensorGroup, TensorSpec
+from .transformer import (
+    BlockOperators,
+    BlockSlice,
+    FfnKind,
+    InferenceMode,
+    TransformerConfig,
+    build_block_operators,
+    full_block_slice,
+    slice_weight_bytes,
+)
+from .workload import Workload, autoregressive, encoder, prompt
+
+__all__ = [
+    "ActivationKind",
+    "ActivationOp",
+    "AttentionMatmulOp",
+    "BlockOperators",
+    "BlockSlice",
+    "DType",
+    "ElementwiseKind",
+    "ElementwiseOp",
+    "FfnKind",
+    "FLOAT16",
+    "FLOAT32",
+    "INT16",
+    "INT32",
+    "INT8",
+    "InferenceMode",
+    "KVCacheSpec",
+    "LinearOp",
+    "NormKind",
+    "NormOp",
+    "Operator",
+    "SoftmaxOp",
+    "TensorGroup",
+    "TensorSpec",
+    "TransformerConfig",
+    "Workload",
+    "autoregressive",
+    "build_block_operators",
+    "dtype_from_name",
+    "encoder",
+    "full_block_slice",
+    "kv_cache_for_slice",
+    "prompt",
+    "slice_weight_bytes",
+    "total_macs",
+    "total_weight_bytes",
+]

@@ -1,0 +1,89 @@
+"""Element data types used to size tensors and traffic.
+
+The deployment flow modelled by the paper (Deeploy on Siracusa) runs fully
+quantised int8 inference, with wider accumulators inside kernels.  The cost
+models in this library only need to know how many *bytes* each element of a
+tensor occupies, so data types are represented by a small frozen descriptor
+rather than by numpy dtypes; numerical verification code in
+:mod:`repro.numerics` uses float64 regardless of the deployment data type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    """A tensor element type.
+
+    Attributes:
+        name: Canonical lower-case name, e.g. ``"int8"``.
+        size_bytes: Storage size of one element in bytes.
+        is_float: Whether the type is a floating-point format.
+    """
+
+    name: str
+    size_bytes: int
+    is_float: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(
+                f"dtype {self.name!r} must have a positive size, "
+                f"got {self.size_bytes}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: 8-bit signed integer, the default weight/activation type for deployment.
+INT8 = DType("int8", 1)
+
+#: 16-bit signed integer, used for some intermediate tensors.
+INT16 = DType("int16", 2)
+
+#: 32-bit signed integer, the accumulator type of the int8 kernels.
+INT32 = DType("int32", 4)
+
+#: IEEE half precision float.
+FLOAT16 = DType("float16", 2, is_float=True)
+
+#: IEEE single precision float.
+FLOAT32 = DType("float32", 4, is_float=True)
+
+_REGISTRY = {
+    dtype.name: dtype for dtype in (INT8, INT16, INT32, FLOAT16, FLOAT32)
+}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a :class:`DType` by name.
+
+    Args:
+        name: One of ``int8``, ``int16``, ``int32``, ``float16``, ``float32``.
+
+    Raises:
+        KeyError: If the name is not a registered data type.
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown dtype {name!r}; known dtypes: {known}")
+    return _REGISTRY[key]
+
+
+def register_dtype(dtype: DType) -> None:
+    """Register a custom :class:`DType` so it can be found by name.
+
+    Registering a name twice with a different definition raises
+    :class:`ValueError`; re-registering an identical definition is a no-op.
+    """
+    existing = _REGISTRY.get(dtype.name)
+    if existing is not None and existing != dtype:
+        raise ValueError(
+            f"dtype {dtype.name!r} already registered with a different "
+            f"definition ({existing} vs {dtype})"
+        )
+    _REGISTRY[dtype.name] = dtype

@@ -1,0 +1,93 @@
+"""KV-cache sizing.
+
+In autoregressive mode the decoder keeps the keys and values of every past
+token so that each new token only projects a single new row (Sec. II-A of
+the paper).  The cache is the dominant *activation* tensor of the decoder
+and — because our partitioning scheme splits the attention along the head
+dimension — it is naturally scattered across chips with no duplication:
+each chip caches only the heads it owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .dtypes import DType, INT8
+from .tensor import TensorSpec
+from .transformer import TransformerConfig
+
+
+@dataclass(frozen=True)
+class KVCacheSpec:
+    """Size description of the KV-cache slice held by one chip.
+
+    Attributes:
+        max_positions: Maximum number of cached positions (context length).
+        num_heads: Attention heads cached by this chip.
+        head_dim: Per-head dimension.
+        num_layers: Number of Transformer blocks whose cache is held.
+        dtype: Element type of cached keys and values.
+    """
+
+    max_positions: int
+    num_heads: int
+    head_dim: int
+    num_layers: int = 1
+    dtype: DType = INT8
+
+    def __post_init__(self) -> None:
+        if min(self.max_positions, self.num_heads, self.head_dim) < 0:
+            raise ConfigurationError("KV-cache dimensions must be non-negative")
+        if self.num_layers <= 0:
+            raise ConfigurationError("KV-cache must cover at least one layer")
+
+    @property
+    def bytes_per_layer(self) -> int:
+        """Bytes of keys plus values for one layer."""
+        per_tensor = self.max_positions * self.num_heads * self.head_dim
+        return 2 * per_tensor * self.dtype.size_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of keys plus values across all covered layers."""
+        return self.num_layers * self.bytes_per_layer
+
+    def bytes_written_per_step(self, new_rows: int = 1) -> int:
+        """Bytes appended to one layer's cache when ``new_rows`` tokens arrive."""
+        if new_rows < 0:
+            raise ConfigurationError("new_rows must be non-negative")
+        return 2 * new_rows * self.num_heads * self.head_dim * self.dtype.size_bytes
+
+    def tensors(self, layer_index: int = 0) -> tuple[TensorSpec, TensorSpec]:
+        """Return the key and value tensor specs of one layer's cache slice."""
+        shape = (self.max_positions, self.num_heads, self.head_dim)
+        return (
+            TensorSpec(f"kv_cache.layer{layer_index}.keys", shape, self.dtype),
+            TensorSpec(f"kv_cache.layer{layer_index}.values", shape, self.dtype),
+        )
+
+
+def kv_cache_for_slice(
+    config: TransformerConfig,
+    *,
+    max_positions: int,
+    num_heads: int,
+    num_layers: int | None = None,
+) -> KVCacheSpec:
+    """Build the KV-cache spec for a chip that owns ``num_heads`` heads.
+
+    Args:
+        config: Model configuration (provides head_dim, dtype, layer count).
+        max_positions: Context length to cache.
+        num_heads: Heads owned by the chip.
+        num_layers: Layers covered; defaults to all layers of the model,
+            because the cache must persist across the whole forward pass.
+    """
+    return KVCacheSpec(
+        max_positions=max_positions,
+        num_heads=num_heads,
+        head_dim=config.head_dim,
+        num_layers=num_layers if num_layers is not None else config.num_layers,
+        dtype=config.act_dtype,
+    )

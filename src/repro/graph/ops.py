@@ -1,0 +1,307 @@
+"""Operator descriptors for Transformer workloads.
+
+Operators are *cost descriptors*, not executable kernels: each one carries
+the dimensions needed by the kernel cycle models in :mod:`repro.kernels` and
+by the traffic accounting in the scheduler.  They are deliberately small,
+immutable dataclasses so that partitioned copies of a block can be created
+cheaply for every chip.
+
+The operator taxonomy mirrors the structure of a Transformer block as
+described in the paper (Sec. II-A):
+
+* :class:`LinearOp` — a weight-bearing matrix multiply (the Q/K/V/output
+  projections and the fully-connected layers).  Depending on the number of
+  input rows it is executed as a GEMM (prompt/encoder mode) or a GEMV
+  (autoregressive mode).
+* :class:`AttentionMatmulOp` — the two weight-free matmuls inside the
+  attention (``Q·K^T`` and ``A·V``), batched over attention heads.
+* :class:`SoftmaxOp`, :class:`NormOp`, :class:`ActivationOp`,
+  :class:`ElementwiseOp` — row-wise / element-wise operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .dtypes import DType, INT8, INT32
+
+
+class NormKind(str, enum.Enum):
+    """Row-wise normalisation flavour."""
+
+    LAYERNORM = "layernorm"
+    RMSNORM = "rmsnorm"
+
+
+class ActivationKind(str, enum.Enum):
+    """Pointwise non-linearity flavour."""
+
+    GELU = "gelu"
+    SILU = "silu"
+    RELU = "relu"
+
+
+class ElementwiseKind(str, enum.Enum):
+    """Binary element-wise operation flavour."""
+
+    ADD = "add"
+    MUL = "mul"
+    COPY = "copy"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base class for all operator descriptors.
+
+    Attributes:
+        name: Identifier used in schedules and traces.
+    """
+
+    name: str
+
+    @property
+    def macs(self) -> int:
+        """Number of multiply-accumulate operations performed."""
+        return 0
+
+    @property
+    def elements(self) -> int:
+        """Number of output elements produced."""
+        return 0
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of stationary parameters read by the operator."""
+        return 0
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of activation input read by the operator."""
+        return 0
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of activation output written by the operator."""
+        return 0
+
+
+@dataclass(frozen=True)
+class LinearOp(Operator):
+    """A fully-connected projection ``Y[rows, out] = X[rows, in] · W[in, out]``.
+
+    Attributes:
+        rows: Number of input rows (sequence positions processed).
+        in_features: Input feature dimension.
+        out_features: Output feature dimension.
+        weight_dtype: Element type of the weight matrix.
+        act_dtype: Element type of activations.
+        has_bias: Whether a bias vector of length ``out_features`` is added.
+    """
+
+    rows: int
+    in_features: int
+    out_features: int
+    weight_dtype: DType = INT8
+    act_dtype: DType = INT8
+    has_bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.in_features < 0 or self.out_features < 0:
+            raise ValueError(f"linear op {self.name!r} has negative dimensions")
+
+    @property
+    def is_gemv(self) -> bool:
+        """True when the operator degenerates to a matrix-vector product."""
+        return self.rows == 1
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.in_features * self.out_features
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.out_features
+
+    @property
+    def weight_bytes(self) -> int:
+        weights = self.in_features * self.out_features * self.weight_dtype.size_bytes
+        if self.has_bias:
+            # Biases are kept as 32-bit accumulator-domain constants.
+            weights += self.out_features * INT32.size_bytes
+        return weights
+
+    @property
+    def input_bytes(self) -> int:
+        return self.rows * self.in_features * self.act_dtype.size_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.rows * self.out_features * self.act_dtype.size_bytes
+
+
+@dataclass(frozen=True)
+class AttentionMatmulOp(Operator):
+    """A weight-free batched matmul inside the attention.
+
+    Describes either the score computation ``Q·K^T`` (``rows = S_q``,
+    ``inner = head_dim``, ``cols = S_kv``) or the context computation
+    ``A·V`` (``rows = S_q``, ``inner = S_kv``, ``cols = head_dim``),
+    batched over ``heads`` attention heads handled by one chip.
+
+    Attributes:
+        rows: Rows of the left operand per head.
+        inner: Contraction dimension per head.
+        cols: Columns of the right operand per head.
+        heads: Number of attention heads processed by this operator.
+        act_dtype: Element type of both operands.
+    """
+
+    rows: int
+    inner: int
+    cols: int
+    heads: int
+    act_dtype: DType = INT8
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.inner, self.cols, self.heads) < 0:
+            raise ValueError(f"attention matmul {self.name!r} has negative dimensions")
+
+    @property
+    def macs(self) -> int:
+        return self.heads * self.rows * self.inner * self.cols
+
+    @property
+    def elements(self) -> int:
+        return self.heads * self.rows * self.cols
+
+    @property
+    def input_bytes(self) -> int:
+        left = self.heads * self.rows * self.inner
+        right = self.heads * self.inner * self.cols
+        return (left + right) * self.act_dtype.size_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.heads * self.rows * self.cols * self.act_dtype.size_bytes
+
+
+@dataclass(frozen=True)
+class SoftmaxOp(Operator):
+    """Row-wise softmax over ``rows x cols`` elements, batched over heads."""
+
+    rows: int
+    cols: int
+    heads: int = 1
+    act_dtype: DType = INT8
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols, self.heads) < 0:
+            raise ValueError(f"softmax {self.name!r} has negative dimensions")
+
+    @property
+    def elements(self) -> int:
+        return self.heads * self.rows * self.cols
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.act_dtype.size_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.act_dtype.size_bytes
+
+
+@dataclass(frozen=True)
+class NormOp(Operator):
+    """Row-wise normalisation (LayerNorm or RMSNorm) over ``rows x cols``."""
+
+    rows: int
+    cols: int
+    kind: NormKind = NormKind.LAYERNORM
+    act_dtype: DType = INT8
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.cols < 0:
+            raise ValueError(f"norm {self.name!r} has negative dimensions")
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def weight_bytes(self) -> int:
+        # Scale (and shift for LayerNorm) vectors, stored per feature.
+        vectors = 2 if self.kind is NormKind.LAYERNORM else 1
+        return vectors * self.cols * INT32.size_bytes
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.act_dtype.size_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.act_dtype.size_bytes
+
+
+@dataclass(frozen=True)
+class ActivationOp(Operator):
+    """Pointwise non-linearity over ``rows x cols`` elements."""
+
+    rows: int
+    cols: int
+    kind: ActivationKind = ActivationKind.GELU
+    act_dtype: DType = INT8
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.cols < 0:
+            raise ValueError(f"activation {self.name!r} has negative dimensions")
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.act_dtype.size_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.act_dtype.size_bytes
+
+
+@dataclass(frozen=True)
+class ElementwiseOp(Operator):
+    """Binary element-wise operation (residual add, gating mul, copy)."""
+
+    rows: int
+    cols: int
+    kind: ElementwiseKind = ElementwiseKind.ADD
+    act_dtype: DType = INT8
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.cols < 0:
+            raise ValueError(f"elementwise {self.name!r} has negative dimensions")
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def input_bytes(self) -> int:
+        operands = 1 if self.kind is ElementwiseKind.COPY else 2
+        return operands * self.elements * self.act_dtype.size_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.act_dtype.size_bytes
+
+
+def total_macs(operators) -> int:
+    """Sum of MAC operations over an iterable of operators."""
+    return sum(op.macs for op in operators)
+
+
+def total_weight_bytes(operators) -> int:
+    """Sum of stationary parameter bytes over an iterable of operators."""
+    return sum(op.weight_bytes for op in operators)

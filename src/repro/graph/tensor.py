@@ -1,0 +1,127 @@
+"""Shape-level tensor descriptions.
+
+The cost models in this library never materialise tensor *values*; they only
+need shapes and element sizes to compute memory footprints and traffic.
+:class:`TensorSpec` is the shared currency between the workload graph, the
+partitioner, the memory-footprint calculator, and the schedulers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .dtypes import DType, INT8
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor described by its shape and element type.
+
+    Attributes:
+        name: Human-readable identifier, used in traces and error messages.
+        shape: Tuple of non-negative dimensions.  A zero dimension is legal
+            and describes an empty tensor (for instance an empty KV-cache).
+        dtype: Element type; defaults to int8, the deployment data type.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = INT8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if len(self.shape) == 0:
+            raise ValueError(f"tensor {self.name!r} must have at least one dimension")
+        for dim in self.shape:
+            if dim < 0 or int(dim) != dim:
+                raise ValueError(
+                    f"tensor {self.name!r} has an invalid dimension {dim!r}; "
+                    "dimensions must be non-negative integers"
+                )
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage size in bytes."""
+        return self.num_elements * self.dtype.size_bytes
+
+    def with_name(self, name: str) -> "TensorSpec":
+        """Return a copy of this spec under a different name."""
+        return TensorSpec(name=name, shape=self.shape, dtype=self.dtype)
+
+    def with_dtype(self, dtype: DType) -> "TensorSpec":
+        """Return a copy of this spec with a different element type."""
+        return TensorSpec(name=self.name, shape=self.shape, dtype=dtype)
+
+    def slice_dim(self, axis: int, size: int, name: str | None = None) -> "TensorSpec":
+        """Return a spec equal to this one with dimension ``axis`` resized.
+
+        This is the primitive used by the partitioner to describe per-chip
+        slices of a full tensor (for instance, slicing the head dimension of
+        a weight matrix across chips).
+
+        Args:
+            axis: Index of the dimension to resize (negative indices allowed).
+            size: New extent of that dimension; must be non-negative.
+            name: Optional new name; defaults to the current name.
+        """
+        if size < 0:
+            raise ValueError(f"slice size must be non-negative, got {size}")
+        rank = self.rank
+        if not -rank <= axis < rank:
+            raise ValueError(
+                f"axis {axis} out of range for tensor {self.name!r} of rank {rank}"
+            )
+        axis = axis % rank
+        new_shape = tuple(
+            size if index == axis else dim for index, dim in enumerate(self.shape)
+        )
+        return TensorSpec(name=name or self.name, shape=new_shape, dtype=self.dtype)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(dim) for dim in self.shape)
+        return f"{self.name}[{dims}:{self.dtype.name}]"
+
+
+@dataclass(frozen=True)
+class TensorGroup:
+    """A named collection of tensors treated as one unit for sizing.
+
+    The footprint calculator works on groups such as "weights of one block
+    slice", "KV-cache slice", or "resident activations".
+    """
+
+    name: str
+    tensors: Tuple[TensorSpec, ...] = field(default_factory=tuple)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total storage of all tensors in the group."""
+        return sum(tensor.size_bytes for tensor in self.tensors)
+
+    @property
+    def num_tensors(self) -> int:
+        """Number of tensors in the group."""
+        return len(self.tensors)
+
+    def extend(self, tensors: Tuple[TensorSpec, ...]) -> "TensorGroup":
+        """Return a new group with additional tensors appended."""
+        return TensorGroup(name=self.name, tensors=self.tensors + tuple(tensors))
+
+    def __iter__(self):
+        return iter(self.tensors)
+
+    def __len__(self) -> int:
+        return len(self.tensors)

@@ -1,0 +1,464 @@
+"""Transformer model configuration and per-block operator construction.
+
+A :class:`TransformerConfig` captures the shape of an encoder or decoder
+model (embedding dimension, FFN dimension, heads, layers, FFN flavour).
+:func:`build_block_operators` turns a configuration plus a slice description
+(how many heads / FFN columns a chip owns) into the concrete operator list a
+chip executes for one Transformer block.  The same builder serves both the
+single-chip baseline (the slice is the whole model) and every chip of a
+partitioned system, which guarantees that the partitioned cost model and the
+baseline cost model cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .dtypes import DType, INT8
+from .ops import (
+    ActivationKind,
+    ActivationOp,
+    AttentionMatmulOp,
+    ElementwiseKind,
+    ElementwiseOp,
+    LinearOp,
+    NormKind,
+    NormOp,
+    Operator,
+    SoftmaxOp,
+)
+
+
+class FfnKind(str, enum.Enum):
+    """Feed-forward network flavour.
+
+    ``STANDARD`` is the two-matrix FFN described in the paper
+    (``E x F`` followed by ``F x E`` with a GELU in between, as in BERT).
+    ``GATED`` is the SwiGLU-style FFN used by the Llama family (three
+    matrices: gate ``E x F``, up ``E x F``, down ``F x E``).
+    """
+
+    STANDARD = "standard"
+    GATED = "gated"
+
+
+class InferenceMode(str, enum.Enum):
+    """The three inference regimes evaluated in the paper."""
+
+    #: Token-by-token decoding with a KV-cache; GEMV-dominated.
+    AUTOREGRESSIVE = "autoregressive"
+    #: Parallel processing of a prompt; GEMM-dominated, fills the KV-cache.
+    PROMPT = "prompt"
+    #: Encoder-only processing of a full sequence (no KV-cache).
+    ENCODER = "encoder"
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shape description of a Transformer model.
+
+    Attributes:
+        name: Model name used in reports.
+        embed_dim: Embedding dimension ``E``.
+        ffn_dim: Intermediate (FFN) dimension ``F``.
+        num_heads: Number of attention heads ``H``.
+        num_layers: Number of Transformer blocks.
+        head_dim: Per-head projection dimension ``P``.  Defaults to
+            ``embed_dim // num_heads``.
+        vocab_size: Vocabulary size (used only for parameter counting).
+        ffn_kind: Feed-forward flavour (standard or gated).
+        norm_kind: Normalisation flavour (LayerNorm or RMSNorm).
+        activation: Pointwise non-linearity in the FFN.
+        weight_dtype: Deployment data type of weights.
+        act_dtype: Deployment data type of activations.
+        tie_embeddings: Whether input and output embeddings share storage.
+    """
+
+    name: str
+    embed_dim: int
+    ffn_dim: int
+    num_heads: int
+    num_layers: int
+    head_dim: Optional[int] = None
+    vocab_size: int = 32000
+    ffn_kind: FfnKind = FfnKind.STANDARD
+    norm_kind: NormKind = NormKind.LAYERNORM
+    activation: ActivationKind = ActivationKind.GELU
+    weight_dtype: DType = INT8
+    act_dtype: DType = INT8
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.embed_dim <= 0 or self.ffn_dim <= 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: embed_dim and ffn_dim must be positive"
+            )
+        if self.num_heads <= 0 or self.num_layers <= 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: num_heads and num_layers must be positive"
+            )
+        if self.head_dim is None:
+            if self.embed_dim % self.num_heads != 0:
+                raise ConfigurationError(
+                    f"model {self.name!r}: embed_dim {self.embed_dim} is not "
+                    f"divisible by num_heads {self.num_heads}; "
+                    "specify head_dim explicitly"
+                )
+            object.__setattr__(self, "head_dim", self.embed_dim // self.num_heads)
+        if self.head_dim <= 0:
+            raise ConfigurationError(f"model {self.name!r}: head_dim must be positive")
+        if self.vocab_size <= 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: vocab_size must be positive"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def projection_dim(self) -> int:
+        """Total projection width ``P * H`` of the attention."""
+        return self.head_dim * self.num_heads
+
+    @property
+    def num_ffn_matrices(self) -> int:
+        """Number of weight matrices in the FFN (2 standard, 3 gated)."""
+        return 3 if self.ffn_kind is FfnKind.GATED else 2
+
+    @property
+    def attention_weight_params(self) -> int:
+        """Parameters of the four attention projections of one block."""
+        qkv = 3 * self.embed_dim * self.projection_dim
+        out = self.projection_dim * self.embed_dim
+        return qkv + out
+
+    @property
+    def ffn_weight_params(self) -> int:
+        """Parameters of the FFN matrices of one block."""
+        return self.num_ffn_matrices * self.embed_dim * self.ffn_dim
+
+    @property
+    def block_weight_params(self) -> int:
+        """Parameters of one Transformer block (attention + FFN)."""
+        return self.attention_weight_params + self.ffn_weight_params
+
+    @property
+    def block_weight_bytes(self) -> int:
+        """Deployment bytes of one block's weights."""
+        return self.block_weight_params * self.weight_dtype.size_bytes
+
+    @property
+    def embedding_params(self) -> int:
+        """Parameters of the token embedding (and LM head when untied)."""
+        tables = 1 if self.tie_embeddings else 2
+        return tables * self.vocab_size * self.embed_dim
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count of the model."""
+        return self.num_layers * self.block_weight_params + self.embedding_params
+
+    @property
+    def model_weight_bytes(self) -> int:
+        """Deployment bytes of all block weights (embeddings excluded)."""
+        return self.num_layers * self.block_weight_bytes
+
+    def scaled_heads(self, num_heads: int, name: Optional[str] = None) -> "TransformerConfig":
+        """Return a copy with a different head count, keeping ``P * H`` fixed.
+
+        This mirrors the paper's scalability study, where the TinyLlama head
+        count is increased from 8 to 64 "while keeping the other parameters
+        constant": the total projection width stays ``embed_dim`` and the
+        per-head dimension shrinks accordingly.
+        """
+        if num_heads <= 0:
+            raise ConfigurationError("num_heads must be positive")
+        if self.projection_dim % num_heads != 0:
+            raise ConfigurationError(
+                f"projection width {self.projection_dim} is not divisible by "
+                f"{num_heads} heads"
+            )
+        return replace(
+            self,
+            name=name or f"{self.name}-{num_heads}h",
+            num_heads=num_heads,
+            head_dim=self.projection_dim // num_heads,
+        )
+
+
+@dataclass(frozen=True)
+class BlockSlice:
+    """The portion of one Transformer block assigned to a single chip.
+
+    Attributes:
+        num_heads: Attention heads owned by the chip.
+        ffn_cols: Columns of the FFN intermediate dimension owned by the chip.
+        holds_norms: Whether this chip applies the post-reduction
+            normalisations (only the reduction root does, per the paper).
+        holds_residual: Whether this chip merges the residual (skip)
+            connection into the reduction (only the reduction root does).
+    """
+
+    num_heads: int
+    ffn_cols: int
+    holds_norms: bool = True
+    holds_residual: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_heads < 0 or self.ffn_cols < 0:
+            raise ConfigurationError("block slice dimensions must be non-negative")
+
+
+@dataclass(frozen=True)
+class BlockOperators:
+    """Operator lists of one block slice, split by block stage."""
+
+    attention: List[Operator] = field(default_factory=list)
+    ffn: List[Operator] = field(default_factory=list)
+
+    @property
+    def all_operators(self) -> List[Operator]:
+        """Attention then FFN operators, in execution order."""
+        return list(self.attention) + list(self.ffn)
+
+
+def full_block_slice(config: TransformerConfig) -> BlockSlice:
+    """Return the slice describing an entire (un-partitioned) block."""
+    return BlockSlice(num_heads=config.num_heads, ffn_cols=config.ffn_dim)
+
+
+def build_block_operators(
+    config: TransformerConfig,
+    *,
+    query_rows: int,
+    kv_rows: int,
+    attended_positions: int,
+    slice_: Optional[BlockSlice] = None,
+) -> BlockOperators:
+    """Build the operator list one chip executes for one Transformer block.
+
+    Args:
+        config: The model configuration.
+        query_rows: Number of query positions processed (``1`` in
+            autoregressive mode, the sequence length otherwise).
+        kv_rows: Number of *new* key/value positions projected in this pass
+            (``1`` in autoregressive mode, the sequence length otherwise).
+        attended_positions: Number of positions attended to by each query
+            (the KV-cache length in autoregressive mode, the sequence length
+            otherwise).
+        slice_: The per-chip slice.  Defaults to the full block.
+
+    Returns:
+        The operator lists for the attention stage and the FFN stage.  The
+        two inter-chip synchronisations of the paper's scheme happen *after*
+        each stage and are not represented here; they are communication
+        steps, produced by :mod:`repro.core.collectives`.
+    """
+    if query_rows <= 0 or kv_rows < 0 or attended_positions < 0:
+        raise ConfigurationError(
+            "query_rows must be positive and kv_rows/attended_positions "
+            "non-negative"
+        )
+    slice_ = slice_ or full_block_slice(config)
+    heads = slice_.num_heads
+    head_dim = config.head_dim
+    embed = config.embed_dim
+    proj = heads * head_dim
+    weight_dtype = config.weight_dtype
+    act_dtype = config.act_dtype
+
+    attention: List[Operator] = []
+    if heads > 0:
+        attention.append(
+            LinearOp(
+                name="attn.query_proj",
+                rows=query_rows,
+                in_features=embed,
+                out_features=proj,
+                weight_dtype=weight_dtype,
+                act_dtype=act_dtype,
+            )
+        )
+        attention.append(
+            LinearOp(
+                name="attn.key_proj",
+                rows=kv_rows,
+                in_features=embed,
+                out_features=proj,
+                weight_dtype=weight_dtype,
+                act_dtype=act_dtype,
+            )
+        )
+        attention.append(
+            LinearOp(
+                name="attn.value_proj",
+                rows=kv_rows,
+                in_features=embed,
+                out_features=proj,
+                weight_dtype=weight_dtype,
+                act_dtype=act_dtype,
+            )
+        )
+        if attended_positions > kv_rows:
+            # Autoregressive mode: append the new K/V rows to the cache.
+            attention.append(
+                ElementwiseOp(
+                    name="attn.kv_cache_append",
+                    rows=2 * kv_rows,
+                    cols=proj,
+                    kind=ElementwiseKind.COPY,
+                    act_dtype=act_dtype,
+                )
+            )
+        attention.append(
+            AttentionMatmulOp(
+                name="attn.scores",
+                rows=query_rows,
+                inner=head_dim,
+                cols=attended_positions,
+                heads=heads,
+                act_dtype=act_dtype,
+            )
+        )
+        attention.append(
+            SoftmaxOp(
+                name="attn.softmax",
+                rows=query_rows,
+                cols=attended_positions,
+                heads=heads,
+                act_dtype=act_dtype,
+            )
+        )
+        attention.append(
+            AttentionMatmulOp(
+                name="attn.context",
+                rows=query_rows,
+                inner=attended_positions,
+                cols=head_dim,
+                heads=heads,
+                act_dtype=act_dtype,
+            )
+        )
+        attention.append(
+            LinearOp(
+                name="attn.output_proj",
+                rows=query_rows,
+                in_features=proj,
+                out_features=embed,
+                weight_dtype=weight_dtype,
+                act_dtype=act_dtype,
+            )
+        )
+    if slice_.holds_residual:
+        attention.append(
+            ElementwiseOp(
+                name="attn.residual_add",
+                rows=query_rows,
+                cols=embed,
+                kind=ElementwiseKind.ADD,
+                act_dtype=act_dtype,
+            )
+        )
+    if slice_.holds_norms:
+        attention.append(
+            NormOp(
+                name="attn.norm",
+                rows=query_rows,
+                cols=embed,
+                kind=config.norm_kind,
+                act_dtype=act_dtype,
+            )
+        )
+
+    ffn: List[Operator] = []
+    ffn_cols = slice_.ffn_cols
+    if ffn_cols > 0:
+        ffn.append(
+            LinearOp(
+                name="ffn.up_proj",
+                rows=query_rows,
+                in_features=embed,
+                out_features=ffn_cols,
+                weight_dtype=weight_dtype,
+                act_dtype=act_dtype,
+            )
+        )
+        if config.ffn_kind is FfnKind.GATED:
+            ffn.append(
+                LinearOp(
+                    name="ffn.gate_proj",
+                    rows=query_rows,
+                    in_features=embed,
+                    out_features=ffn_cols,
+                    weight_dtype=weight_dtype,
+                    act_dtype=act_dtype,
+                )
+            )
+        ffn.append(
+            ActivationOp(
+                name="ffn.activation",
+                rows=query_rows,
+                cols=ffn_cols,
+                kind=config.activation,
+                act_dtype=act_dtype,
+            )
+        )
+        if config.ffn_kind is FfnKind.GATED:
+            ffn.append(
+                ElementwiseOp(
+                    name="ffn.gate_mul",
+                    rows=query_rows,
+                    cols=ffn_cols,
+                    kind=ElementwiseKind.MUL,
+                    act_dtype=act_dtype,
+                )
+            )
+        ffn.append(
+            LinearOp(
+                name="ffn.down_proj",
+                rows=query_rows,
+                in_features=ffn_cols,
+                out_features=embed,
+                weight_dtype=weight_dtype,
+                act_dtype=act_dtype,
+            )
+        )
+    if slice_.holds_residual:
+        ffn.append(
+            ElementwiseOp(
+                name="ffn.residual_add",
+                rows=query_rows,
+                cols=embed,
+                kind=ElementwiseKind.ADD,
+                act_dtype=act_dtype,
+            )
+        )
+    if slice_.holds_norms:
+        ffn.append(
+            NormOp(
+                name="ffn.norm",
+                rows=query_rows,
+                cols=embed,
+                kind=config.norm_kind,
+                act_dtype=act_dtype,
+            )
+        )
+    return BlockOperators(attention=attention, ffn=ffn)
+
+
+def slice_weight_bytes(config: TransformerConfig, slice_: BlockSlice) -> int:
+    """Deployment bytes of one block's weight *slice* held by a chip.
+
+    This is the quantity that determines on-chip residency: the attention
+    projections are sliced along the head dimension and the FFN matrices
+    along the intermediate dimension, so a chip owning ``h`` heads and ``f``
+    FFN columns holds ``(3·E·P·h + P·h·E) + k·E·f`` weights, where ``k`` is
+    the number of FFN matrices.
+    """
+    proj = slice_.num_heads * config.head_dim
+    attention = 3 * config.embed_dim * proj + proj * config.embed_dim
+    ffn = config.num_ffn_matrices * config.embed_dim * slice_.ffn_cols
+    return (attention + ffn) * config.weight_dtype.size_bytes

@@ -1,0 +1,108 @@
+"""Inference workload descriptions.
+
+A :class:`Workload` couples a model configuration with an inference mode and
+sequence parameters, and answers the shape questions the partitioner and the
+schedulers need: how many query rows are processed per block, how many new
+key/value rows are projected, and how many positions each query attends to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .transformer import InferenceMode, TransformerConfig
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One inference pass of a model in a given mode.
+
+    Attributes:
+        config: The Transformer model configuration.
+        mode: Autoregressive, prompt, or encoder inference.
+        seq_len: Sequence length.  In autoregressive mode this is the
+            context length already present in the KV-cache (the paper uses
+            128 for TinyLlama); in prompt and encoder modes it is the number
+            of tokens processed in parallel (16 for TinyLlama prompt mode,
+            268 for MobileBERT).
+        name: Optional label; defaults to ``"<model>/<mode>"``.
+    """
+
+    config: TransformerConfig
+    mode: InferenceMode
+    seq_len: int
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.seq_len <= 0:
+            raise ConfigurationError("seq_len must be positive")
+        if self.mode is InferenceMode.ENCODER and self.uses_kv_cache:
+            raise ConfigurationError("encoder workloads do not use a KV-cache")
+        if self.name is None:
+            object.__setattr__(self, "name", f"{self.config.name}/{self.mode.value}")
+
+    # ------------------------------------------------------------------
+    # Shape queries
+    # ------------------------------------------------------------------
+    @property
+    def query_rows(self) -> int:
+        """Query positions processed per block in one pass."""
+        if self.mode is InferenceMode.AUTOREGRESSIVE:
+            return 1
+        return self.seq_len
+
+    @property
+    def new_kv_rows(self) -> int:
+        """New key/value rows projected per block in one pass."""
+        if self.mode is InferenceMode.AUTOREGRESSIVE:
+            return 1
+        if self.mode is InferenceMode.PROMPT:
+            return self.seq_len
+        return self.seq_len
+
+    @property
+    def attended_positions(self) -> int:
+        """Positions attended to by each query."""
+        return self.seq_len
+
+    @property
+    def uses_kv_cache(self) -> bool:
+        """Whether the workload maintains a KV-cache across calls."""
+        return self.mode in (InferenceMode.AUTOREGRESSIVE, InferenceMode.PROMPT)
+
+    @property
+    def kv_cache_positions(self) -> int:
+        """Number of positions the KV-cache must be sized for."""
+        if not self.uses_kv_cache:
+            return 0
+        return self.seq_len
+
+    @property
+    def is_memory_bound_mode(self) -> bool:
+        """True for the GEMV-dominated autoregressive mode."""
+        return self.mode is InferenceMode.AUTOREGRESSIVE
+
+    def describe(self) -> str:
+        """One-line human-readable description of the workload."""
+        return (
+            f"{self.name}: E={self.config.embed_dim} F={self.config.ffn_dim} "
+            f"H={self.config.num_heads} L={self.config.num_layers} "
+            f"S={self.seq_len} mode={self.mode.value}"
+        )
+
+
+def autoregressive(config: TransformerConfig, context_len: int) -> Workload:
+    """Build an autoregressive (token-by-token) workload."""
+    return Workload(config=config, mode=InferenceMode.AUTOREGRESSIVE, seq_len=context_len)
+
+
+def prompt(config: TransformerConfig, prompt_len: int) -> Workload:
+    """Build a prompt-mode (parallel prefill) workload."""
+    return Workload(config=config, mode=InferenceMode.PROMPT, seq_len=prompt_len)
+
+
+def encoder(config: TransformerConfig, seq_len: int) -> Workload:
+    """Build an encoder-only workload."""
+    return Workload(config=config, mode=InferenceMode.ENCODER, seq_len=seq_len)

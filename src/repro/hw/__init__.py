@@ -1,0 +1,44 @@
+"""Hardware models: chips, memories, DMA engines, links, and platforms."""
+
+from .chip import ChipInstance, ChipModel
+from .cluster import ClusterModel
+from .dma import DmaChannelModel, DmaModel
+from .interconnect import ChipToChipLink, mipi_link
+from .memory import MemoryHierarchy, MemoryLevel, MemoryLevelName
+from .platform import MultiChipPlatform
+from .presets import (
+    SIRACUSA_FREQUENCY_HZ,
+    SIRACUSA_GROUP_SIZE,
+    SIRACUSA_L1_BYTES,
+    SIRACUSA_L2_BYTES,
+    SIRACUSA_L2_RUNTIME_RESERVE_BYTES,
+    siracusa_chip,
+    siracusa_cluster,
+    siracusa_dma,
+    siracusa_memory,
+    siracusa_platform,
+)
+
+__all__ = [
+    "ChipInstance",
+    "ChipModel",
+    "ChipToChipLink",
+    "ClusterModel",
+    "DmaChannelModel",
+    "DmaModel",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "MemoryLevelName",
+    "MultiChipPlatform",
+    "SIRACUSA_FREQUENCY_HZ",
+    "SIRACUSA_GROUP_SIZE",
+    "SIRACUSA_L1_BYTES",
+    "SIRACUSA_L2_BYTES",
+    "SIRACUSA_L2_RUNTIME_RESERVE_BYTES",
+    "mipi_link",
+    "siracusa_chip",
+    "siracusa_cluster",
+    "siracusa_dma",
+    "siracusa_memory",
+    "siracusa_platform",
+]

@@ -1,0 +1,16 @@
+"""Analytical kernel cost models for the MCU cluster."""
+
+from .base import KernelCost, merge_costs
+from .elementwise import ElementwiseModel
+from .library import KernelLibrary
+from .matmul import MatmulEfficiencyModel, attention_matmul_cost, linear_cost
+
+__all__ = [
+    "ElementwiseModel",
+    "KernelCost",
+    "KernelLibrary",
+    "MatmulEfficiencyModel",
+    "attention_matmul_cost",
+    "linear_cost",
+    "merge_costs",
+]

@@ -1,0 +1,104 @@
+"""Cycle models for the row-wise and element-wise operators.
+
+Softmax, normalisation, activation functions, and element-wise adds are a
+small share of the runtime, but they matter for two reasons: the softmax
+and the post-reduction normalisations sit on the critical path of every
+block (the normalisation runs on a single chip while the others wait), and
+their cost does not shrink when more chips are added, which contributes to
+the diminishing returns the paper observes at high chip counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.ops import ActivationKind, ActivationOp, ElementwiseKind, ElementwiseOp, NormOp, SoftmaxOp
+from ..hw.cluster import ClusterModel
+from .base import KernelCost
+
+#: Per-element cycle costs on one core (integer-arithmetic approximations
+#: of the transcendental functions, as used by int8 deployment flows).
+_SOFTMAX_CYCLES_PER_ELEMENT = 8.0
+_LAYERNORM_CYCLES_PER_ELEMENT = 5.0
+_RMSNORM_CYCLES_PER_ELEMENT = 4.0
+_GELU_CYCLES_PER_ELEMENT = 6.0
+_SILU_CYCLES_PER_ELEMENT = 5.0
+_RELU_CYCLES_PER_ELEMENT = 1.0
+_ADD_CYCLES_PER_ELEMENT = 1.5
+_MUL_CYCLES_PER_ELEMENT = 1.5
+_COPY_CYCLES_PER_ELEMENT = 1.0
+
+_ACTIVATION_COSTS = {
+    ActivationKind.GELU: _GELU_CYCLES_PER_ELEMENT,
+    ActivationKind.SILU: _SILU_CYCLES_PER_ELEMENT,
+    ActivationKind.RELU: _RELU_CYCLES_PER_ELEMENT,
+}
+
+_ELEMENTWISE_COSTS = {
+    ElementwiseKind.ADD: _ADD_CYCLES_PER_ELEMENT,
+    ElementwiseKind.MUL: _MUL_CYCLES_PER_ELEMENT,
+    ElementwiseKind.COPY: _COPY_CYCLES_PER_ELEMENT,
+}
+
+
+@dataclass(frozen=True)
+class ElementwiseModel:
+    """Cost model of the non-matmul operators.
+
+    Attributes:
+        parallel_efficiency: Fraction of the ideal ``num_cores`` speedup the
+            row/element-wise kernels achieve (synchronisation and remainder
+            rows cost the rest).
+    """
+
+    parallel_efficiency: float = 0.7
+
+    def _cycles(self, elements: int, per_element: float, cluster: ClusterModel) -> float:
+        if elements <= 0:
+            return 0.0
+        effective_cores = max(cluster.num_cores * self.parallel_efficiency, 1.0)
+        return elements * per_element / effective_cores
+
+    def softmax_cost(self, op: SoftmaxOp, cluster: ClusterModel) -> KernelCost:
+        """Cost of a row-wise softmax."""
+        cycles = self._cycles(op.elements, _SOFTMAX_CYCLES_PER_ELEMENT, cluster)
+        return KernelCost(
+            name=op.name,
+            compute_cycles=cycles,
+            l2_l1_bytes=op.input_bytes + op.output_bytes,
+        )
+
+    def norm_cost(self, op: NormOp, cluster: ClusterModel) -> KernelCost:
+        """Cost of a LayerNorm or RMSNorm."""
+        per_element = (
+            _RMSNORM_CYCLES_PER_ELEMENT
+            if op.kind.value == "rmsnorm"
+            else _LAYERNORM_CYCLES_PER_ELEMENT
+        )
+        cycles = self._cycles(op.elements, per_element, cluster)
+        return KernelCost(
+            name=op.name,
+            compute_cycles=cycles,
+            l2_l1_bytes=op.input_bytes + op.output_bytes,
+            weight_bytes=op.weight_bytes,
+        )
+
+    def activation_cost(self, op: ActivationOp, cluster: ClusterModel) -> KernelCost:
+        """Cost of a pointwise non-linearity."""
+        per_element = _ACTIVATION_COSTS[op.kind]
+        cycles = self._cycles(op.elements, per_element, cluster)
+        return KernelCost(
+            name=op.name,
+            compute_cycles=cycles,
+            l2_l1_bytes=op.input_bytes + op.output_bytes,
+        )
+
+    def elementwise_cost(self, op: ElementwiseOp, cluster: ClusterModel) -> KernelCost:
+        """Cost of a binary element-wise operator or copy."""
+        per_element = _ELEMENTWISE_COSTS[op.kind]
+        cycles = self._cycles(op.elements, per_element, cluster)
+        return KernelCost(
+            name=op.name,
+            compute_cycles=cycles,
+            l2_l1_bytes=op.input_bytes + op.output_bytes,
+        )

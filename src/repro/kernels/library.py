@@ -1,0 +1,74 @@
+"""Kernel library: dispatches operators to their cost models.
+
+The library is the single entry point the schedulers use to price an
+operator on a given cluster.  It is configured with the matmul efficiency
+model and the element-wise model, so design-space explorations can swap in
+different kernel assumptions without touching the partitioner or the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from ..errors import ConfigurationError
+from ..graph.ops import (
+    ActivationOp,
+    AttentionMatmulOp,
+    ElementwiseOp,
+    LinearOp,
+    NormOp,
+    Operator,
+    SoftmaxOp,
+)
+from ..hw.cluster import ClusterModel
+from .base import KernelCost, merge_costs
+from .elementwise import ElementwiseModel
+from .matmul import MatmulEfficiencyModel, attention_matmul_cost, linear_cost
+
+
+@dataclass(frozen=True)
+class KernelLibrary:
+    """Prices operators on a specific cluster model.
+
+    Attributes:
+        cluster: The compute cluster the kernels run on.
+        matmul_model: Efficiency model of the GEMM/GEMV kernels.
+        elementwise_model: Cost model of the row/element-wise kernels.
+    """
+
+    cluster: ClusterModel
+    matmul_model: MatmulEfficiencyModel = field(default_factory=MatmulEfficiencyModel)
+    elementwise_model: ElementwiseModel = field(default_factory=ElementwiseModel)
+
+    def cost(self, op: Operator) -> KernelCost:
+        """Return the cost of one operator on this cluster.
+
+        Raises:
+            ConfigurationError: If the operator type is not supported.
+        """
+        if isinstance(op, LinearOp):
+            return linear_cost(op, self.cluster, self.matmul_model)
+        if isinstance(op, AttentionMatmulOp):
+            return attention_matmul_cost(op, self.cluster, self.matmul_model)
+        if isinstance(op, SoftmaxOp):
+            return self.elementwise_model.softmax_cost(op, self.cluster)
+        if isinstance(op, NormOp):
+            return self.elementwise_model.norm_cost(op, self.cluster)
+        if isinstance(op, ActivationOp):
+            return self.elementwise_model.activation_cost(op, self.cluster)
+        if isinstance(op, ElementwiseOp):
+            return self.elementwise_model.elementwise_cost(op, self.cluster)
+        raise ConfigurationError(
+            f"no kernel cost model registered for operator type "
+            f"{type(op).__name__} ({op.name!r})"
+        )
+
+    def costs(self, operators: Iterable[Operator]) -> List[KernelCost]:
+        """Price a sequence of operators, preserving order."""
+        return [self.cost(op) for op in operators]
+
+    def total_cost(self, operators: Iterable[Operator], name: str = "total") -> KernelCost:
+        """Aggregate cost of a sequence of operators."""
+        return merge_costs(name, self.costs(operators))

@@ -1,0 +1,29 @@
+"""Model zoo: the workloads evaluated in the paper."""
+
+from .mobilebert import (
+    MOBILEBERT_SEQ_LEN,
+    mobilebert,
+)
+from .registry import get_model, list_models, register_model
+from .tinyllama import (
+    TINYLLAMA_AUTOREGRESSIVE_SEQ_LEN,
+    TINYLLAMA_PROMPT_SEQ_LEN,
+    TINYLLAMA_SCALED_NUM_HEADS,
+    tinyllama_42m,
+    tinyllama_gated,
+    tinyllama_scaled,
+)
+
+__all__ = [
+    "MOBILEBERT_SEQ_LEN",
+    "TINYLLAMA_AUTOREGRESSIVE_SEQ_LEN",
+    "TINYLLAMA_PROMPT_SEQ_LEN",
+    "TINYLLAMA_SCALED_NUM_HEADS",
+    "get_model",
+    "list_models",
+    "mobilebert",
+    "register_model",
+    "tinyllama_42m",
+    "tinyllama_gated",
+    "tinyllama_scaled",
+]

@@ -1,0 +1,46 @@
+"""MobileBERT encoder configuration.
+
+The paper evaluates the MobileBERT encoder with "an embedding dimension and
+intermediate size of 512, 4 attention heads, and a sequence length of 268".
+MobileBERT is an encoder-only model with the standard two-matrix
+feed-forward block and LayerNorm, and it has 24 layers.
+"""
+
+from __future__ import annotations
+
+from ..graph.ops import ActivationKind, NormKind
+from ..graph.transformer import FfnKind, TransformerConfig
+
+#: Embedding dimension reported in the paper's setup.
+MOBILEBERT_EMBED_DIM = 512
+
+#: FFN intermediate dimension reported in the paper's setup.
+MOBILEBERT_FFN_DIM = 512
+
+#: Number of attention heads of MobileBERT.
+MOBILEBERT_NUM_HEADS = 4
+
+#: Number of encoder layers of MobileBERT.
+MOBILEBERT_NUM_LAYERS = 24
+
+#: WordPiece vocabulary size of MobileBERT.
+MOBILEBERT_VOCAB_SIZE = 30522
+
+#: Sequence length used by the paper.
+MOBILEBERT_SEQ_LEN = 268
+
+
+def mobilebert() -> TransformerConfig:
+    """Return the MobileBERT encoder configuration used in the paper."""
+    return TransformerConfig(
+        name="mobilebert",
+        embed_dim=MOBILEBERT_EMBED_DIM,
+        ffn_dim=MOBILEBERT_FFN_DIM,
+        num_heads=MOBILEBERT_NUM_HEADS,
+        num_layers=MOBILEBERT_NUM_LAYERS,
+        vocab_size=MOBILEBERT_VOCAB_SIZE,
+        ffn_kind=FfnKind.STANDARD,
+        norm_kind=NormKind.LAYERNORM,
+        activation=ActivationKind.GELU,
+        tie_embeddings=True,
+    )

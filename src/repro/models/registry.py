@@ -1,0 +1,56 @@
+"""Model registry.
+
+The registry maps short names to configuration factories so that examples,
+benchmarks, and command-line sweeps can select models by name.  Factories
+(rather than pre-built configurations) are registered so that every lookup
+returns a fresh, independent configuration object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from ..graph.transformer import TransformerConfig
+from .mobilebert import mobilebert
+from .tinyllama import tinyllama_42m, tinyllama_gated, tinyllama_scaled
+
+_FACTORIES: Dict[str, Callable[[], TransformerConfig]] = {}
+
+
+def register_model(name: str, factory: Callable[[], TransformerConfig]) -> None:
+    """Register a model factory under ``name``.
+
+    Raises:
+        ConfigurationError: If the name is already registered.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("model name must be non-empty")
+    if key in _FACTORIES:
+        raise ConfigurationError(f"model {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_model(name: str) -> TransformerConfig:
+    """Build the configuration registered under ``name``.
+
+    Raises:
+        ConfigurationError: If no model with that name is registered.
+    """
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ConfigurationError(f"unknown model {name!r}; known models: {known}")
+    return _FACTORIES[key]()
+
+
+def list_models() -> List[str]:
+    """Return the sorted names of all registered models."""
+    return sorted(_FACTORIES)
+
+
+register_model("tinyllama-42m", tinyllama_42m)
+register_model("tinyllama-42m-64h", tinyllama_scaled)
+register_model("tinyllama-42m-gated", tinyllama_gated)
+register_model("mobilebert", mobilebert)

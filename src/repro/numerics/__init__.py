@@ -1,0 +1,30 @@
+"""Numerical verification of the partitioning scheme's correctness."""
+
+from .distributed import ChipWeightSlice, DistributedBlock, scatter_weights
+from .reference import (
+    BlockWeights,
+    ReferenceBlock,
+    gelu,
+    layernorm,
+    relu,
+    rmsnorm,
+    silu,
+    softmax,
+)
+from .verify import EquivalenceReport, verify_partition_equivalence
+
+__all__ = [
+    "BlockWeights",
+    "ChipWeightSlice",
+    "DistributedBlock",
+    "EquivalenceReport",
+    "ReferenceBlock",
+    "gelu",
+    "layernorm",
+    "relu",
+    "rmsnorm",
+    "scatter_weights",
+    "silu",
+    "softmax",
+    "verify_partition_equivalence",
+]

@@ -1,0 +1,202 @@
+"""Reference (single-device) numerical Transformer block.
+
+The performance model never touches tensor values, but the *correctness*
+of the partitioning scheme is a mathematical claim: running the head-split
+attention and the F-split FFN on N chips and summing the partial outputs
+must produce exactly the same result as the un-partitioned block.  This
+module provides a plain numpy implementation of one Transformer block
+(float64, no quantisation) that serves as the golden reference for that
+claim; :mod:`repro.numerics.distributed` re-implements the same block the
+way the chips execute it and the test suite checks the two match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..graph.ops import ActivationKind, NormKind
+from ..graph.transformer import FfnKind, TransformerConfig
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis`` (Eq. 3 of the paper)."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """Sigmoid-weighted linear unit."""
+    return x / (1.0 + np.exp(-x))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+_ACTIVATIONS = {
+    ActivationKind.GELU: gelu,
+    ActivationKind.SILU: silu,
+    ActivationKind.RELU: relu,
+}
+
+
+def layernorm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Row-wise LayerNorm without learned scale/shift."""
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps)
+
+
+def rmsnorm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Row-wise RMSNorm without learned scale."""
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x / rms
+
+
+_NORMS = {
+    NormKind.LAYERNORM: layernorm,
+    NormKind.RMSNORM: rmsnorm,
+}
+
+
+@dataclass
+class BlockWeights:
+    """Random (or user-supplied) weights of one Transformer block.
+
+    Shapes follow the paper's notation: the Q/K/V projections are
+    ``E x (H*P)``, the output projection ``(H*P) x E``, the FFN matrices
+    ``E x F`` and ``F x E`` (plus a gate matrix ``E x F`` for gated FFNs).
+    """
+
+    config: TransformerConfig
+    w_query: np.ndarray
+    w_key: np.ndarray
+    w_value: np.ndarray
+    w_output: np.ndarray
+    w_ffn_up: np.ndarray
+    w_ffn_down: np.ndarray
+    w_ffn_gate: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        config = self.config
+        proj = config.projection_dim
+        expected: Dict[str, tuple] = {
+            "w_query": (config.embed_dim, proj),
+            "w_key": (config.embed_dim, proj),
+            "w_value": (config.embed_dim, proj),
+            "w_output": (proj, config.embed_dim),
+            "w_ffn_up": (config.embed_dim, config.ffn_dim),
+            "w_ffn_down": (config.ffn_dim, config.embed_dim),
+        }
+        for name, shape in expected.items():
+            actual = getattr(self, name).shape
+            if actual != shape:
+                raise ConfigurationError(
+                    f"{name} has shape {actual}, expected {shape}"
+                )
+        if config.ffn_kind is FfnKind.GATED:
+            if self.w_ffn_gate is None:
+                raise ConfigurationError("gated FFN requires w_ffn_gate")
+            if self.w_ffn_gate.shape != (config.embed_dim, config.ffn_dim):
+                raise ConfigurationError(
+                    f"w_ffn_gate has shape {self.w_ffn_gate.shape}, expected "
+                    f"{(config.embed_dim, config.ffn_dim)}"
+                )
+        elif self.w_ffn_gate is not None:
+            raise ConfigurationError("standard FFN must not have a gate matrix")
+
+    @classmethod
+    def random(cls, config: TransformerConfig, seed: int = 0) -> "BlockWeights":
+        """Draw a random weight set (standard normal, scaled by 1/sqrt(E))."""
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(config.embed_dim)
+        proj = config.projection_dim
+
+        def draw(rows: int, cols: int) -> np.ndarray:
+            return rng.standard_normal((rows, cols)) * scale
+
+        gate = (
+            draw(config.embed_dim, config.ffn_dim)
+            if config.ffn_kind is FfnKind.GATED
+            else None
+        )
+        return cls(
+            config=config,
+            w_query=draw(config.embed_dim, proj),
+            w_key=draw(config.embed_dim, proj),
+            w_value=draw(config.embed_dim, proj),
+            w_output=draw(proj, config.embed_dim),
+            w_ffn_up=draw(config.embed_dim, config.ffn_dim),
+            w_ffn_down=draw(config.ffn_dim, config.embed_dim),
+            w_ffn_gate=gate,
+        )
+
+
+@dataclass
+class ReferenceBlock:
+    """Un-partitioned numpy execution of one Transformer block."""
+
+    weights: BlockWeights
+    _config: TransformerConfig = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._config = self.weights.config
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def attention(self, x: np.ndarray) -> np.ndarray:
+        """Multi-head self-attention output (before residual and norm)."""
+        config = self._config
+        weights = self.weights
+        heads = config.num_heads
+        head_dim = config.head_dim
+        rows = x.shape[0]
+
+        queries = x @ weights.w_query
+        keys = x @ weights.w_key
+        values = x @ weights.w_value
+
+        context = np.empty((rows, heads * head_dim))
+        scale = 1.0 / np.sqrt(head_dim)
+        for head in range(heads):
+            sl = slice(head * head_dim, (head + 1) * head_dim)
+            scores = (queries[:, sl] @ keys[:, sl].T) * scale
+            probabilities = softmax(scores, axis=-1)
+            context[:, sl] = probabilities @ values[:, sl]
+        return context @ weights.w_output
+
+    def ffn(self, x: np.ndarray) -> np.ndarray:
+        """Feed-forward output (before residual and norm)."""
+        config = self._config
+        weights = self.weights
+        activation = _ACTIVATIONS[config.activation]
+        hidden = x @ weights.w_ffn_up
+        if config.ffn_kind is FfnKind.GATED:
+            gate = activation(x @ weights.w_ffn_gate)
+            hidden = gate * hidden
+        else:
+            hidden = activation(hidden)
+        return hidden @ weights.w_ffn_down
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Full block: attention + residual + norm, FFN + residual + norm."""
+        if x.ndim != 2 or x.shape[1] != self._config.embed_dim:
+            raise ConfigurationError(
+                f"input must have shape (rows, {self._config.embed_dim}), "
+                f"got {x.shape}"
+            )
+        norm = _NORMS[self._config.norm_kind]
+        attention_out = norm(x + self.attention(x))
+        return norm(attention_out + self.ffn(attention_out))

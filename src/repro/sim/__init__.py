@@ -1,0 +1,18 @@
+"""Event-driven multi-chip simulation (the GVSoC substitute)."""
+
+from .engine import AllOf, Environment, Event, Process, Timeout
+from .simulator import MultiChipSimulator, simulate_block
+from .trace import ChipTrace, SimulationResult, TraceEvent
+
+__all__ = [
+    "AllOf",
+    "ChipTrace",
+    "Environment",
+    "Event",
+    "MultiChipSimulator",
+    "Process",
+    "SimulationResult",
+    "Timeout",
+    "TraceEvent",
+    "simulate_block",
+]

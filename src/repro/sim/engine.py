@@ -1,0 +1,210 @@
+"""A small discrete-event simulation kernel.
+
+This is the substrate that replaces GVSoC in this reproduction: a
+deterministic, generator-based discrete-event engine in the style of SimPy,
+reduced to the features the multi-chip simulator needs:
+
+* :class:`Environment` — the event queue and the simulation clock,
+* :class:`Event` — a one-shot occurrence processes can wait on,
+* :class:`Process` — a Python generator driven by the environment; every
+  value it yields must be an :class:`Event`, and the process resumes when
+  that event fires,
+* ``Environment.timeout`` — an event that fires after a delay,
+* :class:`AllOf` — an event that fires when several events have all fired.
+
+The engine is deterministic: simultaneous events are processed in the order
+they were scheduled, so repeated runs of the same program produce identical
+traces (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through three states: *pending* (created), *triggered*
+    (scheduled to fire at some simulation time), and *processed* (its
+    callbacks have run).  Callbacks added after the event has been
+    processed are invoked at the current simulation time via a small proxy
+    event, so latecomers never deadlock.
+    """
+
+    def __init__(self, env: "Environment", name: str = "event") -> None:
+        self.env = env
+        self.name = name
+        self.triggered = False
+        self.processed = False
+        self.value: object = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event at the current simulation time."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register a callback invoked when the event fires.
+
+        If the event has already been processed the callback is invoked at
+        the current simulation time (through a proxy event), preserving the
+        run loop's determinism.
+        """
+        if self.processed:
+            proxy = Event(self.env, name=f"{self.name}.late")
+            proxy._callbacks.append(callback)
+            proxy.triggered = True
+            proxy.value = self.value
+            self.env._schedule(proxy, delay=0.0)
+        else:
+            self._callbacks.append(callback)
+
+    def _process_callbacks(self) -> None:
+        self.processed = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, name: str = "timeout") -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(env, name=name)
+        self.delay = delay
+        self.triggered = True
+        env._schedule(self, delay=delay)
+
+
+class AllOf(Event):
+    """An event that fires once all constituent events have fired."""
+
+    def __init__(
+        self, env: "Environment", events: Iterable[Event], name: str = "all_of"
+    ) -> None:
+        super().__init__(env, name=name)
+        self._pending = 0
+        for event in events:
+            if event.processed:
+                continue
+            self._pending += 1
+            event.add_callback(self._on_child)
+        if self._pending == 0:
+            self.succeed()
+
+    def _on_child(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed()
+
+
+class Process(Event):
+    """A generator-based simulation process.
+
+    The process itself is an event that fires when the generator finishes,
+    so processes can wait for each other.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, object, None],
+        name: str = "process",
+    ) -> None:
+        super().__init__(env, name=name)
+        self._generator = generator
+        bootstrap = Event(env, name=f"{name}.start")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List = []
+        self._sequence = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Event creation helpers
+    # ------------------------------------------------------------------
+    def event(self, name: str = "event") -> Event:
+        """Create an untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, name: str = "timeout") -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, name=name)
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> AllOf:
+        """Create an event firing when all ``events`` have fired."""
+        return AllOf(self, events, name=name)
+
+    def process(
+        self, generator: Generator[Event, object, None], name: str = "process"
+    ) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), event))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or until the given time).
+
+        Returns:
+            The final simulation time.
+
+        Raises:
+            SimulationError: If ``until`` lies in the past.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until {until}, current time is already {self.now}"
+            )
+        while self._queue:
+            scheduled_time, sequence, event = heapq.heappop(self._queue)
+            if until is not None and scheduled_time > until:
+                heapq.heappush(self._queue, (scheduled_time, sequence, event))
+                self.now = until
+                return self.now
+            self.now = scheduled_time
+            event._process_callbacks()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)

@@ -1,0 +1,266 @@
+"""Event-driven execution of a :class:`BlockProgram` on a multi-chip system.
+
+Every chip of the platform becomes one simulation process that walks its
+schedule step by step:
+
+* kernel steps advance time by the kernel's compute cycles (with the
+  L2<->L1 staging either double-buffered against the computation or
+  serialised with it, depending on the weight-residency regime),
+* blocking DMA steps advance time by the channel's transfer time,
+* prefetch steps start a background transfer on the off-chip DMA channel
+  and only consume time if a later join step has to wait for them,
+* send/receive pairs rendezvous over the chip-to-chip link; transfers that
+  converge on the same receiver serialise at that receiver's ingress port,
+  which is what makes the flat all-to-one reduction scale poorly and the
+  paper's hierarchical scheme scale well.
+
+The result is a :class:`~repro.sim.trace.SimulationResult` holding the
+block runtime, the per-chip runtime breakdown, and the per-level traffic
+counters used by the energy model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Tuple
+
+from ..core.schedule import (
+    BlockProgram,
+    ChipSchedule,
+    ComputeStep,
+    DmaChannelName,
+    DmaStep,
+    PrefetchJoinStep,
+    PrefetchStep,
+    RecvStep,
+    RuntimeCategory,
+    SendStep,
+)
+from ..core.scheduler import L3_STREAM_TILE_BYTES
+from ..errors import SimulationError
+from .engine import Environment, Event
+from .trace import ChipTrace, SimulationResult
+
+
+@dataclass
+class _PendingMessage:
+    """Book-keeping for one send/receive rendezvous."""
+
+    num_bytes: int
+    arrivals: Dict[str, float] = field(default_factory=dict)
+    events: Dict[str, Event] = field(default_factory=dict)
+
+
+@dataclass
+class MultiChipSimulator:
+    """Simulates one block program on its platform.
+
+    Attributes:
+        program: The block program to execute.
+        record_events: Whether to keep per-step trace events (useful for
+            debugging and for fine-grained tests; adds memory overhead).
+    """
+
+    program: BlockProgram
+    record_events: bool = False
+
+    def run(self) -> SimulationResult:
+        """Execute the program and return its trace.
+
+        Raises:
+            SimulationError: If the program deadlocks (a chip waits forever
+                on a message that is never sent).
+        """
+        env = Environment()
+        traces = {
+            chip_id: ChipTrace(chip_id=chip_id) for chip_id in self.program.chip_ids
+        }
+        pending: Dict[Tuple[int, int, str], _PendingMessage] = {}
+        port_free_at: Dict[int, float] = {}
+        processes = []
+        for chip_id in self.program.chip_ids:
+            schedule = self.program.schedule(chip_id)
+            generator = self._chip_process(
+                env, chip_id, schedule, traces[chip_id], pending, port_free_at
+            )
+            processes.append(env.process(generator, name=f"chip{chip_id}"))
+        env.run()
+        unfinished = [process.name for process in processes if not process.processed]
+        if unfinished:
+            raise SimulationError(
+                "simulation deadlocked; chips never finished: "
+                + ", ".join(sorted(unfinished))
+            )
+        total_cycles = max(trace.finish_cycle for trace in traces.values())
+        return SimulationResult(
+            program=self.program, total_cycles=total_cycles, chip_traces=traces
+        )
+
+    # ------------------------------------------------------------------
+    # Per-chip process
+    # ------------------------------------------------------------------
+    def _chip_process(
+        self,
+        env: Environment,
+        chip_id: int,
+        schedule: ChipSchedule,
+        trace: ChipTrace,
+        pending: Dict[Tuple[int, int, str], _PendingMessage],
+        port_free_at: Dict[int, float],
+    ) -> Generator[Event, object, None]:
+        chip = self.program.platform.chip
+        link = self.program.platform.link
+        frequency = self.program.platform.frequency_hz
+        prefetch_ready_at = 0.0
+
+        for step in schedule.steps:
+            if isinstance(step, ComputeStep):
+                yield from self._run_compute(env, chip, step, trace)
+            elif isinstance(step, DmaStep):
+                yield from self._run_dma(env, chip, step, trace)
+            elif isinstance(step, PrefetchStep):
+                prefetch_ready_at = self._start_prefetch(
+                    env, chip, step, trace, prefetch_ready_at
+                )
+            elif isinstance(step, PrefetchJoinStep):
+                yield from self._join_prefetch(env, step, trace, prefetch_ready_at)
+            elif isinstance(step, (SendStep, RecvStep)):
+                yield from self._run_message(
+                    env, chip_id, step, trace, pending, port_free_at, link, frequency
+                )
+            else:
+                raise SimulationError(
+                    f"chip {chip_id}: unknown step type {type(step).__name__}"
+                )
+        trace.finish_cycle = env.now
+
+    # ------------------------------------------------------------------
+    # Step handlers
+    # ------------------------------------------------------------------
+    def _run_compute(self, env, chip, step: ComputeStep, trace: ChipTrace):
+        dma_cycles = 0.0
+        if step.l2_l1_bytes > 0:
+            dma_cycles = chip.dma.l2_l1.transfer_cycles(int(step.l2_l1_bytes))
+        if step.overlap_dma:
+            duration = max(step.compute_cycles, dma_cycles)
+            exposed_dma = max(0.0, dma_cycles - step.compute_cycles)
+        else:
+            duration = step.compute_cycles + dma_cycles
+            exposed_dma = dma_cycles
+        start = env.now
+        self._attribute(trace, RuntimeCategory.COMPUTE, step.compute_cycles, step, start)
+        self._attribute(trace, RuntimeCategory.DMA_L2_L1, exposed_dma, step, start)
+        trace.l2_l1_bytes += step.l2_l1_bytes
+        if duration > 0:
+            yield env.timeout(duration)
+
+    def _run_dma(self, env, chip, step: DmaStep, trace: ChipTrace):
+        if step.channel is DmaChannelName.L3_L2:
+            channel = chip.dma.l3_l2
+            category = RuntimeCategory.DMA_L3_L2
+            trace.l3_l2_bytes += step.num_bytes
+        else:
+            channel = chip.dma.l2_l1
+            category = RuntimeCategory.DMA_L2_L1
+            trace.l2_l1_bytes += step.num_bytes
+        cycles = channel.transfer_cycles(int(step.num_bytes), step.num_transfers)
+        self._attribute(trace, category, cycles, step, env.now)
+        if cycles > 0:
+            yield env.timeout(cycles)
+
+    def _start_prefetch(
+        self, env, chip, step: PrefetchStep, trace: ChipTrace, prefetch_ready_at: float
+    ) -> float:
+        transfers = max(1, math.ceil(step.num_bytes / L3_STREAM_TILE_BYTES))
+        cycles = chip.dma.l3_l2.transfer_cycles(int(step.num_bytes), transfers)
+        start = max(env.now, prefetch_ready_at)
+        trace.l3_l2_bytes += step.num_bytes
+        return start + cycles
+
+    def _join_prefetch(self, env, step, trace: ChipTrace, prefetch_ready_at: float):
+        if prefetch_ready_at > env.now:
+            wait = prefetch_ready_at - env.now
+            self._attribute(trace, RuntimeCategory.DMA_L3_L2, wait, step, env.now)
+            yield env.timeout(wait)
+
+    def _run_message(
+        self,
+        env,
+        chip_id: int,
+        step,
+        trace: ChipTrace,
+        pending: Dict[Tuple[int, int, str], _PendingMessage],
+        port_free_at: Dict[int, float],
+        link,
+        frequency: float,
+    ):
+        if isinstance(step, SendStep):
+            key = (chip_id, step.dst, step.tag)
+            role = "send"
+            receiver = step.dst
+        else:
+            key = (step.src, chip_id, step.tag)
+            role = "recv"
+            receiver = chip_id
+
+        message = pending.get(key)
+        if message is None:
+            message = _PendingMessage(num_bytes=step.num_bytes)
+            pending[key] = message
+        elif message.num_bytes != step.num_bytes:
+            raise SimulationError(
+                f"message {key} size mismatch: {message.num_bytes} vs {step.num_bytes}"
+            )
+        if role in message.arrivals:
+            raise SimulationError(f"duplicate {role} for message {key}")
+        message.arrivals[role] = env.now
+        completion = env.event(name=f"msg.{key}.{role}")
+        message.events[role] = completion
+
+        if len(message.arrivals) == 2:
+            start = max(max(message.arrivals.values()), port_free_at.get(receiver, 0.0))
+            duration = link.transfer_cycles(message.num_bytes, frequency)
+            end = start + duration
+            port_free_at[receiver] = end
+            del pending[key]
+            self._fire_at(env, message.events["send"], end, (start, end))
+            self._fire_at(env, message.events["recv"], end, (start, end))
+
+        value = yield completion
+        start, end = value
+        arrival = message.arrivals[role]
+        idle = max(0.0, start - arrival)
+        transfer = end - start
+        self._attribute(trace, RuntimeCategory.IDLE, idle, step, arrival)
+        self._attribute(trace, RuntimeCategory.CHIP_TO_CHIP, transfer, step, start)
+        if role == "send":
+            trace.c2c_bytes_sent += step.num_bytes
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fire_at(env: Environment, event: Event, when: float, value) -> None:
+        """Trigger ``event`` with ``value`` at absolute simulation time ``when``."""
+        delay = max(0.0, when - env.now)
+        timer = env.timeout(delay, name=f"{event.name}.timer")
+        timer.add_callback(lambda _timer: event.succeed(value))
+
+    def _attribute(
+        self,
+        trace: ChipTrace,
+        category: RuntimeCategory,
+        cycles: float,
+        step,
+        start: float,
+    ) -> None:
+        if self.record_events:
+            trace.add(category, cycles, name=step.name, start_cycle=start)
+        else:
+            trace.add(category, cycles)
+
+
+def simulate_block(program: BlockProgram, record_events: bool = False) -> SimulationResult:
+    """Convenience wrapper: simulate one block program."""
+    return MultiChipSimulator(program=program, record_events=record_events).run()

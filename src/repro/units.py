@@ -1,0 +1,169 @@
+"""Unit helpers and physical constants used across the library.
+
+All internal computations use plain SI-derived base units:
+
+* sizes in **bytes**,
+* time in **cycles** (of the chip's cluster clock) or **seconds**,
+* energy in **joules**,
+* power in **watts**,
+* bandwidth in **bytes per second** or **bytes per cycle**.
+
+The helpers in this module exist so that configuration code reads like the
+paper ("2 MiB of L2", "100 pJ/B", "0.5 GB/s") rather than as bare powers of
+ten scattered through the code base.
+"""
+
+from __future__ import annotations
+
+#: Number of bytes in one kibibyte.
+KIB = 1024
+
+#: Number of bytes in one mebibyte.
+MIB = 1024 * 1024
+
+#: Number of bytes in one gibibyte.
+GIB = 1024 * 1024 * 1024
+
+#: One picojoule expressed in joules.
+PICOJOULE = 1e-12
+
+#: One nanojoule expressed in joules.
+NANOJOULE = 1e-9
+
+#: One microjoule expressed in joules.
+MICROJOULE = 1e-6
+
+#: One millijoule expressed in joules.
+MILLIJOULE = 1e-3
+
+#: One milliwatt expressed in watts.
+MILLIWATT = 1e-3
+
+#: One megahertz expressed in hertz.
+MEGAHERTZ = 1e6
+
+#: One gigahertz expressed in hertz.
+GIGAHERTZ = 1e9
+
+
+def kib(value: float) -> int:
+    """Return ``value`` kibibytes expressed in bytes."""
+    return int(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Return ``value`` mebibytes expressed in bytes."""
+    return int(value * MIB)
+
+
+def gib(value: float) -> int:
+    """Return ``value`` gibibytes expressed in bytes."""
+    return int(value * GIB)
+
+
+def picojoules(value: float) -> float:
+    """Return ``value`` picojoules expressed in joules."""
+    return value * PICOJOULE
+
+
+def nanojoules(value: float) -> float:
+    """Return ``value`` nanojoules expressed in joules."""
+    return value * NANOJOULE
+
+
+def microjoules(value: float) -> float:
+    """Return ``value`` microjoules expressed in joules."""
+    return value * MICROJOULE
+
+
+def millijoules(value: float) -> float:
+    """Return ``value`` millijoules expressed in joules."""
+    return value * MILLIJOULE
+
+
+def milliwatts(value: float) -> float:
+    """Return ``value`` milliwatts expressed in watts."""
+    return value * MILLIWATT
+
+
+def megahertz(value: float) -> float:
+    """Return ``value`` megahertz expressed in hertz."""
+    return value * MEGAHERTZ
+
+
+def gigahertz(value: float) -> float:
+    """Return ``value`` gigahertz expressed in hertz."""
+    return value * GIGAHERTZ
+
+
+def gigabytes_per_second(value: float) -> float:
+    """Return ``value`` GB/s expressed in bytes per second (decimal giga)."""
+    return value * 1e9
+
+
+def megabytes_per_second(value: float) -> float:
+    """Return ``value`` MB/s expressed in bytes per second (decimal mega)."""
+    return value * 1e6
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert a duration in seconds into cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def bytes_per_second_to_bytes_per_cycle(
+    bytes_per_second: float, frequency_hz: float
+) -> float:
+    """Convert a bandwidth in B/s into B/cycle at the given clock."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return bytes_per_second / frequency_hz
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a human-friendly binary suffix."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or suffix == "GiB":
+            if suffix == "B":
+                return f"{int(value)} {suffix}"
+            return f"{value:.2f} {suffix}"
+        value /= 1024.0
+    return f"{value:.2f} GiB"
+
+
+def format_energy(joules: float) -> str:
+    """Render an energy value with an appropriate SI prefix."""
+    if joules == 0:
+        return "0 J"
+    magnitude = abs(joules)
+    if magnitude >= 1e-3:
+        return f"{joules / 1e-3:.3f} mJ"
+    if magnitude >= 1e-6:
+        return f"{joules / 1e-6:.3f} uJ"
+    if magnitude >= 1e-9:
+        return f"{joules / 1e-9:.3f} nJ"
+    return f"{joules / 1e-12:.3f} pJ"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an appropriate SI prefix."""
+    if seconds == 0:
+        return "0 s"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{seconds / 1e-3:.3f} ms"
+    if magnitude >= 1e-6:
+        return f"{seconds / 1e-6:.3f} us"
+    return f"{seconds / 1e-9:.3f} ns"

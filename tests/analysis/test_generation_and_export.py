@@ -1,0 +1,141 @@
+"""Unit tests for the generation model and the CSV/JSON exporters."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    report_to_dict,
+    sweep_to_csv,
+    sweep_to_json,
+    sweep_to_records,
+    write_sweep,
+)
+from repro.analysis.generation import evaluate_generation
+from repro.analysis.sweep import chip_count_sweep
+from repro.analysis.evaluate import evaluate_block
+from repro.errors import AnalysisError
+from repro.graph.workload import autoregressive
+from repro.hw.presets import siracusa_platform
+from repro.models.tinyllama import tinyllama_42m
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return chip_count_sweep(autoregressive(tinyllama_42m(), 128), (1, 8))
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def reply(self):
+        return evaluate_generation(
+            tinyllama_42m(),
+            siracusa_platform(8),
+            prompt_tokens=16,
+            generated_tokens=32,
+            context_samples=3,
+        )
+
+    def test_structure(self, reply):
+        assert reply.prompt_tokens == 16
+        assert reply.generated_tokens == 32
+        assert len(reply.steps) == 32
+        assert reply.platform_chips == 8
+
+    def test_context_lengths_grow_monotonically(self, reply):
+        lengths = [step.context_length for step in reply.steps]
+        assert lengths[0] == 17
+        assert lengths[-1] == 48
+        assert lengths == sorted(lengths)
+
+    def test_totals_are_sums_of_parts(self, reply):
+        assert reply.total_cycles == pytest.approx(
+            reply.prompt_cycles + reply.decode_cycles
+        )
+        assert reply.decode_cycles == pytest.approx(
+            sum(step.inference_cycles for step in reply.steps)
+        )
+        assert reply.total_energy_joules > reply.prompt_report.inference_energy_joules
+        assert reply.mean_time_per_token_cycles > 0
+
+    def test_total_seconds(self, reply):
+        assert reply.total_seconds() == pytest.approx(reply.total_cycles / 500e6)
+        with pytest.raises(AnalysisError):
+            reply.total_seconds(0)
+
+    def test_distribution_beats_single_chip(self):
+        single = evaluate_generation(
+            tinyllama_42m(),
+            siracusa_platform(1),
+            prompt_tokens=16,
+            generated_tokens=8,
+            context_samples=2,
+        )
+        distributed = evaluate_generation(
+            tinyllama_42m(),
+            siracusa_platform(8),
+            prompt_tokens=16,
+            generated_tokens=8,
+            context_samples=2,
+        )
+        assert distributed.total_cycles < single.total_cycles / 8
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(AnalysisError):
+            evaluate_generation(
+                tinyllama_42m(), siracusa_platform(1),
+                prompt_tokens=0, generated_tokens=4,
+            )
+        with pytest.raises(AnalysisError):
+            evaluate_generation(
+                tinyllama_42m(), siracusa_platform(1),
+                prompt_tokens=4, generated_tokens=4, context_samples=0,
+            )
+
+
+class TestExport:
+    def test_report_to_dict_fields(self):
+        report = evaluate_block(
+            autoregressive(tinyllama_42m(), 128), siracusa_platform(8)
+        )
+        record = report_to_dict(report, speedup=29.0)
+        assert record["num_chips"] == 8
+        assert record["speedup"] == 29.0
+        assert record["on_chip"] is True
+        assert set(record["energy_breakdown_joules"]) == {
+            "compute", "l2_l1", "l3_l2", "chip_to_chip",
+        }
+        json.dumps(record)  # must be JSON-serialisable
+
+    def test_sweep_records_include_speedups(self, sweep):
+        records = sweep_to_records(sweep)
+        assert len(records) == 2
+        assert records[0]["speedup"] == pytest.approx(1.0)
+        assert records[1]["speedup"] > 8
+
+    def test_json_round_trip(self, sweep):
+        document = json.loads(sweep_to_json(sweep))
+        assert document["workload"] == sweep.workload.name
+        assert document["chip_counts"] == [1, 8]
+        assert len(document["results"]) == 2
+
+    def test_csv_has_header_and_rows(self, sweep):
+        text = sweep_to_csv(sweep)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["num_chips"] == "1"
+        assert float(rows[1]["speedup"]) > 8
+
+    def test_write_sweep_dispatches_on_extension(self, sweep, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        write_sweep(sweep, str(json_path))
+        write_sweep(sweep, str(csv_path))
+        assert json.loads(json_path.read_text())["chip_counts"] == [1, 8]
+        assert csv_path.read_text().startswith("workload,")
+        with pytest.raises(AnalysisError):
+            write_sweep(sweep, str(tmp_path / "sweep.txt"))

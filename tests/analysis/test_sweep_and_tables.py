@@ -1,0 +1,100 @@
+"""Unit tests for chip-count sweeps and the plain-text table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import ChipCountSweep, SweepResult, chip_count_sweep
+from repro.analysis.tables import (
+    comparison_table,
+    energy_runtime_table,
+    format_table,
+    runtime_breakdown_table,
+    scaling_table,
+)
+from repro.errors import AnalysisError
+from repro.graph.workload import autoregressive
+from repro.models.tinyllama import tinyllama_42m
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    workload = autoregressive(tinyllama_42m(), 128)
+    return chip_count_sweep(workload, (1, 8))
+
+
+class TestChipCountSweep:
+    def test_sweep_structure(self, small_sweep):
+        assert small_sweep.chip_counts == [1, 8]
+        assert small_sweep.baseline.num_chips == 1
+        assert small_sweep.report_for(8).num_chips == 8
+        with pytest.raises(AnalysisError):
+            small_sweep.report_for(3)
+
+    def test_speedups_and_energies(self, small_sweep):
+        speedups = small_sweep.speedups()
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[8] > 8
+        energies = small_sweep.energies_joules()
+        assert set(energies) == {1, 8}
+        cycles = small_sweep.cycles()
+        assert cycles[8] < cycles[1]
+
+    def test_breakdowns_indexed_by_chip_count(self, small_sweep):
+        breakdowns = small_sweep.breakdowns()
+        assert set(breakdowns) == {1, 8}
+
+    def test_empty_sweep_rejected(self):
+        workload = autoregressive(tinyllama_42m(), 128)
+        with pytest.raises(AnalysisError):
+            chip_count_sweep(workload, ())
+        with pytest.raises(AnalysisError):
+            ChipCountSweep().run(workload, [0])
+
+    def test_sweep_caches_repeated_points(self):
+        workload = autoregressive(tinyllama_42m(), 128)
+        sweep = ChipCountSweep()
+        first = sweep.run(workload, (8,)).report_for(8)
+        second = sweep.run(workload, (8,)).report_for(8)
+        assert first is second
+
+    def test_sweep_result_requires_reports(self):
+        workload = autoregressive(tinyllama_42m(), 128)
+        with pytest.raises(AnalysisError):
+            SweepResult(workload=workload, reports=())
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["A", "Long header"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["1"]])
+
+    def test_runtime_breakdown_table_contents(self, small_sweep):
+        table = runtime_breakdown_table(small_sweep)
+        assert "Chips" in table and "Computation" in table and "Speedup" in table
+        assert "1.00x" in table
+        # One row per chip count plus header and separator.
+        assert len(table.splitlines()) == 2 + 2
+
+    def test_energy_runtime_table_contents(self, small_sweep):
+        table = energy_runtime_table(small_sweep)
+        assert "Energy/block" in table and "L3 traffic" in table
+        assert "MiB" in table
+
+    def test_scaling_table_contents(self, small_sweep):
+        table = scaling_table(small_sweep.scaling(), title="Scaling")
+        assert table.startswith("Scaling")
+        assert "Efficiency" in table and "EDP gain" in table
+
+    def test_comparison_table_fills_missing_cells(self):
+        table = comparison_table(
+            {"Ours": {"Platform": "MCU"}}, headers=["Platform", "Pipelining"]
+        )
+        assert "MCU" in table
+        assert "-" in table

@@ -1,0 +1,129 @@
+"""Unit tests for the hierarchical collective plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collectives import (
+    CollectivePlan,
+    CommRound,
+    Transfer,
+    all_to_one_reduce,
+    estimate_plan_cycles,
+    hierarchical_all_reduce,
+    hierarchical_broadcast,
+)
+from repro.errors import ConfigurationError
+from repro.hw.presets import siracusa_platform
+
+
+class TestTransfer:
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transfer(src=1, dst=1, num_bytes=4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transfer(src=0, dst=1, num_bytes=-1)
+
+
+class TestHierarchicalAllReduce:
+    def test_single_chip_has_no_rounds(self):
+        plan = hierarchical_all_reduce(siracusa_platform(1), 512)
+        assert plan.rounds == ()
+        assert plan.total_bytes == 0
+
+    def test_eight_chips_two_levels(self):
+        plan = hierarchical_all_reduce(siracusa_platform(8), 512)
+        assert len(plan.rounds) == 2
+        # Level 0: three members per group send to the two leaders (0 and 4).
+        first = plan.rounds[0]
+        assert len(first.transfers) == 6
+        assert {t.dst for t in first.transfers} == {0, 4}
+        # Level 1: leader 4 sends to the root.
+        second = plan.rounds[1]
+        assert len(second.transfers) == 1
+        assert second.transfers[0].src == 4 and second.transfers[0].dst == 0
+
+    def test_every_chip_sends_exactly_once(self):
+        platform = siracusa_platform(64)
+        plan = hierarchical_all_reduce(platform, 100)
+        senders = [t.src for round_ in plan.rounds for t in round_.transfers]
+        assert len(senders) == len(set(senders)) == 63
+        assert plan.num_transfers == 63
+        assert plan.total_bytes == 63 * 100
+
+    def test_non_power_of_group_chip_count(self):
+        plan = hierarchical_all_reduce(siracusa_platform(6), 64)
+        senders = {t.src for round_ in plan.rounds for t in round_.transfers}
+        assert senders == {1, 2, 3, 4, 5}
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hierarchical_all_reduce(siracusa_platform(4), -1)
+
+
+class TestHierarchicalBroadcast:
+    def test_broadcast_mirrors_reduce(self):
+        platform = siracusa_platform(8)
+        reduce_plan = hierarchical_all_reduce(platform, 512)
+        broadcast_plan = hierarchical_broadcast(platform, 512)
+        reduce_edges = {
+            (t.src, t.dst) for round_ in reduce_plan.rounds for t in round_.transfers
+        }
+        broadcast_edges = {
+            (t.dst, t.src) for round_ in broadcast_plan.rounds for t in round_.transfers
+        }
+        assert reduce_edges == broadcast_edges
+
+    def test_broadcast_rounds_start_at_root(self):
+        plan = hierarchical_broadcast(siracusa_platform(8), 512)
+        first = plan.rounds[0]
+        assert all(t.src == 0 for t in first.transfers)
+
+    def test_every_non_root_chip_receives_exactly_once(self):
+        plan = hierarchical_broadcast(siracusa_platform(32), 64)
+        receivers = [t.dst for round_ in plan.rounds for t in round_.transfers]
+        assert len(receivers) == len(set(receivers)) == 31
+
+
+class TestAllToOneReduce:
+    def test_flat_reduce_single_round(self):
+        plan = all_to_one_reduce(siracusa_platform(8), 512)
+        assert len(plan.rounds) == 1
+        assert len(plan.rounds[0].transfers) == 7
+        assert {t.dst for t in plan.rounds[0].transfers} == {0}
+
+    def test_single_chip_is_empty(self):
+        assert all_to_one_reduce(siracusa_platform(1), 512).rounds == ()
+
+
+class TestPlanQueries:
+    def test_transfers_involving(self):
+        plan = hierarchical_all_reduce(siracusa_platform(8), 512)
+        involving_four = plan.transfers_involving(4)
+        # Chip 4 receives from 5, 6, 7 and then sends to 0.
+        assert len(involving_four) == 4
+
+    def test_estimate_matches_hand_computation(self):
+        platform = siracusa_platform(8)
+        payload = 512
+        plan = hierarchical_all_reduce(platform, payload)
+        link = platform.link
+        per_message = link.transfer_cycles(payload, platform.frequency_hz)
+        # Round 0: three serialised messages at each leader; round 1: one.
+        expected = 3 * per_message + 1 * per_message
+        assert estimate_plan_cycles(plan, platform) == pytest.approx(expected)
+
+    def test_flat_reduce_slower_than_hierarchical_at_scale(self):
+        platform = siracusa_platform(64)
+        payload = 512
+        hierarchical = estimate_plan_cycles(
+            hierarchical_all_reduce(platform, payload), platform
+        )
+        flat = estimate_plan_cycles(all_to_one_reduce(platform, payload), platform)
+        assert hierarchical < flat
+
+    def test_empty_plan_costs_nothing(self):
+        plan = CollectivePlan(name="empty", rounds=(CommRound(transfers=()),))
+        assert estimate_plan_cycles(plan, siracusa_platform(2)) == 0.0

@@ -1,0 +1,196 @@
+"""Integration tests for the experiment drivers (one per figure/table).
+
+These are the programmatic counterpart of EXPERIMENTS.md: each test runs
+one experiment and asserts the qualitative shape of the corresponding
+figure or table of the paper.  The benchmarks in ``benchmarks/`` print the
+full series; here we only assert.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import WeightResidency
+from repro.core.schedule import RuntimeCategory
+from repro.experiments.fig4 import (
+    mobilebert_workload,
+    render_fig4,
+    run_fig4,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    tinyllama_autoregressive_workload,
+    tinyllama_prompt_workload,
+)
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.headline import render_headline, run_headline
+from repro.experiments.table1 import render_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def fig4a():
+    return run_fig4a()
+
+
+@pytest.fixture(scope="module")
+def fig4b():
+    return run_fig4b()
+
+
+@pytest.fixture(scope="module")
+def fig4c():
+    return run_fig4c()
+
+
+class TestWorkloadDefinitions:
+    def test_fig4_workloads_match_paper_setup(self):
+        decode = tinyllama_autoregressive_workload()
+        assert decode.config.embed_dim == 512
+        assert decode.seq_len == 128
+        assert tinyllama_prompt_workload().seq_len == 16
+        bert = mobilebert_workload()
+        assert bert.seq_len == 268
+        assert bert.config.num_heads == 4
+
+
+class TestFig4:
+    def test_autoregressive_super_linear_at_8(self, fig4a):
+        speedups = fig4a.speedups()
+        assert speedups[8] > 8
+        assert all(speedups[n] <= n * 1.15 for n in (1, 2, 4))
+
+    def test_autoregressive_l3_dominates_small_systems(self, fig4a):
+        breakdowns = fig4a.breakdowns()
+        assert (
+            breakdowns[1][RuntimeCategory.DMA_L3_L2]
+            > breakdowns[1][RuntimeCategory.COMPUTE]
+        )
+        assert breakdowns[8][RuntimeCategory.DMA_L3_L2] == 0
+
+    def test_prompt_super_linear_but_smaller_than_autoregressive(self, fig4a, fig4b):
+        assert fig4b.speedups()[8] > 8
+        assert fig4b.speedups()[8] < fig4a.speedups()[8]
+
+    def test_prompt_is_compute_dominated(self, fig4b):
+        for breakdown in fig4b.breakdowns().values():
+            assert (
+                breakdown[RuntimeCategory.COMPUTE]
+                > breakdown[RuntimeCategory.DMA_L3_L2]
+            )
+
+    def test_mobilebert_super_linear_at_4_with_energy_penalty(self, fig4c):
+        assert fig4c.speedups()[4] > 4
+        energies = fig4c.energies_joules()
+        assert energies[4] > energies[1]
+
+    def test_run_fig4_bundles_all_panels(self):
+        result = run_fig4()
+        speedups = result.speedups()
+        assert set(speedups) == {
+            "tinyllama_autoregressive",
+            "tinyllama_prompt",
+            "mobilebert",
+        }
+
+    def test_render_fig4_mentions_every_panel(self):
+        text = render_fig4(run_fig4())
+        assert "Fig. 4(a)" in text and "Fig. 4(b)" in text and "Fig. 4(c)" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_fig5()
+
+    def test_energy_stays_in_range_for_tinyllama(self, fig5):
+        energies = fig5.autoregressive.energies_joules()
+        assert 0.8 < energies[8] / energies[1] < 1.2
+
+    def test_scaled_model_energy_drops_when_fully_resident(self, fig5):
+        scaled = fig5.autoregressive_scaled
+        assert (
+            scaled.report_for(32).block_energy_joules
+            < scaled.report_for(16).block_energy_joules
+        )
+
+    def test_points_cover_all_series(self, fig5):
+        points = fig5.points()
+        assert len(points) == 5
+        assert all(points.values())
+
+    def test_render_fig5(self, fig5):
+        text = render_fig5(fig5)
+        assert "Fig. 5(a)" in text and "scaled-up" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6()
+
+    def test_quasi_linear_autoregressive_scaling(self, fig6):
+        speedups = fig6.autoregressive.speedups()
+        assert speedups[64] > 0.7 * 64
+        assert speedups[8] > 8 and speedups[32] > 32
+
+    def test_prompt_has_diminishing_returns(self, fig6):
+        speedups = fig6.prompt.speedups()
+        assert speedups[64] / 64 < 0.5
+        assert speedups[16] / 16 > 0.7
+
+    def test_residency_transitions(self, fig6):
+        residencies = {
+            report.num_chips: report.residencies()[0]
+            for report in fig6.autoregressive.reports
+        }
+        assert residencies[16] is WeightResidency.DOUBLE_BUFFERED
+        assert residencies[32] is WeightResidency.ALL_RESIDENT
+
+    def test_render_fig6(self, fig6):
+        text = render_fig6(fig6)
+        assert "autoregressive" in text and "prompt" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1()
+
+    def test_ours_is_last_and_fastest(self, table1):
+        ours = table1.ours()
+        assert "tensor parallel" in ours.approach.lower()
+        assert ours.block_cycles == min(r.block_cycles for r in table1.measured)
+        assert table1.speedup_over_best_baseline() > 8
+
+    def test_render_contains_qualitative_and_measured_parts(self, table1):
+        text = render_table1(table1)
+        assert "Table I (as published)" in text
+        assert "Quantitative ablation" in text
+        assert "Hermes [22]" in text
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def headline(self):
+        return run_headline()
+
+    def test_every_metric_has_paper_and_measured_value(self, headline):
+        assert len(headline.metrics) >= 8
+        for metric in headline.metrics:
+            assert metric.paper_value > 0
+            assert metric.measured_value > 0
+            assert metric.ratio > 0
+
+    def test_direction_of_headline_claims(self, headline):
+        assert headline.metric("tinyllama_autoregressive_speedup_8_chips").measured_value > 8
+        assert headline.metric("mobilebert_speedup_4_chips").measured_value > 4
+        assert headline.metric("scaled_tinyllama_energy_reduction_64_chips").measured_value > 1
+
+    def test_unknown_metric_raises(self, headline):
+        with pytest.raises(KeyError):
+            headline.metric("does_not_exist")
+
+    def test_render_headline(self, headline):
+        text = render_headline(headline)
+        assert "Paper" in text and "Measured" in text

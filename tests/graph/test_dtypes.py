@@ -1,0 +1,73 @@
+"""Unit tests for tensor element types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dtypes import (
+    DType,
+    FLOAT16,
+    FLOAT32,
+    INT16,
+    INT32,
+    INT8,
+    dtype_from_name,
+    register_dtype,
+)
+
+
+class TestBuiltinDtypes:
+    def test_int8_is_one_byte(self):
+        assert INT8.size_bytes == 1
+        assert not INT8.is_float
+
+    def test_int32_is_four_bytes(self):
+        assert INT32.size_bytes == 4
+
+    def test_float_types_are_flagged(self):
+        assert FLOAT16.is_float
+        assert FLOAT32.is_float
+        assert not INT16.is_float
+
+    def test_str_is_name(self):
+        assert str(INT8) == "int8"
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,expected", [
+        ("int8", INT8),
+        ("int16", INT16),
+        ("int32", INT32),
+        ("float16", FLOAT16),
+        ("float32", FLOAT32),
+    ])
+    def test_lookup_by_name(self, name, expected):
+        assert dtype_from_name(name) is expected
+
+    def test_lookup_is_case_insensitive(self):
+        assert dtype_from_name("  INT8 ") is INT8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dtype"):
+            dtype_from_name("bfloat16")
+
+
+class TestCustomDtypes:
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            DType("broken", 0)
+
+    def test_register_and_lookup(self):
+        custom = DType("int4x2", 1)
+        register_dtype(custom)
+        assert dtype_from_name("int4x2") is custom
+
+    def test_re_register_identical_is_noop(self):
+        custom = DType("uint8", 1)
+        register_dtype(custom)
+        register_dtype(DType("uint8", 1))
+
+    def test_conflicting_registration_rejected(self):
+        register_dtype(DType("int12", 2))
+        with pytest.raises(ValueError, match="already registered"):
+            register_dtype(DType("int12", 3))

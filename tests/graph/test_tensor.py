@@ -1,0 +1,95 @@
+"""Unit tests for tensor shape descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dtypes import FLOAT32, INT32, INT8
+from repro.graph.tensor import TensorGroup, TensorSpec
+
+
+class TestTensorSpec:
+    def test_basic_sizing(self):
+        tensor = TensorSpec("weights", (512, 2048), INT8)
+        assert tensor.num_elements == 512 * 2048
+        assert tensor.size_bytes == 512 * 2048
+        assert tensor.rank == 2
+
+    def test_dtype_scales_bytes(self):
+        tensor = TensorSpec("acc", (16, 512), INT32)
+        assert tensor.size_bytes == 16 * 512 * 4
+
+    def test_zero_dimension_is_legal(self):
+        tensor = TensorSpec("empty_cache", (0, 8, 64))
+        assert tensor.num_elements == 0
+        assert tensor.size_bytes == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", (4,))
+
+    def test_scalar_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("scalar", ())
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("bad", (4, -1))
+
+    def test_non_integer_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("bad", (4, 2.5))
+
+    def test_with_name_and_dtype(self):
+        tensor = TensorSpec("x", (4, 4))
+        renamed = tensor.with_name("y")
+        retyped = tensor.with_dtype(FLOAT32)
+        assert renamed.name == "y" and renamed.shape == tensor.shape
+        assert retyped.dtype is FLOAT32
+        assert retyped.size_bytes == 4 * tensor.size_bytes
+
+    def test_slice_dim(self):
+        tensor = TensorSpec("w_q", (512, 512))
+        sliced = tensor.slice_dim(1, 64, name="w_q_slice")
+        assert sliced.shape == (512, 64)
+        assert sliced.name == "w_q_slice"
+        assert sliced.size_bytes == 512 * 64
+
+    def test_slice_dim_negative_axis(self):
+        tensor = TensorSpec("w", (8, 128, 64))
+        assert tensor.slice_dim(-1, 8).shape == (8, 128, 8)
+
+    def test_slice_dim_out_of_range_axis(self):
+        with pytest.raises(ValueError):
+            TensorSpec("w", (8, 8)).slice_dim(2, 4)
+
+    def test_slice_dim_negative_size(self):
+        with pytest.raises(ValueError):
+            TensorSpec("w", (8, 8)).slice_dim(0, -1)
+
+    def test_str_contains_shape_and_dtype(self):
+        rendered = str(TensorSpec("q", (16, 64), INT8))
+        assert "q" in rendered and "16x64" in rendered and "int8" in rendered
+
+
+class TestTensorGroup:
+    def test_group_size_is_sum(self):
+        group = TensorGroup(
+            "weights",
+            (TensorSpec("a", (4, 4)), TensorSpec("b", (2, 8), INT32)),
+        )
+        assert group.size_bytes == 16 + 64
+        assert group.num_tensors == 2
+        assert len(group) == 2
+
+    def test_empty_group(self):
+        group = TensorGroup("empty")
+        assert group.size_bytes == 0
+        assert list(group) == []
+
+    def test_extend_returns_new_group(self):
+        group = TensorGroup("g", (TensorSpec("a", (4,)),))
+        extended = group.extend((TensorSpec("b", (8,)),))
+        assert group.num_tensors == 1
+        assert extended.num_tensors == 2
+        assert extended.size_bytes == 12

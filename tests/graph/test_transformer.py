@@ -1,0 +1,223 @@
+"""Unit tests for the Transformer configuration and block builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.ops import (
+    ActivationKind,
+    AttentionMatmulOp,
+    ElementwiseOp,
+    LinearOp,
+    NormKind,
+    NormOp,
+    SoftmaxOp,
+)
+from repro.graph.transformer import (
+    BlockSlice,
+    FfnKind,
+    TransformerConfig,
+    build_block_operators,
+    full_block_slice,
+    slice_weight_bytes,
+)
+
+
+def small_config(**overrides) -> TransformerConfig:
+    defaults = dict(
+        name="tiny-test",
+        embed_dim=64,
+        ffn_dim=128,
+        num_heads=4,
+        num_layers=2,
+        vocab_size=1000,
+    )
+    defaults.update(overrides)
+    return TransformerConfig(**defaults)
+
+
+class TestTransformerConfig:
+    def test_head_dim_defaults_to_embed_over_heads(self):
+        config = small_config()
+        assert config.head_dim == 16
+        assert config.projection_dim == 64
+
+    def test_explicit_head_dim(self):
+        config = small_config(head_dim=8)
+        assert config.projection_dim == 32
+
+    def test_indivisible_heads_require_explicit_head_dim(self):
+        with pytest.raises(ConfigurationError):
+            small_config(num_heads=3)
+
+    def test_parameter_counts_standard_ffn(self):
+        config = small_config()
+        assert config.attention_weight_params == 4 * 64 * 64
+        assert config.ffn_weight_params == 2 * 64 * 128
+        assert config.block_weight_params == 4 * 64 * 64 + 2 * 64 * 128
+        assert config.total_params == 2 * config.block_weight_params + 1000 * 64
+
+    def test_parameter_counts_gated_ffn(self):
+        config = small_config(ffn_kind=FfnKind.GATED)
+        assert config.num_ffn_matrices == 3
+        assert config.ffn_weight_params == 3 * 64 * 128
+
+    def test_untied_embeddings_double_table(self):
+        tied = small_config()
+        untied = small_config(tie_embeddings=False)
+        assert untied.embedding_params == 2 * tied.embedding_params
+
+    def test_block_weight_bytes_follow_dtype(self):
+        config = small_config()
+        assert config.block_weight_bytes == config.block_weight_params
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_config(embed_dim=0)
+        with pytest.raises(ConfigurationError):
+            small_config(num_layers=0)
+        with pytest.raises(ConfigurationError):
+            small_config(vocab_size=0)
+
+    def test_scaled_heads_preserves_projection_width(self):
+        config = small_config()
+        scaled = config.scaled_heads(16)
+        assert scaled.num_heads == 16
+        assert scaled.head_dim == 4
+        assert scaled.projection_dim == config.projection_dim
+        assert scaled.block_weight_params == config.block_weight_params
+
+    def test_scaled_heads_rejects_indivisible_width(self):
+        with pytest.raises(ConfigurationError):
+            small_config().scaled_heads(48)
+
+
+class TestBlockSlice:
+    def test_full_slice_matches_config(self):
+        config = small_config()
+        slice_ = full_block_slice(config)
+        assert slice_.num_heads == config.num_heads
+        assert slice_.ffn_cols == config.ffn_dim
+
+    def test_negative_slice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockSlice(num_heads=-1, ffn_cols=4)
+
+    def test_slice_weight_bytes_full_equals_block(self):
+        config = small_config()
+        assert slice_weight_bytes(config, full_block_slice(config)) == (
+            config.block_weight_bytes
+        )
+
+    def test_slice_weight_bytes_scale_with_slice(self):
+        config = small_config()
+        half = BlockSlice(num_heads=2, ffn_cols=64)
+        assert slice_weight_bytes(config, half) == config.block_weight_bytes // 2
+
+
+class TestBuildBlockOperators:
+    def test_autoregressive_block_structure(self):
+        config = small_config()
+        ops = build_block_operators(
+            config, query_rows=1, kv_rows=1, attended_positions=32
+        )
+        names = [op.name for op in ops.all_operators]
+        assert "attn.query_proj" in names
+        assert "attn.kv_cache_append" in names
+        assert "attn.softmax" in names
+        assert "ffn.down_proj" in names
+        assert names.index("attn.scores") < names.index("attn.softmax")
+        assert names.index("attn.softmax") < names.index("attn.context")
+
+    def test_encoder_block_has_no_kv_append(self):
+        config = small_config()
+        ops = build_block_operators(
+            config, query_rows=32, kv_rows=32, attended_positions=32
+        )
+        names = [op.name for op in ops.all_operators]
+        assert "attn.kv_cache_append" not in names
+
+    def test_gated_ffn_adds_gate_ops(self):
+        config = small_config(ffn_kind=FfnKind.GATED, activation=ActivationKind.SILU)
+        ops = build_block_operators(
+            config, query_rows=4, kv_rows=4, attended_positions=4
+        )
+        names = [op.name for op in ops.ffn]
+        assert "ffn.gate_proj" in names
+        assert "ffn.gate_mul" in names
+
+    def test_norm_and_residual_only_on_root_slice(self):
+        config = small_config()
+        root = build_block_operators(
+            config,
+            query_rows=1,
+            kv_rows=1,
+            attended_positions=16,
+            slice_=BlockSlice(num_heads=2, ffn_cols=64, holds_norms=True,
+                              holds_residual=True),
+        )
+        worker = build_block_operators(
+            config,
+            query_rows=1,
+            kv_rows=1,
+            attended_positions=16,
+            slice_=BlockSlice(num_heads=2, ffn_cols=64, holds_norms=False,
+                              holds_residual=False),
+        )
+        root_names = [op.name for op in root.all_operators]
+        worker_names = [op.name for op in worker.all_operators]
+        assert "attn.norm" in root_names and "ffn.norm" in root_names
+        assert "attn.norm" not in worker_names
+        assert "attn.residual_add" not in worker_names
+
+    def test_empty_slice_produces_only_root_ops(self):
+        config = small_config()
+        ops = build_block_operators(
+            config,
+            query_rows=1,
+            kv_rows=1,
+            attended_positions=16,
+            slice_=BlockSlice(num_heads=0, ffn_cols=0),
+        )
+        kinds = {type(op) for op in ops.all_operators}
+        assert LinearOp not in kinds
+        assert AttentionMatmulOp not in kinds
+        assert kinds <= {ElementwiseOp, NormOp, SoftmaxOp}
+
+    def test_slice_macs_sum_to_full_block(self):
+        """Partial per-chip MAC counts must add up to the whole block."""
+        config = small_config()
+        full = build_block_operators(
+            config, query_rows=4, kv_rows=4, attended_positions=4,
+            slice_=BlockSlice(num_heads=4, ffn_cols=128, holds_norms=False,
+                              holds_residual=False),
+        )
+        parts = [
+            build_block_operators(
+                config, query_rows=4, kv_rows=4, attended_positions=4,
+                slice_=BlockSlice(num_heads=1, ffn_cols=32, holds_norms=False,
+                                  holds_residual=False),
+            )
+            for _ in range(4)
+        ]
+        full_macs = sum(op.macs for op in full.all_operators)
+        part_macs = sum(
+            op.macs for part in parts for op in part.all_operators
+        )
+        assert part_macs == full_macs
+
+    def test_invalid_rows_rejected(self):
+        config = small_config()
+        with pytest.raises(ConfigurationError):
+            build_block_operators(
+                config, query_rows=0, kv_rows=1, attended_positions=4
+            )
+
+    def test_norm_kind_propagates(self):
+        config = small_config(norm_kind=NormKind.RMSNORM)
+        ops = build_block_operators(
+            config, query_rows=1, kv_rows=1, attended_positions=4
+        )
+        norms = [op for op in ops.all_operators if isinstance(op, NormOp)]
+        assert norms and all(op.kind is NormKind.RMSNORM for op in norms)

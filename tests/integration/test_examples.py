@@ -1,0 +1,52 @@
+"""Smoke tests for the runnable examples.
+
+The examples are part of the public deliverable, so the fast ones are
+executed end to end as subprocesses (the slower sweeps are exercised
+indirectly through the experiment tests and the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    """Run one example script and return its stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    def test_quickstart_reports_super_linear_speedup(self):
+        output = run_example("quickstart.py")
+        assert "super-linear" in output
+        assert "8 chip" in output
+        assert "EDP improvement" in output
+
+    def test_partition_correctness_demo_is_exact(self):
+        output = run_example("partition_correctness_demo.py")
+        assert "FAIL" not in output
+        assert "OK" in output
+        assert "3,145,728" in output  # scattered == un-partitioned parameters
+
+    @pytest.mark.slow
+    def test_scalability_study_runs(self):
+        output = run_example("scalability_study.py")
+        assert "64" in output and "all_resident" in output

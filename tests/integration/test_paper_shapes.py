@@ -1,0 +1,148 @@
+"""Integration tests pinning the paper's qualitative results.
+
+Each test corresponds to a claim in the paper's evaluation section and
+checks the *shape* of our reproduction: who wins, by roughly what factor,
+and where the on-chip-residency crossovers fall.  The exact paper-vs-
+measured numbers are recorded in EXPERIMENTS.md; these tests guarantee the
+claims keep holding as the library evolves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    autoregressive,
+    chip_count_sweep,
+    encoder,
+    mobilebert,
+    prompt,
+    tinyllama_42m,
+    tinyllama_scaled,
+)
+from repro.core.placement import WeightResidency
+from repro.core.schedule import RuntimeCategory
+
+
+@pytest.fixture(scope="module")
+def autoregressive_sweep():
+    return chip_count_sweep(autoregressive(tinyllama_42m(), 128), (1, 2, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def prompt_sweep():
+    return chip_count_sweep(prompt(tinyllama_42m(), 16), (1, 2, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def mobilebert_sweep():
+    return chip_count_sweep(encoder(mobilebert(), 268), (1, 2, 4))
+
+
+@pytest.fixture(scope="module")
+def scaled_sweep():
+    return chip_count_sweep(autoregressive(tinyllama_scaled(), 128), (1, 8, 16, 32, 64))
+
+
+class TestAbstractClaims:
+    """Claims from the abstract: 26.1x, 0.64 mJ, 0.54 ms, 27.2x EDP."""
+
+    def test_super_linear_speedup_at_8_chips(self, autoregressive_sweep):
+        speedup = autoregressive_sweep.speedups()[8]
+        assert speedup > 8
+        assert speedup == pytest.approx(26.1, rel=0.35)
+
+    def test_energy_per_block_near_0_64_mj(self, autoregressive_sweep):
+        energy = autoregressive_sweep.report_for(8).block_energy_joules
+        assert energy == pytest.approx(0.64e-3, rel=0.35)
+
+    def test_latency_per_block_sub_millisecond(self, autoregressive_sweep):
+        latency = autoregressive_sweep.report_for(8).block_runtime_seconds
+        assert latency == pytest.approx(0.54e-3, rel=0.5)
+
+    def test_edp_improvement_near_27x(self, autoregressive_sweep):
+        one = autoregressive_sweep.report_for(1)
+        eight = autoregressive_sweep.report_for(8)
+        improvement = one.energy_delay_product / eight.energy_delay_product
+        assert improvement == pytest.approx(27.2, rel=0.35)
+
+
+class TestSectionVB:
+    """Claims from Sec. V-B (runtime and energy consumption)."""
+
+    def test_super_linear_only_at_8_chips(self, autoregressive_sweep):
+        speedups = autoregressive_sweep.speedups()
+        assert speedups[8] > 8
+        for num_chips in (2, 4):
+            assert speedups[num_chips] < speedups[8] / 2
+            assert speedups[num_chips] <= num_chips * 1.15
+
+    def test_small_systems_dominated_by_off_chip_transfers(self, autoregressive_sweep):
+        for num_chips in (1, 2, 4):
+            breakdown = autoregressive_sweep.report_for(num_chips).runtime_breakdown()
+            total_busy = sum(
+                value
+                for category, value in breakdown.items()
+                if category is not RuntimeCategory.IDLE
+            )
+            assert breakdown[RuntimeCategory.DMA_L3_L2] > 0.4 * total_busy
+
+    def test_eight_chip_energy_similar_to_single_chip(self, autoregressive_sweep):
+        energies = autoregressive_sweep.energies_joules()
+        assert 0.8 < energies[8] / energies[1] < 1.2
+
+    def test_prompt_mode_speedup_near_9_9(self, prompt_sweep):
+        assert prompt_sweep.speedups()[8] == pytest.approx(9.9, rel=0.35)
+
+    def test_prompt_mode_less_memory_bound_than_autoregressive(
+        self, prompt_sweep, autoregressive_sweep
+    ):
+        prompt_one = prompt_sweep.report_for(1).runtime_breakdown()
+        decode_one = autoregressive_sweep.report_for(1).runtime_breakdown()
+        prompt_l3_share = prompt_one[RuntimeCategory.DMA_L3_L2] / sum(prompt_one.values())
+        decode_l3_share = decode_one[RuntimeCategory.DMA_L3_L2] / sum(decode_one.values())
+        assert prompt_l3_share < decode_l3_share
+
+    def test_mobilebert_speedup_near_4_7(self, mobilebert_sweep):
+        assert mobilebert_sweep.speedups()[4] == pytest.approx(4.7, rel=0.2)
+
+    def test_mobilebert_energy_slightly_increases(self, mobilebert_sweep):
+        energies = mobilebert_sweep.energies_joules()
+        assert 1.0 < energies[4] / energies[1] < 1.2
+
+
+class TestSectionVC:
+    """Claims from Sec. V-C (scalability study)."""
+
+    def test_speedup_near_60x_at_64_chips(self, scaled_sweep):
+        assert scaled_sweep.speedups()[64] == pytest.approx(60.1, rel=0.3)
+
+    def test_super_linear_for_8_to_32_chips(self, scaled_sweep):
+        speedups = scaled_sweep.speedups()
+        for num_chips in (8, 16, 32):
+            assert speedups[num_chips] > num_chips
+
+    def test_energy_reduction_once_fully_resident(self, scaled_sweep):
+        energies = scaled_sweep.energies_joules()
+        assert energies[1] / energies[64] == pytest.approx(1.3, rel=0.3)
+        assert energies[32] < energies[16]
+
+    def test_double_buffering_needed_only_below_32_chips(self, scaled_sweep):
+        residencies = {
+            report.num_chips: report.residencies()[0]
+            for report in scaled_sweep.reports
+        }
+        assert residencies[8] is WeightResidency.DOUBLE_BUFFERED
+        assert residencies[16] is WeightResidency.DOUBLE_BUFFERED
+        assert residencies[32] is WeightResidency.ALL_RESIDENT
+        assert residencies[64] is WeightResidency.ALL_RESIDENT
+        assert scaled_sweep.report_for(32).total_l3_bytes == 0
+
+    def test_no_weight_replication_at_any_scale(self, scaled_sweep):
+        config = tinyllama_scaled()
+        for report in scaled_sweep.reports:
+            total_weights = sum(
+                plan.block_weight_bytes
+                for plan in report.program.memory_plans.values()
+            )
+            assert total_weights == config.block_weight_bytes

@@ -1,0 +1,101 @@
+"""Unit tests for the model zoo (TinyLlama, MobileBERT, registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.ops import ActivationKind, NormKind
+from repro.graph.transformer import FfnKind
+from repro.models import (
+    get_model,
+    list_models,
+    mobilebert,
+    register_model,
+    tinyllama_42m,
+    tinyllama_gated,
+    tinyllama_scaled,
+)
+from repro.units import MIB
+
+
+class TestTinyLlama:
+    def test_paper_configuration(self):
+        config = tinyllama_42m()
+        assert config.embed_dim == 512
+        assert config.ffn_dim == 2048
+        assert config.num_heads == 8
+        assert config.num_layers == 8
+        assert config.norm_kind is NormKind.RMSNORM
+        assert config.activation is ActivationKind.SILU
+
+    def test_parameter_count_is_about_42_million(self):
+        config = tinyllama_42m()
+        assert 40e6 < config.total_params < 44e6
+
+    def test_one_block_exceeds_single_chip_l2(self):
+        """The premise of the paper: one block does not fit in 2 MiB of L2."""
+        config = tinyllama_42m()
+        assert config.block_weight_bytes > 2 * MIB
+
+    def test_scaled_model_keeps_everything_but_heads(self):
+        original = tinyllama_42m()
+        scaled = tinyllama_scaled()
+        assert scaled.num_heads == 64
+        assert scaled.head_dim == 8
+        assert scaled.embed_dim == original.embed_dim
+        assert scaled.ffn_dim == original.ffn_dim
+        assert scaled.num_layers == original.num_layers
+        assert scaled.block_weight_params == original.block_weight_params
+
+    def test_scaled_model_custom_head_count(self):
+        assert tinyllama_scaled(16).num_heads == 16
+
+    def test_gated_variant_is_also_about_42_million(self):
+        config = tinyllama_gated()
+        assert config.ffn_kind is FfnKind.GATED
+        assert 40e6 < config.total_params < 44e6
+
+
+class TestMobileBert:
+    def test_paper_configuration(self):
+        config = mobilebert()
+        assert config.embed_dim == 512
+        assert config.ffn_dim == 512
+        assert config.num_heads == 4
+        assert config.num_layers == 24
+        assert config.ffn_kind is FfnKind.STANDARD
+        assert config.norm_kind is NormKind.LAYERNORM
+
+    def test_block_weights_are_about_one_and_a_half_mib(self):
+        config = mobilebert()
+        assert 1.4 * MIB < config.block_weight_bytes < 1.6 * MIB
+
+
+class TestRegistry:
+    def test_known_models_listed(self):
+        names = list_models()
+        assert "tinyllama-42m" in names
+        assert "tinyllama-42m-64h" in names
+        assert "mobilebert" in names
+
+    def test_lookup_returns_fresh_config(self):
+        first = get_model("tinyllama-42m")
+        second = get_model("tinyllama-42m")
+        assert first == second
+        assert first is not second
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model("MobileBERT").name == "mobilebert"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            get_model("gpt-4")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_model("tinyllama-42m", tinyllama_42m)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_model("  ", tinyllama_42m)

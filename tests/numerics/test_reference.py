@@ -1,0 +1,164 @@
+"""Unit tests for the numpy reference Transformer block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.ops import ActivationKind, NormKind
+from repro.graph.transformer import FfnKind, TransformerConfig
+from repro.numerics.reference import (
+    BlockWeights,
+    ReferenceBlock,
+    gelu,
+    layernorm,
+    relu,
+    rmsnorm,
+    silu,
+    softmax,
+)
+
+
+def tiny_config(**overrides) -> TransformerConfig:
+    defaults = dict(
+        name="numerics-test",
+        embed_dim=32,
+        ffn_dim=64,
+        num_heads=4,
+        num_layers=1,
+        vocab_size=100,
+    )
+    defaults.update(overrides)
+    return TransformerConfig(**defaults)
+
+
+class TestActivationFunctions:
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).standard_normal((5, 9))
+        probabilities = softmax(x)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0, rtol=1e-12)
+        assert (probabilities >= 0).all()
+
+    def test_softmax_is_shift_invariant(self):
+        x = np.random.default_rng(1).standard_normal((3, 7))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-12)
+
+    def test_softmax_handles_large_values(self):
+        x = np.array([[1000.0, 1000.0, -1000.0]])
+        probabilities = softmax(x)
+        assert np.isfinite(probabilities).all()
+        np.testing.assert_allclose(probabilities[0, :2], 0.5, atol=1e-9)
+
+    def test_relu(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_gelu_limits(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+    def test_silu_limits(self):
+        assert silu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_layernorm_zero_mean_unit_variance(self):
+        x = np.random.default_rng(2).standard_normal((4, 64)) * 5 + 3
+        normalised = layernorm(x)
+        np.testing.assert_allclose(normalised.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(normalised.std(axis=-1), 1.0, rtol=1e-3)
+
+    def test_rmsnorm_unit_rms(self):
+        x = np.random.default_rng(3).standard_normal((4, 64)) * 2
+        normalised = rmsnorm(x)
+        rms = np.sqrt(np.mean(normalised**2, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+
+class TestBlockWeights:
+    def test_random_shapes(self):
+        config = tiny_config()
+        weights = BlockWeights.random(config)
+        assert weights.w_query.shape == (32, 32)
+        assert weights.w_ffn_up.shape == (32, 64)
+        assert weights.w_ffn_down.shape == (64, 32)
+        assert weights.w_ffn_gate is None
+
+    def test_gated_config_gets_gate_matrix(self):
+        config = tiny_config(ffn_kind=FfnKind.GATED, activation=ActivationKind.SILU)
+        weights = BlockWeights.random(config)
+        assert weights.w_ffn_gate is not None
+        assert weights.w_ffn_gate.shape == (32, 64)
+
+    def test_random_is_deterministic_per_seed(self):
+        config = tiny_config()
+        first = BlockWeights.random(config, seed=5)
+        second = BlockWeights.random(config, seed=5)
+        np.testing.assert_array_equal(first.w_query, second.w_query)
+
+    def test_wrong_shape_rejected(self):
+        config = tiny_config()
+        good = BlockWeights.random(config)
+        with pytest.raises(ConfigurationError):
+            BlockWeights(
+                config=config,
+                w_query=good.w_query[:, :16],
+                w_key=good.w_key,
+                w_value=good.w_value,
+                w_output=good.w_output,
+                w_ffn_up=good.w_ffn_up,
+                w_ffn_down=good.w_ffn_down,
+            )
+
+    def test_gate_on_standard_ffn_rejected(self):
+        config = tiny_config()
+        good = BlockWeights.random(config)
+        with pytest.raises(ConfigurationError):
+            BlockWeights(
+                config=config,
+                w_query=good.w_query,
+                w_key=good.w_key,
+                w_value=good.w_value,
+                w_output=good.w_output,
+                w_ffn_up=good.w_ffn_up,
+                w_ffn_down=good.w_ffn_down,
+                w_ffn_gate=np.zeros((32, 64)),
+            )
+
+
+class TestReferenceBlock:
+    def test_forward_shape(self):
+        config = tiny_config()
+        block = ReferenceBlock(BlockWeights.random(config))
+        x = np.random.default_rng(0).standard_normal((6, 32))
+        output = block.forward(x)
+        assert output.shape == (6, 32)
+        assert np.isfinite(output).all()
+
+    def test_forward_rejects_wrong_width(self):
+        config = tiny_config()
+        block = ReferenceBlock(BlockWeights.random(config))
+        with pytest.raises(ConfigurationError):
+            block.forward(np.zeros((4, 16)))
+
+    def test_rmsnorm_config_changes_output(self):
+        x = np.random.default_rng(4).standard_normal((4, 32))
+        layernorm_out = ReferenceBlock(
+            BlockWeights.random(tiny_config(norm_kind=NormKind.LAYERNORM))
+        ).forward(x)
+        rmsnorm_out = ReferenceBlock(
+            BlockWeights.random(tiny_config(norm_kind=NormKind.RMSNORM))
+        ).forward(x)
+        assert not np.allclose(layernorm_out, rmsnorm_out)
+
+    def test_attention_is_permutation_equivariant(self):
+        """Without positional encodings, self-attention commutes with row
+        permutations: attention(Px) == P attention(x).  This is a useful
+        sanity check that the per-head softmax and context matmuls are
+        wired correctly."""
+        config = tiny_config()
+        block = ReferenceBlock(BlockWeights.random(config, seed=9))
+        x = np.random.default_rng(5).standard_normal((4, 32))
+        baseline = block.attention(x)
+        permuted = block.attention(x[::-1])
+        np.testing.assert_allclose(permuted[::-1], baseline, atol=1e-12)

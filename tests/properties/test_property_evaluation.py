@@ -1,0 +1,97 @@
+"""Property-based tests of the end-to-end evaluation pipeline.
+
+These explore random (but valid) workload / platform combinations and check
+invariants that must hold regardless of the configuration: conservation of
+weight traffic, consistency between the schedule and the simulation trace,
+and monotonicity of the memory-residency regimes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.evaluate import evaluate_block
+from repro.core.placement import WeightResidency
+from repro.core.schedule import RuntimeCategory
+from repro.graph.transformer import TransformerConfig
+from repro.graph.workload import Workload, InferenceMode
+from repro.hw.presets import siracusa_platform
+
+
+@st.composite
+def evaluation_cases(draw):
+    """Random small workload + platform combinations."""
+    num_heads = draw(st.sampled_from([2, 4, 8]))
+    embed_dim = draw(st.sampled_from([128, 256, 512]))
+    ffn_dim = draw(st.sampled_from([256, 512, 1024]))
+    num_layers = draw(st.integers(min_value=1, max_value=12))
+    config = TransformerConfig(
+        name="hypothesis-eval",
+        embed_dim=embed_dim,
+        ffn_dim=ffn_dim,
+        num_heads=num_heads,
+        num_layers=num_layers,
+        vocab_size=1000,
+    )
+    mode = draw(st.sampled_from(list(InferenceMode)))
+    seq_len = draw(st.sampled_from([8, 32, 128]))
+    workload = Workload(config=config, mode=mode, seq_len=seq_len)
+    num_chips = draw(st.sampled_from([1, 2, num_heads]))
+    return workload, num_chips
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=evaluation_cases())
+def test_evaluation_invariants(case):
+    workload, num_chips = case
+    platform = siracusa_platform(num_chips)
+    report = evaluate_block(workload, platform)
+
+    # Runtime and energy are positive and finite.
+    assert report.block_cycles > 0
+    assert report.block_energy_joules > 0
+
+    # The runtime breakdown never exceeds the wall-clock per chip.
+    breakdown = report.runtime_breakdown()
+    assert sum(breakdown.values()) <= report.block_cycles * num_chips + 1e-6
+    assert breakdown[RuntimeCategory.COMPUTE] > 0
+
+    # Weight-traffic conservation: the off-chip traffic of one block is a
+    # whole multiple of the block's weight bytes per chip (0x when resident,
+    # 1x when loaded/prefetched once, more when re-streamed per row tile),
+    # and it is zero exactly when every chip reports an all-resident plan.
+    residencies = report.residencies().values()
+    if all(residency is WeightResidency.ALL_RESIDENT for residency in residencies):
+        assert report.total_l3_bytes == 0
+    else:
+        assert report.total_l3_bytes >= min(
+            plan.block_weight_bytes
+            for plan in report.program.memory_plans.values()
+            if plan.l3_weight_bytes_per_block > 0
+        )
+
+    # Chip-to-chip traffic exists only on multi-chip systems.
+    if num_chips == 1:
+        assert report.total_c2c_bytes == 0
+    else:
+        assert report.total_c2c_bytes > 0
+
+    # The energy report decomposes consistently.
+    total = report.energy.total
+    assert total.total >= total.l3_l2
+    assert report.energy.total_joules == (
+        total.compute + total.l2_l1 + total.l3_l2 + total.chip_to_chip
+    )
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=evaluation_cases())
+def test_partitioning_never_increases_per_chip_weights(case):
+    workload, num_chips = case
+    if num_chips == 1:
+        return
+    single = evaluate_block(workload, siracusa_platform(1))
+    multi = evaluate_block(workload, siracusa_platform(num_chips))
+    single_weights = single.program.memory_plan(0).block_weight_bytes
+    for plan in multi.program.memory_plans.values():
+        assert plan.block_weight_bytes < single_weights

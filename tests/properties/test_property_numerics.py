@@ -1,0 +1,105 @@
+"""Property-based tests of the partitioning scheme's numerical exactness.
+
+The core correctness claim of the paper — scattering the weights across
+chips and summing the partial outputs computes the same function as the
+un-partitioned block — is checked here over random model shapes, random
+chip counts, random weights, and random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.ops import ActivationKind, NormKind
+from repro.graph.transformer import FfnKind, TransformerConfig
+from repro.numerics.distributed import DistributedBlock
+from repro.numerics.reference import BlockWeights, ReferenceBlock
+from repro.numerics.verify import verify_partition_equivalence
+
+
+@st.composite
+def small_configs(draw):
+    """Small random configurations (kept small so numpy stays fast)."""
+    num_heads = draw(st.integers(min_value=1, max_value=8))
+    head_dim = draw(st.sampled_from([2, 4, 8]))
+    embed_dim = draw(st.sampled_from([8, 16, 32]))
+    ffn_dim = draw(st.integers(min_value=num_heads, max_value=64))
+    ffn_kind = draw(st.sampled_from(list(FfnKind)))
+    norm_kind = draw(st.sampled_from(list(NormKind)))
+    activation = draw(st.sampled_from(list(ActivationKind)))
+    return TransformerConfig(
+        name="hypothesis-numerics",
+        embed_dim=embed_dim,
+        ffn_dim=ffn_dim,
+        num_heads=num_heads,
+        head_dim=head_dim,
+        num_layers=1,
+        vocab_size=100,
+        ffn_kind=ffn_kind,
+        norm_kind=norm_kind,
+        activation=activation,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=small_configs(), data=st.data())
+def test_distributed_block_matches_reference(config, data):
+    num_chips = data.draw(
+        st.integers(min_value=1, max_value=min(config.num_heads, config.ffn_dim))
+    )
+    rows = data.draw(st.integers(min_value=1, max_value=6))
+    seed = data.draw(st.integers(min_value=0, max_value=2**16))
+
+    weights = BlockWeights.random(config, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((rows, config.embed_dim))
+
+    reference = ReferenceBlock(weights).forward(x)
+    distributed = DistributedBlock.from_num_chips(weights, num_chips).forward(x)
+
+    np.testing.assert_allclose(distributed, reference, atol=1e-9, rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=small_configs(), data=st.data())
+def test_scattered_parameters_conserved(config, data):
+    num_chips = data.draw(
+        st.integers(min_value=1, max_value=min(config.num_heads, config.ffn_dim))
+    )
+    weights = BlockWeights.random(config, seed=0)
+    block = DistributedBlock.from_num_chips(weights, num_chips)
+    expected = config.attention_weight_params + config.ffn_weight_params
+    assert block.total_scattered_parameters() == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=small_configs(), data=st.data())
+def test_verify_helper_agrees(config, data):
+    num_chips = data.draw(
+        st.integers(min_value=1, max_value=min(config.num_heads, config.ffn_dim))
+    )
+    report = verify_partition_equivalence(config, num_chips, rows=3, seed=1)
+    assert report.is_equivalent(1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=small_configs(), data=st.data())
+def test_reduction_order_does_not_matter(config, data):
+    """Summing partial outputs in tree order equals plain summation."""
+    num_chips = data.draw(
+        st.integers(min_value=2, max_value=min(config.num_heads, config.ffn_dim))
+        if min(config.num_heads, config.ffn_dim) >= 2
+        else st.just(1)
+    )
+    weights = BlockWeights.random(config, seed=2)
+    block = DistributedBlock.from_num_chips(weights, num_chips)
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((4, config.embed_dim))
+    partials = {
+        chip.chip_id: block.partial_attention(chip.chip_id, x)
+        for chip in block.partition.chips
+    }
+    tree_sum = block.hierarchical_reduce(partials)
+    flat_sum = sum(partials.values())
+    np.testing.assert_allclose(tree_sum, flat_sum, atol=1e-10)

@@ -1,0 +1,122 @@
+"""Property-based tests of the footprint and weight-placement logic."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.footprint import chip_footprint
+from repro.core.partition import partition_block
+from repro.core.placement import WeightResidency, plan_memory
+from repro.graph.transformer import InferenceMode, TransformerConfig
+from repro.graph.workload import Workload
+from repro.hw.presets import siracusa_chip
+from repro.units import mib
+
+#: Order of the residency regimes from best to worst.
+_REGIME_RANK = {
+    WeightResidency.ALL_RESIDENT: 0,
+    WeightResidency.DOUBLE_BUFFERED: 1,
+    WeightResidency.SINGLE_BUFFERED: 2,
+    WeightResidency.STREAMED: 3,
+}
+
+
+@st.composite
+def placement_cases(draw):
+    """Random model / workload / chip-count combinations."""
+    num_heads = draw(st.sampled_from([2, 4, 8, 16]))
+    embed_dim = draw(st.sampled_from([128, 256, 512]))
+    ffn_dim = draw(st.sampled_from([256, 512, 1024, 2048]))
+    num_layers = draw(st.integers(min_value=1, max_value=16))
+    config = TransformerConfig(
+        name="hypothesis-placement",
+        embed_dim=embed_dim,
+        ffn_dim=ffn_dim,
+        num_heads=num_heads,
+        num_layers=num_layers,
+        vocab_size=1000,
+    )
+    mode = draw(st.sampled_from(list(InferenceMode)))
+    seq_len = draw(st.sampled_from([16, 64, 256]))
+    workload = Workload(config=config, mode=mode, seq_len=seq_len)
+    num_chips = draw(st.sampled_from([1, 2, num_heads]))
+    return config, workload, num_chips
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=placement_cases())
+def test_footprint_is_consistent(case):
+    config, workload, num_chips = case
+    partition = partition_block(config, num_chips)
+    footprint = chip_footprint(config, workload, partition.chips[0])
+
+    assert footprint.model_weight_bytes == config.num_layers * footprint.block_weight_bytes
+    assert footprint.persistent_bytes == (
+        footprint.kv_cache_bytes + footprint.activation_bytes
+    )
+    assert footprint.required_bytes(weight_copies=2) > footprint.required_bytes(
+        weight_copies=1
+    )
+    if workload.uses_kv_cache:
+        assert footprint.kv_cache_bytes > 0
+    else:
+        assert footprint.kv_cache_bytes == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=placement_cases())
+def test_selected_regime_actually_fits(case):
+    config, workload, num_chips = case
+    chip_model = siracusa_chip()
+    partition = partition_block(config, num_chips)
+    footprint = chip_footprint(config, workload, partition.chips[0])
+    plan = plan_memory(chip_model, footprint)
+
+    if plan.residency is WeightResidency.ALL_RESIDENT:
+        assert footprint.required_bytes(whole_model=True) <= plan.l2_budget_bytes
+        assert plan.l3_weight_bytes_per_block == 0
+    elif plan.residency is WeightResidency.DOUBLE_BUFFERED:
+        assert footprint.required_bytes(weight_copies=2) <= plan.l2_budget_bytes
+        assert footprint.required_bytes(whole_model=True) > plan.l2_budget_bytes
+    elif plan.residency is WeightResidency.SINGLE_BUFFERED:
+        assert footprint.required_bytes(weight_copies=1) <= plan.l2_budget_bytes
+        assert footprint.required_bytes(weight_copies=2) > plan.l2_budget_bytes
+    else:
+        assert footprint.required_bytes(weight_copies=1) > plan.l2_budget_bytes
+    if plan.residency is not WeightResidency.ALL_RESIDENT:
+        assert plan.l3_weight_bytes_per_block == footprint.block_weight_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=placement_cases())
+def test_more_l2_never_worsens_the_regime(case):
+    config, workload, num_chips = case
+    partition = partition_block(config, num_chips)
+    footprint = chip_footprint(config, workload, partition.chips[0])
+
+    small_chip = siracusa_chip()
+    large_memory = replace(
+        small_chip.memory, l2=replace(small_chip.memory.l2, size_bytes=mib(16))
+    )
+    large_chip = replace(small_chip, memory=large_memory)
+
+    small_plan = plan_memory(small_chip, footprint)
+    large_plan = plan_memory(large_chip, footprint)
+    assert _REGIME_RANK[large_plan.residency] <= _REGIME_RANK[small_plan.residency]
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=placement_cases())
+def test_more_chips_never_increase_per_chip_footprint(case):
+    config, workload, num_chips = case
+    if num_chips == 1:
+        return
+    single = chip_footprint(config, workload, partition_block(config, 1).chips[0])
+    multi = chip_footprint(
+        config, workload, partition_block(config, num_chips).chips[0]
+    )
+    assert multi.block_weight_bytes < single.block_weight_bytes
+    assert multi.kv_cache_bytes <= single.kv_cache_bytes
+    assert multi.activation_bytes <= single.activation_bytes

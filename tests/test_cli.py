@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.model == "tinyllama-42m"
+        assert args.mode == "autoregressive"
+        assert args.chips == 8
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--mode", "training"])
+
+
+class TestCommands:
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        assert "tinyllama-42m" in output
+        assert "mobilebert" in output
+        assert "MiB" in output
+
+    def test_evaluate_prints_summary(self, capsys):
+        assert main(["evaluate", "--chips", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "8 chip(s)" in output
+        assert "L3 traffic" in output
+        assert "breakdown" in output
+
+    def test_evaluate_other_mode_and_seq_len(self, capsys):
+        assert main(
+            ["evaluate", "--model", "mobilebert", "--mode", "encoder",
+             "--seq-len", "64", "--chips", "4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "mobilebert" in output
+
+    def test_sweep_prints_tables_and_exports(self, capsys, tmp_path):
+        output_path = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--chips", "1", "8", "--output", str(output_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Speedup" in output
+        assert "Energy/block" in output
+        document = json.loads(output_path.read_text())
+        assert document["chip_counts"] == [1, 8]
+
+    def test_verify_reports_exactness(self, capsys):
+        assert main(["verify", "--model", "mobilebert", "--chips", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "EXACT" in output
+
+    def test_experiments_single_figure(self, capsys):
+        assert main(["experiments", "--only", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "tensor parallel" in output.lower()

@@ -1,0 +1,112 @@
+"""Unit tests for the unit-conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_kib(self):
+        assert units.kib(1) == 1024
+        assert units.kib(256) == 262144
+
+    def test_mib(self):
+        assert units.mib(2) == 2 * 1024 * 1024
+
+    def test_gib(self):
+        assert units.gib(1) == 1024**3
+
+    def test_fractional_sizes_truncate_to_bytes(self):
+        assert units.kib(1.5) == 1536
+        assert isinstance(units.mib(0.5), int)
+
+
+class TestEnergyAndPower:
+    def test_picojoules(self):
+        assert units.picojoules(100) == pytest.approx(100e-12)
+
+    def test_millijoules(self):
+        assert units.millijoules(0.64) == pytest.approx(0.64e-3)
+
+    def test_milliwatts(self):
+        assert units.milliwatts(13) == pytest.approx(0.013)
+
+    def test_microjoules(self):
+        assert units.microjoules(5) == pytest.approx(5e-6)
+
+
+class TestFrequencyAndBandwidth:
+    def test_megahertz(self):
+        assert units.megahertz(500) == pytest.approx(500e6)
+
+    def test_gigahertz(self):
+        assert units.gigahertz(1.2) == pytest.approx(1.2e9)
+
+    def test_gigabytes_per_second(self):
+        assert units.gigabytes_per_second(0.5) == pytest.approx(0.5e9)
+
+    def test_megabytes_per_second(self):
+        assert units.megabytes_per_second(375) == pytest.approx(375e6)
+
+
+class TestConversions:
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(500e6, 500e6) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles_round_trip(self):
+        cycles = 123456
+        seconds = units.cycles_to_seconds(cycles, 500e6)
+        assert units.seconds_to_cycles(seconds, 500e6) == pytest.approx(cycles)
+
+    def test_cycles_to_seconds_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(100, 0)
+
+    def test_seconds_to_cycles_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, -1)
+
+    def test_bandwidth_to_bytes_per_cycle(self):
+        # 0.5 GB/s at 500 MHz is exactly one byte per cycle.
+        assert units.bytes_per_second_to_bytes_per_cycle(0.5e9, 500e6) == pytest.approx(1.0)
+
+    def test_bandwidth_conversion_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            units.bytes_per_second_to_bytes_per_cycle(1e9, 0)
+
+
+class TestFormatting:
+    def test_format_bytes_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_format_bytes_kib(self):
+        assert units.format_bytes(384 * 1024) == "384.00 KiB"
+
+    def test_format_bytes_mib(self):
+        assert units.format_bytes(3 * 1024 * 1024) == "3.00 MiB"
+
+    def test_format_energy_millijoules(self):
+        assert units.format_energy(1.5e-3) == "1.500 mJ"
+
+    def test_format_energy_sub_millijoule_uses_microjoules(self):
+        assert units.format_energy(0.64e-3) == "640.000 uJ"
+
+    def test_format_energy_microjoules(self):
+        assert units.format_energy(5e-6) == "5.000 uJ"
+
+    def test_format_energy_zero(self):
+        assert units.format_energy(0) == "0 J"
+
+    def test_format_time_milliseconds(self):
+        assert units.format_time(38.8e-3) == "38.800 ms"
+
+    def test_format_time_sub_millisecond_uses_microseconds(self):
+        assert units.format_time(0.54e-3) == "540.000 us"
+
+    def test_format_time_microseconds(self):
+        assert units.format_time(2.5e-6) == "2.500 us"
+
+    def test_format_time_zero(self):
+        assert units.format_time(0) == "0 s"
