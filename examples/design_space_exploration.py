@@ -10,7 +10,8 @@ pipeline can answer deployment questions the paper leaves open:
 * What happens when the double-buffered weight prefetch can no longer be
   hidden (the conservative prefetch-accounting policy)?
 
-Each sweep reuses :func:`repro.evaluate_block` with a customised platform.
+Each sweep reuses one :class:`repro.Session`, overriding the platform per
+point; memoisation means shared reference points are simulated only once.
 """
 
 from __future__ import annotations
@@ -19,8 +20,8 @@ from repro import (
     ChipToChipLink,
     MultiChipPlatform,
     PrefetchAccounting,
+    Session,
     autoregressive,
-    evaluate_block,
     mobilebert,
     siracusa_chip,
     siracusa_platform,
@@ -29,12 +30,15 @@ from repro import (
 )
 from repro.units import format_bytes, format_time, gigabytes_per_second, kib, mib
 
+#: One shared session: every sweep below evaluates through it.
+SESSION = Session()
+
 
 def link_bandwidth_sweep() -> None:
     """Sensitivity of the 8-chip MobileBERT runtime to the C2C bandwidth."""
     print("1) Chip-to-chip link bandwidth sweep (MobileBERT, 4 chips)")
     workload = encoder(mobilebert(), 268)
-    baseline = evaluate_block(workload, siracusa_platform(1))
+    baseline = SESSION.run(workload, chips=1)
     for gbps in (0.125, 0.25, 0.5, 1.0, 2.0):
         link = ChipToChipLink(
             name=f"MIPI-{gbps}GBps",
@@ -43,7 +47,7 @@ def link_bandwidth_sweep() -> None:
         platform = MultiChipPlatform(
             chip=siracusa_chip(), num_chips=4, link=link, group_size=4
         )
-        report = evaluate_block(workload, platform)
+        report = SESSION.run(workload, platform=platform)
         gain = baseline.block_cycles / report.block_cycles
         print(f"   {gbps:>5.3f} GB/s: {report.block_cycles:>12,.0f} cycles/block, "
               f"speedup {gain:4.2f}x over one chip")
@@ -65,7 +69,7 @@ def l2_capacity_sweep() -> None:
         platform = MultiChipPlatform(
             chip=chip, num_chips=4, link=siracusa_platform(4).link, group_size=4
         )
-        report = evaluate_block(workload, platform)
+        report = SESSION.run(workload, platform=platform)
         residency = report.residencies()[0].value
         print(f"   L2 = {format_bytes(mib(l2_mib)):>9}: {residency:<16} "
               f"{report.block_cycles:>12,.0f} cycles/block")
@@ -77,13 +81,15 @@ def prefetch_accounting_comparison() -> None:
     print("3) Prefetch accounting policy (TinyLlama autoregressive, 8 chips)")
     workload = autoregressive(tinyllama_42m(), 128)
     platform = siracusa_platform(8)
-    single = evaluate_block(workload, siracusa_platform(1))
+    single = SESSION.run(workload, chips=1)
     for policy in (
         PrefetchAccounting.HIDDEN,
         PrefetchAccounting.OVERLAP,
         PrefetchAccounting.BLOCKING,
     ):
-        report = evaluate_block(workload, platform, prefetch_accounting=policy)
+        # Prefetch accounting is a session-wide policy, so each one gets
+        # its own session; the platform and workload are shared.
+        report = Session(prefetch_accounting=policy).run(workload, platform=platform)
         gain = single.block_cycles / report.block_cycles
         print(f"   {policy.value:<9}: {report.block_cycles:>12,.0f} cycles/block "
               f"({format_time(report.block_runtime_seconds)}), "

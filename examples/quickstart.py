@@ -1,27 +1,28 @@
 #!/usr/bin/env python3
 """Quickstart: partition TinyLlama across 8 MCUs and measure one block.
 
-This is the smallest end-to-end use of the library:
+This is the smallest end-to-end use of the library's unified API:
 
 1. pick a model configuration and an inference mode,
-2. pick a multi-chip platform (8 Siracusa chips joined by MIPI links),
-3. call :func:`repro.evaluate_block`, which partitions the block with the
-   paper's tensor-parallel scheme, schedules it, simulates it, and applies
-   the analytical energy model,
-4. inspect runtime, runtime breakdown, energy, and where the weights live.
+2. open a :class:`repro.Session` (defaults to the paper's platform preset:
+   Siracusa chips joined by MIPI links),
+3. call :meth:`Session.run` with a registered partitioning strategy —
+   ``"paper"`` partitions the block with the paper's tensor-parallel
+   scheme, schedules it, simulates it, and applies the energy model,
+4. inspect runtime, runtime breakdown, energy, and where the weights live,
+5. call :meth:`Session.compare` to pit the paper's scheme against the
+   Table I baselines on the same platform.
+
+Repeated ``Session.run`` calls with the same strategy and inputs are
+memoised by content hash, so re-evaluating any point later in the session
+returns the cached result instantly.
 
 Run with: ``python examples/quickstart.py``
 """
 
 from __future__ import annotations
 
-from repro import (
-    autoregressive,
-    evaluate_block,
-    siracusa_platform,
-    speedup,
-    tinyllama_42m,
-)
+from repro import Session, autoregressive, speedup, tinyllama_42m
 from repro.core import RuntimeCategory
 from repro.units import format_bytes, format_energy, format_time
 
@@ -34,19 +35,21 @@ def main() -> None:
     print(f"Workload: {workload.describe()}")
     print()
 
-    # Single-chip reference first, then the 8-chip distributed system.
-    single_chip = evaluate_block(workload, siracusa_platform(1))
-    distributed = evaluate_block(workload, siracusa_platform(8))
+    session = Session()
 
-    for report in (single_chip, distributed):
-        print(f"=== {report.num_chips} chip(s) ===")
-        print(f"  block runtime : {report.block_cycles:,.0f} cycles "
-              f"({format_time(report.block_runtime_seconds)})")
-        print(f"  block energy  : {format_energy(report.block_energy_joules)}")
-        print(f"  off-chip (L3) : {format_bytes(report.total_l3_bytes)} per block")
-        print(f"  chip-to-chip  : {format_bytes(report.total_c2c_bytes)} per block")
-        print(f"  weights on-chip during execution: {report.runs_from_on_chip_memory}")
-        breakdown = report.runtime_breakdown()
+    # Single-chip reference first, then the 8-chip distributed system.
+    single_chip = session.run(workload, strategy="paper", chips=1)
+    distributed = session.run(workload, strategy="paper", chips=8)
+
+    for result in (single_chip, distributed):
+        print(f"=== {result.num_chips} chip(s) ===")
+        print(f"  block runtime : {result.block_cycles:,.0f} cycles "
+              f"({format_time(result.block_runtime_seconds)})")
+        print(f"  block energy  : {format_energy(result.block_energy_joules)}")
+        print(f"  off-chip (L3) : {format_bytes(result.l3_bytes_per_block)} per block")
+        print(f"  chip-to-chip  : {format_bytes(result.c2c_bytes_per_block)} per block")
+        print(f"  weights on-chip during execution: {result.runs_from_on_chip_memory}")
+        breakdown = result.runtime_breakdown()
         print("  runtime breakdown (average cycles per chip):")
         for category in (
             RuntimeCategory.COMPUTE,
@@ -66,6 +69,12 @@ def main() -> None:
     print()
     print("The paper reports 26.1x speedup and 27.2x EDP improvement for this "
           "configuration; see EXPERIMENTS.md for the full comparison.")
+    print()
+
+    # The same session runs the Table I ablation on 8 chips; re-running any
+    # of these strategies later returns the memoised results instantly.
+    print("Strategy ablation on 8 chips (Table I style):")
+    print(session.compare(workload, chips=8).render())
 
 
 if __name__ == "__main__":

@@ -8,15 +8,34 @@ event-driven multi-chip simulator, the paper's analytical energy model, and
 the experiment harness that regenerates every figure and table of the
 paper's evaluation.
 
-Typical usage::
+The front door is :class:`repro.api.Session`, which evaluates any
+registered partitioning strategy — the paper's scheme (``"paper"``) or any
+Table I baseline (``"single_chip"``, ``"weight_replicated"``,
+``"pipeline_parallel"``, ``"tensor_parallel"``) — and memoises repeated
+evaluations::
 
-    from repro import (
-        autoregressive, tinyllama_42m, siracusa_platform, evaluate_block,
-    )
+    from repro import Session, autoregressive, tinyllama_42m
 
+    session = Session()
     workload = autoregressive(tinyllama_42m(), context_len=128)
-    report = evaluate_block(workload, siracusa_platform(8))
-    print(report.summary())
+
+    result = session.run(workload, strategy="paper", chips=8)
+    print(result.summary())
+
+    sweep = session.sweep(workload, chips=(1, 2, 4, 8))     # Fig. 4-style
+    table = session.compare(workload, chips=8)              # Table-I-style
+    print(table.render())
+
+New partitioning ideas plug in through the strategy registry (see
+``docs/API.md``)::
+
+    from repro import register_strategy
+
+    @register_strategy
+    class MyStrategy: ...
+
+The seed's entry points (:func:`evaluate_block`, :func:`chip_count_sweep`,
+``compare_approaches``) remain available as thin shims over the session.
 """
 
 from .analysis import (
@@ -30,6 +49,18 @@ from .analysis import (
     evaluate_generation,
     scaling_points,
     speedup,
+)
+from .api import (
+    Comparison,
+    EvalOptions,
+    EvalResult,
+    EvalSweep,
+    PartitionStrategy,
+    Session,
+    default_session,
+    get_strategy,
+    list_strategies,
+    register_strategy,
 )
 from .core import (
     BlockPartition,
@@ -73,7 +104,7 @@ from .models import (
 )
 from .sim import MultiChipSimulator, SimulationResult, simulate_block
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BlockPartition",
@@ -85,9 +116,13 @@ __all__ = [
     "ChipPartition",
     "ChipToChipLink",
     "ClusterModel",
+    "Comparison",
     "EnergyBreakdown",
     "EnergyModel",
     "EnergyReport",
+    "EvalOptions",
+    "EvalResult",
+    "EvalSweep",
     "FfnKind",
     "GenerationReport",
     "InferenceMode",
@@ -96,8 +131,10 @@ __all__ = [
     "MemoryPlan",
     "MultiChipPlatform",
     "MultiChipSimulator",
+    "PartitionStrategy",
     "PrefetchAccounting",
     "ScalingPoint",
+    "Session",
     "SimulationResult",
     "SweepResult",
     "TransformerConfig",
@@ -106,17 +143,21 @@ __all__ = [
     "autoregressive",
     "chip_count_sweep",
     "chip_footprint",
+    "default_session",
     "encoder",
     "energy_of",
     "evaluate_block",
     "evaluate_generation",
     "get_model",
+    "get_strategy",
     "list_models",
+    "list_strategies",
     "mipi_link",
     "mobilebert",
     "partition_block",
     "plan_memory",
     "prompt",
+    "register_strategy",
     "scaling_points",
     "simulate_block",
     "siracusa_chip",

@@ -1,11 +1,21 @@
-"""High-level evaluation API.
+"""Evaluation engine of the paper's partitioning scheme.
 
-:func:`evaluate_block` is the main entry point of the library: it takes a
-workload and a platform, partitions one Transformer block with the paper's
-scheme, schedules it, simulates it, and applies the energy model.  The
-resulting :class:`BlockReport` carries everything the examples, benchmarks,
-and figure harnesses need: runtime, runtime breakdown, traffic, energy,
-energy-delay product, and the weight-residency regime of every chip.
+:func:`evaluate_block` takes a workload and a platform, partitions one
+Transformer block with the paper's scheme, schedules it, simulates it, and
+applies the energy model.  The resulting :class:`BlockReport` carries
+everything the examples, benchmarks, and figure harnesses need: runtime,
+runtime breakdown, traffic, energy, energy-delay product, and the
+weight-residency regime of every chip.
+
+This module is the computational backend of the ``"paper"`` strategy in
+:mod:`repro.api`; new code should prefer the unified front door::
+
+    from repro.api import Session
+
+    result = Session().run(workload, strategy="paper", chips=8)
+
+:func:`evaluate_block` remains supported as the engine that strategy calls
+(and as a convenience shim for one-off evaluations).
 """
 
 from __future__ import annotations
@@ -141,6 +151,7 @@ def evaluate_block(
     kernel_library: Optional[KernelLibrary] = None,
     prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN,
     record_events: bool = False,
+    energy_model: Optional[EnergyModel] = None,
 ) -> BlockReport:
     """Partition, schedule, simulate, and measure one Transformer block.
 
@@ -151,6 +162,8 @@ def evaluate_block(
         prefetch_accounting: How double-buffered weight prefetches are
             charged to runtime (the paper's accounting is ``HIDDEN``).
         record_events: Keep per-step trace events for debugging.
+        energy_model: Optional custom energy model; defaults to the paper's
+            analytical model on ``platform``.
 
     Returns:
         A :class:`BlockReport` with runtime, energy, and placement details.
@@ -162,7 +175,9 @@ def evaluate_block(
     )
     program = scheduler.build(workload)
     simulation = MultiChipSimulator(program=program, record_events=record_events).run()
-    energy = EnergyModel(platform).from_simulation(simulation)
+    if energy_model is None:
+        energy_model = EnergyModel(platform)
+    energy = energy_model.from_simulation(simulation)
     return BlockReport(
         workload=workload,
         platform=platform,

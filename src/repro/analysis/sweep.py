@@ -1,9 +1,19 @@
-"""Chip-count sweeps: the backbone of every figure in the paper."""
+"""Chip-count sweeps: the backbone of every figure in the paper.
+
+Since the :mod:`repro.api` redesign, sweeps are executed by
+:meth:`repro.api.Session.sweep`; :class:`ChipCountSweep` and
+:func:`chip_count_sweep` remain as thin shims that run the ``"paper"``
+strategy through a session and convert the result back to the classic
+:class:`SweepResult` of :class:`BlockReport` objects the figure renderers
+consume.  Sweeps sharing the default platform preset share the process-wide
+session cache, so a chip count simulated for one figure is reused by all.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import cached_property
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.placement import PrefetchAccounting
 from ..core.schedule import RuntimeCategory
@@ -12,7 +22,7 @@ from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
 from ..hw.presets import siracusa_platform
 from ..kernels.library import KernelLibrary
-from .evaluate import BlockReport, evaluate_block
+from .evaluate import BlockReport
 from .metrics import ScalingPoint, scaling_points
 
 #: Factory signature used to build a platform for a given chip count.
@@ -29,11 +39,15 @@ class SweepResult:
     """
 
     workload: Workload
-    reports: tuple
+    reports: Tuple[BlockReport, ...]
 
     def __post_init__(self) -> None:
         if not self.reports:
             raise AnalysisError("a sweep needs at least one chip count")
+
+    @cached_property
+    def _reports_by_chip_count(self) -> Dict[int, BlockReport]:
+        return {report.num_chips: report for report in self.reports}
 
     @property
     def chip_counts(self) -> List[int]:
@@ -47,10 +61,12 @@ class SweepResult:
 
     def report_for(self, num_chips: int) -> BlockReport:
         """The report of one particular chip count."""
-        for report in self.reports:
-            if report.num_chips == num_chips:
-                return report
-        raise AnalysisError(f"sweep has no entry for {num_chips} chips")
+        try:
+            return self._reports_by_chip_count[num_chips]
+        except KeyError:
+            raise AnalysisError(
+                f"sweep has no entry for {num_chips} chips"
+            ) from None
 
     def scaling(self) -> List[ScalingPoint]:
         """Speedups/energy ratios relative to the first chip count."""
@@ -79,7 +95,10 @@ class SweepResult:
 
 @dataclass
 class ChipCountSweep:
-    """Runs one workload across a list of chip counts.
+    """Runs one workload across a list of chip counts (legacy shim).
+
+    Evaluation is delegated to a private :class:`repro.api.Session`, whose
+    content-hash memoisation replaces the seed's hand-rolled cache.
 
     Attributes:
         platform_factory: Builds the platform for each chip count; defaults
@@ -92,30 +111,22 @@ class ChipCountSweep:
     platform_factory: PlatformFactory = siracusa_platform
     prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN
     kernel_library: Optional[KernelLibrary] = None
-    _cache: Dict[tuple, BlockReport] = field(default_factory=dict, repr=False)
+    _session: object = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        from ..api.session import Session
+
+        self._session = Session(
+            platform_factory=self.platform_factory,
+            kernels=self.kernel_library,
+            prefetch_accounting=self.prefetch_accounting,
+        )
 
     def run(self, workload: Workload, chip_counts: Sequence[int]) -> SweepResult:
         """Evaluate ``workload`` on every chip count of ``chip_counts``."""
-        if not chip_counts:
-            raise AnalysisError("chip_counts must not be empty")
-        reports = []
-        for num_chips in chip_counts:
-            if num_chips <= 0:
-                raise AnalysisError(f"invalid chip count {num_chips}")
-            reports.append(self._evaluate(workload, num_chips))
-        return SweepResult(workload=workload, reports=tuple(reports))
-
-    def _evaluate(self, workload: Workload, num_chips: int) -> BlockReport:
-        key = (workload.name, workload.seq_len, num_chips, self.prefetch_accounting)
-        if key not in self._cache:
-            platform = self.platform_factory(num_chips)
-            self._cache[key] = evaluate_block(
-                workload,
-                platform,
-                kernel_library=self.kernel_library,
-                prefetch_accounting=self.prefetch_accounting,
-            )
-        return self._cache[key]
+        return self._session.sweep(
+            workload, chip_counts, strategy="paper"
+        ).to_sweep_result()
 
 
 def chip_count_sweep(
@@ -125,9 +136,22 @@ def chip_count_sweep(
     platform_factory: PlatformFactory = siracusa_platform,
     prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN,
 ) -> SweepResult:
-    """Convenience wrapper around :class:`ChipCountSweep`."""
-    sweep = ChipCountSweep(
-        platform_factory=platform_factory,
-        prefetch_accounting=prefetch_accounting,
-    )
-    return sweep.run(workload, chip_counts)
+    """Sweep ``workload`` over ``chip_counts`` with the paper's strategy.
+
+    Default-configured sweeps share the process-wide
+    :func:`repro.api.default_session` cache; customised sweeps get a
+    private session.
+    """
+    from ..api.session import Session, default_session
+
+    if (
+        platform_factory is siracusa_platform
+        and prefetch_accounting is PrefetchAccounting.HIDDEN
+    ):
+        session = default_session()
+    else:
+        session = Session(
+            platform_factory=platform_factory,
+            prefetch_accounting=prefetch_accounting,
+        )
+    return session.sweep(workload, chip_counts, strategy="paper").to_sweep_result()

@@ -1,0 +1,54 @@
+"""Unified strategy-plugin evaluation API.
+
+One front door for the paper's partitioning scheme and every baseline:
+
+* :class:`PartitionStrategy` — the protocol a partitioning idea implements,
+* :func:`register_strategy` — the registry that makes it available
+  everywhere by name (``Session.run``, ``Session.compare``, the CLI),
+* :class:`EvalResult` — the single result schema every strategy returns,
+* :class:`Session` — runs, sweeps, and compares strategies with
+  content-hash memoisation and optional process-pool fan-out.
+
+See ``docs/API.md`` for the full protocol description and the migration
+guide from the legacy ``evaluate_block``/``compare_approaches`` entry
+points (which remain available as thin shims over this package).
+"""
+
+from .registry import (
+    EnergyModelFactory,
+    EvalOptions,
+    PartitionStrategy,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+    unregister_strategy,
+)
+from .result import EvalResult
+from .strategies import BASELINE_STRATEGIES, PAPER_STRATEGY
+from .session import (
+    CacheInfo,
+    Comparison,
+    EvalSweep,
+    Session,
+    content_hash,
+    default_session,
+)
+
+__all__ = [
+    "BASELINE_STRATEGIES",
+    "CacheInfo",
+    "Comparison",
+    "EnergyModelFactory",
+    "EvalOptions",
+    "EvalResult",
+    "EvalSweep",
+    "PAPER_STRATEGY",
+    "PartitionStrategy",
+    "Session",
+    "content_hash",
+    "default_session",
+    "get_strategy",
+    "list_strategies",
+    "register_strategy",
+    "unregister_strategy",
+]

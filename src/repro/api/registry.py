@@ -1,0 +1,155 @@
+"""Strategy protocol and registry.
+
+A *partitioning strategy* is anything that can evaluate a workload on a
+multi-chip platform and return the unified :class:`~repro.api.EvalResult`.
+Strategies register themselves by name with :func:`register_strategy`, and
+everything downstream — :class:`~repro.api.Session`, the CLI, the sweep
+and comparison helpers — looks them up through :func:`get_strategy`, so a
+new partitioning idea becomes available to every front end by writing one
+class::
+
+    from repro.api import EvalOptions, EvalResult, register_strategy
+
+    @register_strategy
+    class MyStrategy:
+        name = "my_scheme"
+        label = "My scheme (what the comparison table shows)"
+
+        def evaluate(self, workload, platform, options):
+            ...
+            return EvalResult(...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from ..core.placement import PrefetchAccounting
+from ..energy.model import EnergyModel
+from ..errors import ConfigurationError, UnknownStrategyError
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from ..kernels.library import KernelLibrary
+from .result import EvalResult
+
+#: Factory building an energy model for a platform (``EnergyModel`` itself
+#: satisfies this signature).
+EnergyModelFactory = Callable[[MultiChipPlatform], EnergyModel]
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Cross-cutting evaluation knobs passed to every strategy.
+
+    A strategy honours the options that make sense for it: the simulator-
+    backed ``paper`` strategy uses all of them, while the analytical
+    baselines (which bake in their own cost models) ignore
+    ``record_events`` and may ignore a custom kernel library.
+
+    Attributes:
+        kernel_library: Optional custom kernel cost models.
+        energy: Optional energy-model factory (defaults to the paper's
+            analytical :class:`~repro.energy.model.EnergyModel`).
+        prefetch_accounting: How double-buffered weight prefetches are
+            charged to runtime (the paper's accounting is ``HIDDEN``).
+        record_events: Keep per-step trace events for debugging.
+    """
+
+    kernel_library: Optional[KernelLibrary] = None
+    energy: Optional[EnergyModelFactory] = None
+    prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN
+    record_events: bool = False
+
+
+@runtime_checkable
+class PartitionStrategy(Protocol):
+    """What the registry requires of a partitioning strategy.
+
+    Attributes:
+        name: Registry key (lowercase snake_case by convention).
+        label: Human-readable approach name shown in comparison tables.
+    """
+
+    name: str
+    label: str
+
+    def evaluate(
+        self,
+        workload: Workload,
+        platform: MultiChipPlatform,
+        options: EvalOptions,
+    ) -> EvalResult:
+        """Evaluate ``workload`` on ``platform`` and return the unified result."""
+        ...
+
+
+_STRATEGIES: Dict[str, PartitionStrategy] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_strategy(strategy):
+    """Class decorator (or direct call) registering a partitioning strategy.
+
+    Accepts either a strategy *class* (instantiated with no arguments) or a
+    ready-made instance.  The strategy is registered under its ``name``
+    attribute plus any names in an optional ``aliases`` attribute.
+
+    Returns the argument unchanged so it can be used as a decorator.
+
+    Raises:
+        ConfigurationError: If the name is missing, already taken, or the
+            object does not implement :class:`PartitionStrategy`.
+    """
+    instance = strategy() if isinstance(strategy, type) else strategy
+    name = getattr(instance, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            "a strategy must define a non-empty string `name` attribute"
+        )
+    if not isinstance(instance, PartitionStrategy):
+        raise ConfigurationError(
+            f"strategy {name!r} does not implement the PartitionStrategy "
+            "protocol (name, label, evaluate)"
+        )
+    for key in (name, *getattr(instance, "aliases", ())):
+        if key in _STRATEGIES or key in _ALIASES:
+            raise ConfigurationError(f"strategy name {key!r} already registered")
+    _STRATEGIES[name] = instance
+    for alias in getattr(instance, "aliases", ()):
+        _ALIASES[alias] = name
+    return strategy
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy (and its aliases) from the registry."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _STRATEGIES:
+        raise UnknownStrategyError(_unknown_message(name))
+    instance = _STRATEGIES.pop(canonical)
+    for alias in getattr(instance, "aliases", ()):
+        _ALIASES.pop(alias, None)
+
+
+def get_strategy(name: str) -> PartitionStrategy:
+    """Look up a registered strategy by name or alias.
+
+    Raises:
+        UnknownStrategyError: If no strategy is registered under ``name``;
+            the message lists the available names.
+    """
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _STRATEGIES[canonical]
+    except KeyError:
+        raise UnknownStrategyError(_unknown_message(name)) from None
+
+
+def list_strategies() -> List[str]:
+    """Sorted canonical names of all registered strategies."""
+    return sorted(_STRATEGIES)
+
+
+def _unknown_message(name: str) -> str:
+    known = ", ".join(list_strategies()) or "<none>"
+    return f"unknown partitioning strategy {name!r}; registered: {known}"

@@ -1,0 +1,249 @@
+"""The unified evaluation result shared by every partitioning strategy.
+
+:class:`EvalResult` is the one schema every registered strategy produces,
+whether the strategy runs the full event-driven simulator (the paper's
+scheme) or an analytical cost model (the Table I baselines).  It absorbs
+both of the seed's result types:
+
+* :class:`repro.analysis.evaluate.BlockReport` — the simulator-backed
+  report of the paper's tensor-parallel scheme (runtime breakdown, traces,
+  memory plans), carried in the optional :attr:`EvalResult.report` field;
+* :class:`repro.baselines.types.BaselineResult` — the comparison-table
+  summary of the ablation baselines, recoverable exactly through
+  :meth:`EvalResult.to_baseline_result`.
+
+All strategies therefore expose the same runtime, energy, traffic, and
+placement fields, which is what makes :meth:`repro.api.Session.compare`
+and cross-strategy sweeps possible without per-strategy special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..analysis.evaluate import BlockReport
+from ..baselines.types import BaselineResult
+from ..core.placement import WeightResidency
+from ..core.schedule import RuntimeCategory
+from ..errors import AnalysisError
+from ..graph.workload import Workload
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Evaluation of one workload under one partitioning strategy.
+
+    Attributes:
+        strategy: Registry name of the strategy (e.g. ``"paper"``).
+        approach: Human-readable approach label (the Table I row name).
+        workload: The evaluated workload.
+        num_chips: Number of chips of the evaluated platform.
+        frequency_hz: Cluster clock frequency of the platform.
+        block_cycles: Runtime of one Transformer block in cycles.
+        block_energy_joules: Energy of one Transformer block in joules.
+        l3_bytes_per_block: Off-chip (L3) traffic per block, over all chips.
+        weight_bytes_per_chip: Block weight bytes each chip must store
+            (the maximum over chips for uneven partitions).
+        weights_replicated: Whether weights are duplicated across chips.
+        synchronisations_per_block: Inter-chip synchronisation points per
+            block (0 on a single chip).
+        uses_pipelining: Whether the strategy relies on pipeline
+            parallelism (and therefore on batching for utilisation).
+        notes: Free-form remarks shown in comparison tables.
+        c2c_bytes_per_block: Chip-to-chip traffic per block, when the
+            strategy measures it (``None`` for analytical baselines that
+            fold communication into the cycle count).
+        report: The full simulator-backed :class:`BlockReport` when the
+            strategy ran the multi-chip simulator, else ``None``.
+    """
+
+    strategy: str
+    approach: str
+    workload: Workload
+    num_chips: int
+    frequency_hz: float
+    block_cycles: float
+    block_energy_joules: float
+    l3_bytes_per_block: float
+    weight_bytes_per_chip: int
+    weights_replicated: bool
+    synchronisations_per_block: int
+    uses_pipelining: bool = False
+    notes: str = ""
+    c2c_bytes_per_block: Optional[float] = None
+    report: Optional[BlockReport] = None
+
+    def __post_init__(self) -> None:
+        if not self.strategy:
+            raise AnalysisError("strategy name must not be empty")
+        if self.num_chips <= 0:
+            raise AnalysisError("num_chips must be positive")
+        if self.frequency_hz <= 0:
+            raise AnalysisError("frequency_hz must be positive")
+        if self.block_cycles <= 0:
+            raise AnalysisError("block_cycles must be positive")
+        if self.block_energy_joules < 0 or self.l3_bytes_per_block < 0:
+            raise AnalysisError("energy and traffic cannot be negative")
+        if self.weight_bytes_per_chip < 0:
+            raise AnalysisError("weight bytes cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    @property
+    def block_runtime_seconds(self) -> float:
+        """Runtime of one Transformer block in seconds."""
+        if self.report is not None:
+            return self.report.block_runtime_seconds
+        return self.block_cycles / self.frequency_hz
+
+    @property
+    def inference_cycles(self) -> float:
+        """Estimated runtime of a full forward pass (all blocks) in cycles."""
+        return self.block_cycles * self.workload.config.num_layers
+
+    @property
+    def inference_runtime_seconds(self) -> float:
+        """Estimated runtime of a full forward pass in seconds."""
+        return self.inference_cycles / self.frequency_hz
+
+    def runtime_breakdown(self) -> Optional[Dict[RuntimeCategory, float]]:
+        """Average per-chip cycles by category, when the simulator ran."""
+        if self.report is None:
+            return None
+        return self.report.runtime_breakdown()
+
+    def speedup_over(self, other: Union["EvalResult", BaselineResult]) -> float:
+        """Runtime speedup of this result over another."""
+        return other.block_cycles / self.block_cycles
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    @property
+    def inference_energy_joules(self) -> float:
+        """Estimated energy of a full forward pass in joules."""
+        return self.block_energy_joules * self.workload.config.num_layers
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Per-block energy-delay product in joule-seconds."""
+        if self.report is not None:
+            return self.report.energy_delay_product
+        return self.block_energy_joules * self.block_runtime_seconds
+
+    @property
+    def edp_joule_cycles(self) -> float:
+        """EDP proxy in joule-cycles (frequency-independent comparison)."""
+        return self.block_energy_joules * self.block_cycles
+
+    # ------------------------------------------------------------------
+    # Memory placement
+    # ------------------------------------------------------------------
+    def residencies(self) -> Optional[Dict[int, WeightResidency]]:
+        """Per-chip weight-residency regimes, when the simulator ran."""
+        if self.report is None:
+            return None
+        return self.report.residencies()
+
+    @property
+    def runs_from_on_chip_memory(self) -> Optional[bool]:
+        """Whether every chip runs with on-chip weights (``None`` if unknown)."""
+        if self.report is None:
+            return None
+        return self.report.runs_from_on_chip_memory
+
+    # ------------------------------------------------------------------
+    # Presentation and conversion
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"[{self.strategy}] {self.workload.name} on {self.num_chips} "
+            f"chip(s): {self.block_cycles:,.0f} cycles/block, "
+            f"{self.block_energy_joules * 1e3:.3f} mJ/block"
+        )
+
+    def to_baseline_result(self) -> BaselineResult:
+        """Project this result onto the seed's comparison-table schema."""
+        return BaselineResult(
+            approach=self.approach,
+            num_chips=self.num_chips,
+            block_cycles=self.block_cycles,
+            block_energy_joules=self.block_energy_joules,
+            l3_bytes_per_block=self.l3_bytes_per_block,
+            weight_bytes_per_chip=self.weight_bytes_per_chip,
+            weights_replicated=self.weights_replicated,
+            synchronisations_per_block=self.synchronisations_per_block,
+            uses_pipelining=self.uses_pipelining,
+            notes=self.notes,
+        )
+
+    @classmethod
+    def from_block_report(
+        cls,
+        report: BlockReport,
+        *,
+        strategy: str,
+        approach: str,
+        weights_replicated: bool = False,
+        synchronisations_per_block: Optional[int] = None,
+        uses_pipelining: bool = False,
+        notes: str = "",
+    ) -> "EvalResult":
+        """Wrap a simulator-backed :class:`BlockReport` as an :class:`EvalResult`."""
+        if synchronisations_per_block is None:
+            synchronisations_per_block = 0 if report.num_chips == 1 else 2
+        weight_bytes_per_chip = max(
+            plan.block_weight_bytes
+            for plan in report.program.memory_plans.values()
+        )
+        return cls(
+            strategy=strategy,
+            approach=approach,
+            workload=report.workload,
+            num_chips=report.num_chips,
+            frequency_hz=report.platform.frequency_hz,
+            block_cycles=report.block_cycles,
+            block_energy_joules=report.block_energy_joules,
+            l3_bytes_per_block=report.total_l3_bytes,
+            weight_bytes_per_chip=weight_bytes_per_chip,
+            weights_replicated=weights_replicated,
+            synchronisations_per_block=synchronisations_per_block,
+            uses_pipelining=uses_pipelining,
+            notes=notes,
+            c2c_bytes_per_block=report.total_c2c_bytes,
+            report=report,
+        )
+
+    @classmethod
+    def from_baseline_result(
+        cls,
+        result: BaselineResult,
+        *,
+        strategy: str,
+        workload: Workload,
+        frequency_hz: float,
+        report: Optional[BlockReport] = None,
+    ) -> "EvalResult":
+        """Lift a seed :class:`BaselineResult` into the unified schema."""
+        return cls(
+            strategy=strategy,
+            approach=result.approach,
+            workload=workload,
+            num_chips=result.num_chips,
+            frequency_hz=frequency_hz,
+            block_cycles=result.block_cycles,
+            block_energy_joules=result.block_energy_joules,
+            l3_bytes_per_block=result.l3_bytes_per_block,
+            weight_bytes_per_chip=result.weight_bytes_per_chip,
+            weights_replicated=result.weights_replicated,
+            synchronisations_per_block=result.synchronisations_per_block,
+            uses_pipelining=result.uses_pipelining,
+            notes=result.notes,
+            c2c_bytes_per_block=(
+                report.total_c2c_bytes if report is not None else None
+            ),
+            report=report,
+        )

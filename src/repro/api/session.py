@@ -1,0 +1,493 @@
+"""The unified evaluation session.
+
+:class:`Session` is the library's front door: one object that evaluates
+any registered partitioning strategy on any workload/platform combination,
+memoises repeated evaluations by content hash, and fans sweeps out over a
+process pool when asked to::
+
+    from repro.api import Session
+
+    session = Session()                      # Siracusa + MIPI preset
+    ours = session.run(workload, strategy="paper", chips=8)
+    sweep = session.sweep(workload, chips=(1, 2, 4, 8))
+    table = session.compare(workload, chips=8)
+
+The seed's ``evaluate_block``/``chip_count_sweep``/``compare_approaches``
+entry points survive as thin shims over this class, so existing callers
+and the figure harnesses keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from functools import cached_property
+from typing import (
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.placement import PrefetchAccounting
+from ..errors import AnalysisError
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from ..hw.presets import siracusa_platform
+from ..kernels.library import KernelLibrary
+from .registry import EnergyModelFactory, EvalOptions, get_strategy
+from .result import EvalResult
+from .strategies import BASELINE_STRATEGIES, PAPER_STRATEGY
+
+__all__ = [
+    "CacheInfo",
+    "Comparison",
+    "EvalSweep",
+    "Session",
+    "default_session",
+]
+
+
+# ----------------------------------------------------------------------
+# Content hashing
+# ----------------------------------------------------------------------
+def _canonical(obj) -> str:
+    """Deterministic textual form of an evaluation input for hashing.
+
+    Walks dataclasses field by field (skipping derived ``init=False``
+    fields), so two platforms or workloads with equal configuration hash
+    equally regardless of object identity.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, Enum):
+        return f"{type(obj).__qualname__}.{obj.name}"
+    if is_dataclass(obj) and not isinstance(obj, type):
+        parts = ",".join(
+            f"{field.name}={_canonical(getattr(obj, field.name))}"
+            for field in fields(obj)
+            if field.init
+        )
+        return f"{type(obj).__qualname__}({parts})"
+    if isinstance(obj, (tuple, list)):
+        return "[" + ",".join(_canonical(item) for item in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted((repr(key), _canonical(value)) for key, value in obj.items())
+        return "{" + ",".join(f"{key}:{value}" for key, value in items) + "}"
+    if callable(obj):
+        module = getattr(obj, "__module__", "?")
+        qualname = getattr(obj, "__qualname__", repr(obj))
+        return f"<callable {module}.{qualname}>"
+    return repr(obj)
+
+
+def content_hash(*parts) -> str:
+    """SHA-256 content hash of a tuple of evaluation inputs."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(_canonical(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class CacheInfo(NamedTuple):
+    """Memoisation statistics of one :class:`Session`."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+# ----------------------------------------------------------------------
+# Aggregate results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvalSweep:
+    """Evaluations of one workload/strategy across several chip counts.
+
+    Attributes:
+        workload: The swept workload.
+        strategy: Registry name of the evaluated strategy.
+        results: One :class:`EvalResult` per chip count, in sweep order.
+    """
+
+    workload: Workload
+    strategy: str
+    results: Tuple[EvalResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise AnalysisError("a sweep needs at least one chip count")
+
+    @cached_property
+    def _by_chip_count(self) -> Dict[int, EvalResult]:
+        return {result.num_chips: result for result in self.results}
+
+    @property
+    def chip_counts(self) -> List[int]:
+        """Chip counts of the sweep, in order."""
+        return [result.num_chips for result in self.results]
+
+    @property
+    def baseline(self) -> EvalResult:
+        """The first (reference) result, normally the single-chip system."""
+        return self.results[0]
+
+    def result_for(self, num_chips: int) -> EvalResult:
+        """The result of one particular chip count."""
+        try:
+            return self._by_chip_count[num_chips]
+        except KeyError:
+            raise AnalysisError(
+                f"sweep has no entry for {num_chips} chips"
+            ) from None
+
+    def speedups(self) -> Dict[int, float]:
+        """Chip count -> speedup relative to the sweep's first entry."""
+        return {
+            result.num_chips: result.speedup_over(self.baseline)
+            for result in self.results
+        }
+
+    def cycles(self) -> Dict[int, float]:
+        """Chip count -> per-block runtime in cycles."""
+        return {result.num_chips: result.block_cycles for result in self.results}
+
+    def energies_joules(self) -> Dict[int, float]:
+        """Chip count -> per-block energy in joules."""
+        return {
+            result.num_chips: result.block_energy_joules
+            for result in self.results
+        }
+
+    def to_sweep_result(self):
+        """Convert to the seed's :class:`~repro.analysis.sweep.SweepResult`.
+
+        Only possible when every point carries a simulator-backed
+        :class:`~repro.analysis.evaluate.BlockReport` (i.e. the ``paper``
+        strategy); the figure harnesses rely on this bridge.
+        """
+        from ..analysis.sweep import SweepResult
+
+        if any(result.report is None for result in self.results):
+            raise AnalysisError(
+                f"strategy {self.strategy!r} does not produce BlockReports; "
+                "only report-backed sweeps convert to SweepResult"
+            )
+        return SweepResult(
+            workload=self.workload,
+            reports=tuple(result.report for result in self.results),
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Strategy ablation of one workload on one platform.
+
+    Attributes:
+        workload: The compared workload.
+        num_chips: Chip count of the evaluated platform.
+        results: One :class:`EvalResult` per strategy, in request order.
+    """
+
+    workload: Workload
+    num_chips: int
+    results: Tuple[EvalResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise AnalysisError("a comparison needs at least one strategy")
+
+    @property
+    def strategies(self) -> List[str]:
+        """Registry names of the compared strategies, in order."""
+        return [result.strategy for result in self.results]
+
+    def result_for(self, strategy: str) -> EvalResult:
+        """The result of one particular strategy."""
+        for result in self.results:
+            if result.strategy == strategy:
+                return result
+        raise AnalysisError(f"comparison has no entry for strategy {strategy!r}")
+
+    def best(self) -> EvalResult:
+        """The fastest strategy (minimum block cycles)."""
+        return min(self.results, key=lambda result: result.block_cycles)
+
+    def speedups_over(self, reference: str) -> Dict[str, float]:
+        """Strategy name -> speedup over the named reference strategy."""
+        base = self.result_for(reference)
+        return {
+            result.strategy: result.speedup_over(base) for result in self.results
+        }
+
+    def render(self) -> str:
+        """Plain-text Table-I-style comparison of the measured columns."""
+        from ..baselines.compare import render_comparison
+
+        return render_comparison(list(self.results))
+
+
+# ----------------------------------------------------------------------
+# Process-pool fan-out
+# ----------------------------------------------------------------------
+def _evaluate_point(payload) -> EvalResult:
+    """Module-level worker so sweeps can fan out over a process pool."""
+    strategy_name, workload, platform, options = payload
+    return get_strategy(strategy_name).evaluate(workload, platform, options)
+
+
+# ----------------------------------------------------------------------
+# Session
+# ----------------------------------------------------------------------
+class Session:
+    """Evaluates registered partitioning strategies with memoisation.
+
+    Args:
+        platform: Optional default platform; ``chips=`` arguments derive
+            platforms from it via
+            :meth:`~repro.hw.platform.MultiChipPlatform.with_num_chips`.
+        platform_factory: Builds a platform from a chip count when no
+            default platform is set (defaults to the paper's Siracusa +
+            MIPI preset).
+        kernels: Optional custom kernel cost models.
+        energy: Optional energy-model factory applied to each evaluated
+            platform (defaults to the paper's analytical model).
+        prefetch_accounting: Prefetch runtime-accounting policy.
+        memoize: Keep a content-hash cache of evaluations (default on).
+    """
+
+    def __init__(
+        self,
+        platform: Optional[MultiChipPlatform] = None,
+        *,
+        platform_factory=siracusa_platform,
+        kernels: Optional[KernelLibrary] = None,
+        energy: Optional[EnergyModelFactory] = None,
+        prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN,
+        memoize: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.platform_factory = platform_factory
+        self.kernels = kernels
+        self.energy = energy
+        self.prefetch_accounting = prefetch_accounting
+        self.memoize = memoize
+        self._cache: Dict[str, EvalResult] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def options(self, *, record_events: bool = False) -> EvalOptions:
+        """The :class:`EvalOptions` this session passes to strategies."""
+        return EvalOptions(
+            kernel_library=self.kernels,
+            energy=self.energy,
+            prefetch_accounting=self.prefetch_accounting,
+            record_events=record_events,
+        )
+
+    def resolve_platform(
+        self,
+        chips: Optional[int] = None,
+        platform: Optional[MultiChipPlatform] = None,
+    ) -> MultiChipPlatform:
+        """Resolve the platform for one evaluation.
+
+        Precedence: an explicit ``platform`` argument, then ``chips``
+        applied to the session's default platform (or platform factory),
+        then the session's default platform.
+        """
+        if platform is not None:
+            return platform
+        if chips is not None:
+            if chips <= 0:
+                raise AnalysisError(f"invalid chip count {chips}")
+            if self.platform is not None:
+                return self.platform.with_num_chips(chips)
+            return self.platform_factory(chips)
+        if self.platform is not None:
+            return self.platform
+        raise AnalysisError(
+            "no platform to evaluate on: pass chips=/platform= or construct "
+            "the Session with a default platform"
+        )
+
+    def cache_info(self) -> CacheInfo:
+        """Memoisation statistics (hits, misses, entries)."""
+        return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+
+    def cache_clear(self) -> None:
+        """Drop every memoised evaluation and reset the statistics."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def _cache_key(
+        self,
+        strategy: str,
+        workload: Workload,
+        platform: MultiChipPlatform,
+        options: EvalOptions,
+    ) -> str:
+        canonical_name = get_strategy(strategy).name
+        return content_hash(canonical_name, workload, platform, options)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        strategy: str = PAPER_STRATEGY,
+        *,
+        chips: Optional[int] = None,
+        platform: Optional[MultiChipPlatform] = None,
+        record_events: bool = False,
+    ) -> EvalResult:
+        """Evaluate one workload under one registered strategy.
+
+        Results are memoised by content hash of (strategy, workload,
+        platform, options): repeated calls with equal inputs return the
+        cached :class:`EvalResult` object without re-simulating.
+        """
+        resolved = self.resolve_platform(chips, platform)
+        options = self.options(record_events=record_events)
+        impl = get_strategy(strategy)
+        if not self.memoize:
+            return impl.evaluate(workload, resolved, options)
+        key = self._cache_key(strategy, workload, resolved, options)
+        if key in self._cache:
+            self._hits += 1
+            return self._cache[key]
+        self._misses += 1
+        result = impl.evaluate(workload, resolved, options)
+        self._cache[key] = result
+        return result
+
+    def sweep(
+        self,
+        workload: Workload,
+        chips: Sequence[int],
+        *,
+        strategy: str = PAPER_STRATEGY,
+        parallel: Optional[int] = None,
+    ) -> EvalSweep:
+        """Evaluate ``workload`` across several chip counts.
+
+        Args:
+            workload: The workload to sweep.
+            chips: Chip counts, in presentation order.
+            strategy: Any registered strategy name.
+            parallel: Optional process-pool width; uncached points are
+                evaluated in worker processes when ``parallel > 1``.
+                Sessions with custom kernel or energy models stay serial
+                (the models may not survive pickling).
+        """
+        if not chips:
+            raise AnalysisError("chip_counts must not be empty")
+        impl = get_strategy(strategy)
+        for count in chips:
+            if count <= 0:
+                raise AnalysisError(f"invalid chip count {count}")
+        if (
+            parallel is not None
+            and parallel > 1
+            and self.memoize
+            and self.kernels is None
+            and self.energy is None
+        ):
+            self._prefill_parallel(workload, chips, impl.name, parallel)
+        results = tuple(
+            self.run(workload, impl.name, chips=count) for count in chips
+        )
+        return EvalSweep(workload=workload, strategy=impl.name, results=results)
+
+    def compare(
+        self,
+        workload: Workload,
+        *,
+        chips: Optional[int] = None,
+        platform: Optional[MultiChipPlatform] = None,
+        strategies: Sequence[str] = BASELINE_STRATEGIES,
+    ) -> Comparison:
+        """Evaluate several strategies on the same workload and platform.
+
+        The default strategy list reproduces the seed's Table I ablation
+        order: single chip, weight-replicated sequence parallelism,
+        pipeline parallelism, then the paper's tensor-parallel scheme.
+        """
+        if not strategies:
+            raise AnalysisError("compare needs at least one strategy")
+        resolved = self.resolve_platform(chips, platform)
+        results = tuple(
+            self.run(workload, name, platform=resolved) for name in strategies
+        )
+        return Comparison(
+            workload=workload,
+            num_chips=resolved.num_chips,
+            results=results,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _prefill_parallel(
+        self,
+        workload: Workload,
+        chips: Sequence[int],
+        strategy: str,
+        parallel: int,
+    ) -> None:
+        """Evaluate uncached sweep points in a process pool, filling the cache."""
+        options = self.options()
+        pending: List[Tuple[str, tuple]] = []
+        seen = set()
+        for count in chips:
+            platform = self.resolve_platform(count)
+            key = self._cache_key(strategy, workload, platform, options)
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            pending.append((key, (strategy, workload, platform, options)))
+        if len(pending) < 2:
+            return
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(parallel, len(pending))
+            ) as pool:
+                evaluated = list(
+                    pool.map(_evaluate_point, [payload for _, payload in pending])
+                )
+        except Exception:
+            # Pool or worker failure (restricted environment, spawn start
+            # method without the strategy registered in the child, broken
+            # pool, ...): prefill is best-effort, so fall back to the
+            # serial path, which re-raises any genuine evaluation error.
+            return
+        for (key, _), result in zip(pending, evaluated):
+            self._cache[key] = result
+            self._misses += 1
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide shared session on the paper's Siracusa preset.
+
+    The experiment harnesses (Figs. 4-6, Table I, the headline numbers)
+    share this session, so a workload/chip-count pair simulated for one
+    figure is reused by every other figure instead of being recomputed.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

@@ -1,0 +1,182 @@
+"""Built-in partitioning strategies.
+
+Five strategies ship with the library, covering the paper's scheme and
+every Table I baseline behind the single :class:`~repro.api.registry.
+PartitionStrategy` interface:
+
+``paper``
+    The paper's tensor-parallel scheme run through the full pipeline
+    (partition → schedule → event-driven simulation → energy model).  The
+    returned :class:`~repro.api.EvalResult` carries the complete
+    :class:`~repro.analysis.evaluate.BlockReport` and honours every
+    :class:`~repro.api.EvalOptions` knob.
+
+``single_chip``
+    One chip of the platform executes the whole block (the reference every
+    speedup is normalised to).  Simulator-backed, report attached.
+
+``weight_replicated``
+    Sequence parallelism with a full weight copy per chip (the "edge meets
+    Transformers" family the paper criticises).
+
+``pipeline_parallel``
+    Layer-wise pipelining (the PipeEdge / Hermes family).
+
+``tensor_parallel``
+    The paper's scheme wrapped as a Table-I comparison entry — identical
+    cycles and energy to ``paper`` under default options, presented with
+    the ablation's metadata.  Simulator-backed, report attached.
+
+The simulator-backed strategies invoke the same engine calls as the seed's
+:mod:`repro.baselines` adapters, and the analytical ones delegate to them
+directly, so every number is bit-identical to the seed's
+``compare_approaches`` ablation (asserted by ``tests/api/test_parity.py``).
+"""
+
+from __future__ import annotations
+
+from ..analysis.evaluate import evaluate_block
+from ..baselines.pipeline_parallel import evaluate_pipeline_parallel
+from ..baselines.weight_replicated import evaluate_weight_replicated
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from .registry import EvalOptions, register_strategy
+from .result import EvalResult
+
+#: Registry names of the Table I ablation, in the table's row order.
+BASELINE_STRATEGIES = (
+    "single_chip",
+    "weight_replicated",
+    "pipeline_parallel",
+    "tensor_parallel",
+)
+
+#: Registry name of the paper's simulator-backed scheme.
+PAPER_STRATEGY = "paper"
+
+
+@register_strategy
+class PaperStrategy:
+    """The paper's tensor-parallel scheme through the full simulator."""
+
+    name = PAPER_STRATEGY
+    aliases = ("ours",)
+    label = "Ours (tensor parallel, scattered weights)"
+
+    def evaluate(
+        self,
+        workload: Workload,
+        platform: MultiChipPlatform,
+        options: EvalOptions,
+    ) -> EvalResult:
+        energy_model = (
+            options.energy(platform) if options.energy is not None else None
+        )
+        report = evaluate_block(
+            workload,
+            platform,
+            kernel_library=options.kernel_library,
+            prefetch_accounting=options.prefetch_accounting,
+            record_events=options.record_events,
+            energy_model=energy_model,
+        )
+        return EvalResult.from_block_report(
+            report,
+            strategy=self.name,
+            approach=self.label,
+            notes="head-split MHSA, F-split FFN, hierarchical all-reduce",
+        )
+
+
+@register_strategy
+class SingleChipStrategy:
+    """Whole block on one chip of the platform."""
+
+    name = "single_chip"
+    label = "Single chip"
+
+    def evaluate(
+        self,
+        workload: Workload,
+        platform: MultiChipPlatform,
+        options: EvalOptions,
+    ) -> EvalResult:
+        # Same engine invocation as the seed's evaluate_single_chip, but
+        # keeping the simulator report attached to the unified result.
+        report = evaluate_block(workload, platform.with_num_chips(1))
+        return EvalResult.from_block_report(
+            report,
+            strategy=self.name,
+            approach=self.label,
+            synchronisations_per_block=0,
+            notes="all weights and traffic on one chip",
+        )
+
+
+@register_strategy
+class WeightReplicatedStrategy:
+    """Sequence parallelism with a full weight copy per chip."""
+
+    name = "weight_replicated"
+    aliases = ("sequence_parallel",)
+    label = "Sequence parallel, replicated weights"
+
+    def evaluate(
+        self,
+        workload: Workload,
+        platform: MultiChipPlatform,
+        options: EvalOptions,
+    ) -> EvalResult:
+        result = evaluate_weight_replicated(workload, platform)
+        return EvalResult.from_baseline_result(
+            result,
+            strategy=self.name,
+            workload=workload,
+            frequency_hz=platform.frequency_hz,
+        )
+
+
+@register_strategy
+class PipelineParallelStrategy:
+    """Layer-wise pipelining across the chips."""
+
+    name = "pipeline_parallel"
+    label = "Pipeline parallel (layer split)"
+
+    def evaluate(
+        self,
+        workload: Workload,
+        platform: MultiChipPlatform,
+        options: EvalOptions,
+    ) -> EvalResult:
+        result = evaluate_pipeline_parallel(workload, platform)
+        return EvalResult.from_baseline_result(
+            result,
+            strategy=self.name,
+            workload=workload,
+            frequency_hz=platform.frequency_hz,
+        )
+
+
+@register_strategy
+class TensorParallelStrategy:
+    """The paper's scheme presented as a Table-I comparison entry."""
+
+    name = "tensor_parallel"
+    label = "Ours (tensor parallel, scattered weights)"
+
+    def evaluate(
+        self,
+        workload: Workload,
+        platform: MultiChipPlatform,
+        options: EvalOptions,
+    ) -> EvalResult:
+        # Same engine invocation (default options) as the seed's
+        # evaluate_tensor_parallel, but keeping the report attached.
+        report = evaluate_block(workload, platform)
+        return EvalResult.from_block_report(
+            report,
+            strategy=self.name,
+            approach=self.label,
+            notes="head-split MHSA, F-split FFN, hierarchical all-reduce",
+        )

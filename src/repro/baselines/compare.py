@@ -8,17 +8,13 @@ so the differences come only from the partitioning strategy.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from ..analysis.tables import format_table
 from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
 from ..units import format_bytes, format_energy
-from .pipeline_parallel import evaluate_pipeline_parallel
-from .single_chip import evaluate_single_chip
-from .tensor_parallel import evaluate_tensor_parallel
 from .types import BaselineResult
-from .weight_replicated import evaluate_weight_replicated
 
 
 def compare_approaches(
@@ -26,20 +22,24 @@ def compare_approaches(
 ) -> List[BaselineResult]:
     """Evaluate all approaches on the same workload and platform.
 
-    Returns the results ordered as: single chip, weight-replicated sequence
-    parallelism, pipeline parallelism, and the paper's tensor-parallel
-    scheme.
+    Legacy shim over :meth:`repro.api.Session.compare`: the ablation runs
+    through the strategy registry and is projected back onto the seed's
+    :class:`BaselineResult` schema.  Returns the results ordered as:
+    single chip, weight-replicated sequence parallelism, pipeline
+    parallelism, and the paper's tensor-parallel scheme.
     """
-    return [
-        evaluate_single_chip(workload, platform),
-        evaluate_weight_replicated(workload, platform),
-        evaluate_pipeline_parallel(workload, platform),
-        evaluate_tensor_parallel(workload, platform),
-    ]
+    from ..api.session import Session
+
+    comparison = Session(platform=platform).compare(workload)
+    return [result.to_baseline_result() for result in comparison.results]
 
 
-def comparison_rows(results: List[BaselineResult]) -> List[List[str]]:
-    """Render comparison results as table rows (one per approach)."""
+def comparison_rows(results: Sequence) -> List[List[str]]:
+    """Render comparison results as table rows (one per approach).
+
+    Accepts both the legacy :class:`BaselineResult` and the unified
+    :class:`repro.api.EvalResult` — the rendered columns exist on both.
+    """
     baseline = results[0]
     rows: List[List[str]] = []
     for result in results:
@@ -60,7 +60,7 @@ def comparison_rows(results: List[BaselineResult]) -> List[List[str]]:
     return rows
 
 
-def render_comparison(results: List[BaselineResult]) -> str:
+def render_comparison(results: Sequence) -> str:
     """Plain-text Table-I-style comparison with measured columns."""
     headers = [
         "Approach",

@@ -4,11 +4,17 @@
 without writing any Python:
 
 * ``models``      — list the registered model configurations,
+* ``strategies``  — list the registered partitioning strategies,
 * ``evaluate``    — evaluate one Transformer block on a chip count,
-* ``sweep``       — run a chip-count sweep and print (or export) the
-  Fig. 4/5-style tables,
+* ``sweep``       — run a chip-count sweep with any registered strategy
+  and print (or export) the Fig. 4/5-style tables,
+* ``compare``     — strategy ablation (Table-I style) on one chip count,
 * ``experiments`` — regenerate the paper's figures and tables,
 * ``verify``      — numerically verify the partitioning scheme's exactness.
+
+Every evaluating command runs through :class:`repro.api.Session`, so any
+strategy added with :func:`repro.api.register_strategy` is immediately
+usable from the command line.
 """
 
 from __future__ import annotations
@@ -16,14 +22,14 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from .analysis.evaluate import evaluate_block
 from .analysis.export import write_sweep
-from .analysis.sweep import chip_count_sweep
-from .analysis.tables import energy_runtime_table, runtime_breakdown_table
+from .analysis.tables import energy_runtime_table, format_table, runtime_breakdown_table
+from .api.registry import get_strategy, list_strategies
+from .api.session import EvalSweep, Session
+from .api.strategies import BASELINE_STRATEGIES, PAPER_STRATEGY
 from .core.placement import PrefetchAccounting
 from .graph.transformer import InferenceMode
 from .graph.workload import Workload
-from .hw.presets import siracusa_platform
 from .models.registry import get_model, list_models
 from .numerics.verify import verify_partition_equivalence
 from .units import format_bytes, format_energy, format_time
@@ -49,10 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("models", help="list registered model configurations")
 
+    subparsers.add_parser(
+        "strategies", help="list registered partitioning strategies"
+    )
+
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate one Transformer block on a chip count"
     )
     _add_workload_arguments(evaluate)
+    _add_strategy_argument(evaluate)
     evaluate.add_argument(
         "--chips", type=int, default=8, help="number of chips (default: 8)"
     )
@@ -61,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a chip-count sweep and print the figure tables"
     )
     _add_workload_arguments(sweep)
+    _add_strategy_argument(sweep)
     sweep.add_argument(
         "--chips",
         type=int,
@@ -69,10 +81,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="chip counts to sweep (default: 1 2 4 8)",
     )
     sweep.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate sweep points in N worker processes",
+    )
+    sweep.add_argument(
         "--output",
         type=str,
         default=None,
         help="optional export path (.csv or .json)",
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="strategy ablation on one chip count (Table I style)"
+    )
+    _add_workload_arguments(compare)
+    compare.add_argument(
+        "--chips", type=int, default=8, help="number of chips (default: 8)"
+    )
+    compare.add_argument(
+        "--strategies",
+        nargs="+",
+        default=list(BASELINE_STRATEGIES),
+        metavar="NAME",
+        help=(
+            "registered strategies to compare, in order "
+            "(default: the Table I ablation)"
+        ),
     )
 
     experiments = subparsers.add_parser(
@@ -121,11 +158,27 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_strategy_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strategy",
+        default=PAPER_STRATEGY,
+        metavar="NAME",
+        help=(
+            "registered partitioning strategy (default: paper; "
+            "see `repro strategies`)"
+        ),
+    )
+
+
 def _workload_from_args(args: argparse.Namespace) -> Workload:
     config = get_model(args.model)
     mode = InferenceMode(args.mode)
     seq_len = args.seq_len if args.seq_len is not None else _DEFAULT_SEQ_LEN[mode]
     return Workload(config=config, mode=mode, seq_len=seq_len)
+
+
+def _session_from_args(args: argparse.Namespace) -> Session:
+    return Session(prefetch_accounting=PrefetchAccounting(args.prefetch))
 
 
 def _command_models() -> List[str]:
@@ -141,45 +194,112 @@ def _command_models() -> List[str]:
     return lines
 
 
+def _command_strategies() -> List[str]:
+    lines = []
+    for name in list_strategies():
+        strategy = get_strategy(name)
+        lines.append(f"{name:<20} {strategy.label}")
+    return lines
+
+
 def _command_evaluate(args: argparse.Namespace) -> List[str]:
     workload = _workload_from_args(args)
-    platform = siracusa_platform(args.chips)
-    report = evaluate_block(
-        workload, platform, prefetch_accounting=PrefetchAccounting(args.prefetch)
-    )
-    breakdown = report.runtime_breakdown()
+    session = _session_from_args(args)
+    result = session.run(workload, args.strategy, chips=args.chips)
     lines = [
-        report.summary(),
-        f"  runtime    : {report.block_cycles:,.0f} cycles "
-        f"({format_time(report.block_runtime_seconds)}) per block",
-        f"  energy     : {format_energy(report.block_energy_joules)} per block",
-        f"  L3 traffic : {format_bytes(report.total_l3_bytes)} per block",
-        f"  C2C traffic: {format_bytes(report.total_c2c_bytes)} per block",
-        "  breakdown  : "
-        + ", ".join(
-            f"{category.value}={value:,.0f}" for category, value in breakdown.items()
+        result.summary()
+        + (
+            f", on-chip={result.runs_from_on_chip_memory}"
+            if result.runs_from_on_chip_memory is not None
+            else ""
         ),
+        f"  strategy   : {result.strategy} ({result.approach})",
+        f"  runtime    : {result.block_cycles:,.0f} cycles "
+        f"({format_time(result.block_runtime_seconds)}) per block",
+        f"  energy     : {format_energy(result.block_energy_joules)} per block",
+        f"  L3 traffic : {format_bytes(result.l3_bytes_per_block)} per block",
     ]
+    if result.c2c_bytes_per_block is not None:
+        lines.append(
+            f"  C2C traffic: {format_bytes(result.c2c_bytes_per_block)} per block"
+        )
+    breakdown = result.runtime_breakdown()
+    if breakdown is not None:
+        lines.append(
+            "  breakdown  : "
+            + ", ".join(
+                f"{category.value}={value:,.0f}"
+                for category, value in breakdown.items()
+            )
+        )
+    if result.notes:
+        lines.append(f"  notes      : {result.notes}")
     return lines
+
+
+def _strategy_sweep_table(sweep: EvalSweep) -> str:
+    """Generic cycles/speedup/energy table for any strategy's sweep."""
+    rows = []
+    for result in sweep.results:
+        rows.append(
+            [
+                str(result.num_chips),
+                f"{result.block_cycles:,.0f}",
+                f"{result.speedup_over(sweep.baseline):.2f}x",
+                format_energy(result.block_energy_joules),
+                format_bytes(result.l3_bytes_per_block),
+            ]
+        )
+    return format_table(
+        ["Chips", "Cycles/block", "Speedup", "Energy/block", "L3/block"], rows
+    )
 
 
 def _command_sweep(args: argparse.Namespace) -> List[str]:
     workload = _workload_from_args(args)
-    sweep = chip_count_sweep(
-        workload,
-        args.chips,
-        prefetch_accounting=PrefetchAccounting(args.prefetch),
+    session = _session_from_args(args)
+    sweep = session.sweep(
+        workload, args.chips, strategy=args.strategy, parallel=args.parallel
     )
-    lines = [
-        f"Chip-count sweep for {workload.name}",
-        runtime_breakdown_table(sweep),
-        "",
-        energy_runtime_table(sweep),
-    ]
-    if args.output:
-        write_sweep(sweep, args.output)
-        lines.append(f"wrote {args.output}")
+    lines = [f"Chip-count sweep for {workload.name} (strategy: {sweep.strategy})"]
+    if all(result.report is not None for result in sweep.results):
+        classic = sweep.to_sweep_result()
+        lines += [
+            runtime_breakdown_table(classic),
+            "",
+            energy_runtime_table(classic),
+        ]
+        if args.output:
+            write_sweep(classic, args.output)
+            lines.append(f"wrote {args.output}")
+    else:
+        lines.append(_strategy_sweep_table(sweep))
+        if args.output:
+            lines.append(
+                "export is only supported for simulator-backed strategies "
+                f"(strategy {sweep.strategy!r} is analytical)"
+            )
     return lines
+
+
+def _command_compare(args: argparse.Namespace) -> List[str]:
+    workload = _workload_from_args(args)
+    session = _session_from_args(args)
+    comparison = session.compare(
+        workload, chips=args.chips, strategies=args.strategies
+    )
+    best = comparison.best()
+    return [
+        (
+            f"Strategy comparison on {comparison.num_chips} chips, "
+            f"workload {workload.name}"
+        ),
+        comparison.render(),
+        (
+            f"fastest: {best.strategy} "
+            f"({best.block_cycles:,.0f} cycles/block)"
+        ),
+    ]
 
 
 def _command_experiments(args: argparse.Namespace) -> List[str]:
@@ -229,10 +349,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "models":
         lines = _command_models()
+    elif args.command == "strategies":
+        lines = _command_strategies()
     elif args.command == "evaluate":
         lines = _command_evaluate(args)
     elif args.command == "sweep":
         lines = _command_sweep(args)
+    elif args.command == "compare":
+        lines = _command_compare(args)
     elif args.command == "experiments":
         lines = _command_experiments(args)
     elif args.command == "verify":

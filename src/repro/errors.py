@@ -43,3 +43,11 @@ class MemoryCapacityError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis or experiment was asked to combine incompatible results."""
+
+
+class UnknownStrategyError(ConfigurationError):
+    """A partitioning strategy name is not present in the registry.
+
+    The message lists the registered names so that callers (and CLI users)
+    can see what is available without importing the registry module.
+    """

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..analysis.sweep import SweepResult, chip_count_sweep
+from ..analysis.sweep import SweepResult
 from ..analysis.tables import energy_runtime_table
 from ..graph.workload import autoregressive, prompt
 from ..models.tinyllama import (
@@ -27,6 +27,7 @@ from .fig4 import (
     run_fig4a,
     run_fig4b,
     run_fig4c,
+    session_sweep,
 )
 
 #: Chip counts of the scaled-up model shown as circles in Fig. 5(a)/(b).
@@ -69,12 +70,12 @@ def run_fig5(
     scaled = tinyllama_scaled()
     return Fig5Result(
         autoregressive=run_fig4a(original_chip_counts),
-        autoregressive_scaled=chip_count_sweep(
+        autoregressive_scaled=session_sweep(
             autoregressive(scaled, TINYLLAMA_AUTOREGRESSIVE_SEQ_LEN),
             scaled_chip_counts,
         ),
         prompt=run_fig4b(original_chip_counts),
-        prompt_scaled=chip_count_sweep(
+        prompt_scaled=session_sweep(
             prompt(scaled, TINYLLAMA_PROMPT_SEQ_LEN), scaled_chip_counts
         ),
         mobilebert=run_fig4c(mobilebert_chip_counts),

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-from ..analysis.sweep import SweepResult, chip_count_sweep
+from ..analysis.sweep import SweepResult
 from ..analysis.tables import scaling_table
 from ..graph.workload import autoregressive, prompt
 from ..models.tinyllama import (
@@ -20,6 +20,7 @@ from ..models.tinyllama import (
     TINYLLAMA_SCALED_NUM_HEADS,
     tinyllama_scaled,
 )
+from .fig4 import session_sweep
 
 #: Chip counts of the scalability study (Fig. 6).
 SCALABILITY_CHIP_COUNTS = (1, 2, 4, 8, 16, 32, 64)
@@ -47,10 +48,10 @@ def run_fig6(
     """Run the scalability study on the scaled-up TinyLlama."""
     scaled = tinyllama_scaled(num_heads)
     return Fig6Result(
-        autoregressive=chip_count_sweep(
+        autoregressive=session_sweep(
             autoregressive(scaled, TINYLLAMA_AUTOREGRESSIVE_SEQ_LEN), chip_counts
         ),
-        prompt=chip_count_sweep(
+        prompt=session_sweep(
             prompt(scaled, TINYLLAMA_PROMPT_SEQ_LEN), chip_counts
         ),
     )

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..analysis.sweep import chip_count_sweep
 from ..analysis.tables import format_table
 from ..graph.workload import autoregressive, prompt
 from ..models.tinyllama import (
@@ -23,7 +22,7 @@ from ..models.tinyllama import (
     TINYLLAMA_PROMPT_SEQ_LEN,
     tinyllama_scaled,
 )
-from .fig4 import run_fig4a, run_fig4b, run_fig4c
+from .fig4 import run_fig4a, run_fig4b, run_fig4c, session_sweep
 
 
 @dataclass(frozen=True)
@@ -77,10 +76,10 @@ def run_headline() -> HeadlineResult:
     )
 
     scaled = tinyllama_scaled()
-    scaled_ar_sweep = chip_count_sweep(
+    scaled_ar_sweep = session_sweep(
         autoregressive(scaled, TINYLLAMA_AUTOREGRESSIVE_SEQ_LEN), (1, 64)
     )
-    scaled_prompt_sweep = chip_count_sweep(
+    scaled_prompt_sweep = session_sweep(
         prompt(scaled, TINYLLAMA_PROMPT_SEQ_LEN), (1, 8)
     )
     scaled_speedup = scaled_ar_sweep.speedups()[64]

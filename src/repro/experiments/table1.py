@@ -15,8 +15,9 @@ from dataclasses import dataclass
 from typing import List
 
 from ..analysis.tables import comparison_table
-from ..baselines.compare import compare_approaches, qualitative_table, render_comparison
-from ..baselines.types import BaselineResult
+from ..api.result import EvalResult
+from ..api.session import default_session
+from ..baselines.compare import qualitative_table, render_comparison
 from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
 from ..hw.presets import siracusa_platform
@@ -32,9 +33,9 @@ class Table1Result:
 
     workload: Workload
     platform: MultiChipPlatform
-    measured: List[BaselineResult]
+    measured: List[EvalResult]
 
-    def ours(self) -> BaselineResult:
+    def ours(self) -> EvalResult:
         """The paper's approach, from the measured ablation."""
         return self.measured[-1]
 
@@ -56,13 +57,14 @@ def run_table1(
     workload: Workload | None = None,
     num_chips: int = DEFAULT_NUM_CHIPS,
 ) -> Table1Result:
-    """Run the Table I ablation."""
+    """Run the Table I ablation through the strategy registry."""
     workload = workload or tinyllama_autoregressive_workload()
     platform = siracusa_platform(num_chips)
+    comparison = default_session().compare(workload, platform=platform)
     return Table1Result(
         workload=workload,
         platform=platform,
-        measured=compare_approaches(workload, platform),
+        measured=list(comparison.results),
     )
 
 

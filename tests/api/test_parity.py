@@ -1,0 +1,125 @@
+"""Equivalence of the unified API with the legacy entry points.
+
+The redesign's acceptance bar: every strategy run through ``Session``
+returns numbers identical to the pre-redesign ``evaluate_block`` /
+``compare_approaches`` outputs, and all strategies populate the same
+:class:`EvalResult` schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.evaluate import evaluate_block
+from repro.analysis.sweep import chip_count_sweep
+from repro.api import Session, list_strategies
+from repro.baselines.compare import compare_approaches
+from repro.baselines.pipeline_parallel import evaluate_pipeline_parallel
+from repro.baselines.single_chip import evaluate_single_chip
+from repro.baselines.tensor_parallel import evaluate_tensor_parallel
+from repro.baselines.weight_replicated import evaluate_weight_replicated
+from repro.graph.workload import autoregressive, prompt
+from repro.hw.presets import siracusa_platform
+from repro.models.tinyllama import tinyllama_42m
+
+_BASELINE_EVALUATORS = {
+    "single_chip": evaluate_single_chip,
+    "weight_replicated": evaluate_weight_replicated,
+    "pipeline_parallel": evaluate_pipeline_parallel,
+    "tensor_parallel": evaluate_tensor_parallel,
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return autoregressive(tinyllama_42m(), 128)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return siracusa_platform(8)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+class TestShimEquivalence:
+    def test_session_paper_equals_evaluate_block(self, session, workload, platform):
+        direct = evaluate_block(workload, platform)
+        unified = session.run(workload, "paper", platform=platform)
+        assert unified.block_cycles == direct.block_cycles
+        assert unified.block_energy_joules == direct.block_energy_joules
+        assert unified.l3_bytes_per_block == direct.total_l3_bytes
+        assert unified.c2c_bytes_per_block == direct.total_c2c_bytes
+        assert unified.energy_delay_product == direct.energy_delay_product
+        assert unified.block_runtime_seconds == direct.block_runtime_seconds
+        assert unified.runtime_breakdown() == direct.runtime_breakdown()
+        assert unified.residencies() == direct.residencies()
+
+    @pytest.mark.parametrize("name", sorted(_BASELINE_EVALUATORS))
+    def test_session_baseline_equals_direct_evaluator(
+        self, session, workload, platform, name
+    ):
+        direct = _BASELINE_EVALUATORS[name](workload, platform)
+        unified = session.run(workload, name, platform=platform)
+        assert unified.to_baseline_result() == direct
+
+    def test_compare_approaches_shim_is_lossless(self, workload, platform):
+        shimmed = compare_approaches(workload, platform)
+        direct = [
+            evaluate_single_chip(workload, platform),
+            evaluate_weight_replicated(workload, platform),
+            evaluate_pipeline_parallel(workload, platform),
+            evaluate_tensor_parallel(workload, platform),
+        ]
+        assert shimmed == direct
+
+    def test_chip_count_sweep_shim_matches_session_sweep(self, session, workload):
+        classic = chip_count_sweep(workload, (1, 8))
+        unified = session.sweep(workload, (1, 8))
+        assert classic.cycles() == unified.cycles()
+        assert classic.energies_joules() == unified.energies_joules()
+
+    def test_paper_and_tensor_parallel_strategies_agree(
+        self, session, workload, platform
+    ):
+        paper = session.run(workload, "paper", platform=platform)
+        table_entry = session.run(workload, "tensor_parallel", platform=platform)
+        assert paper.block_cycles == table_entry.block_cycles
+        assert paper.block_energy_joules == table_entry.block_energy_joules
+        assert paper.weight_bytes_per_chip == table_entry.weight_bytes_per_chip
+
+
+class TestCrossStrategyFieldParity:
+    """Every strategy fills the unified schema's required fields."""
+
+    @pytest.mark.parametrize("name", sorted(set(list_strategies())))
+    def test_required_fields_populated(self, session, workload, name):
+        result = session.run(workload, name, chips=8)
+        assert result.strategy == name
+        assert result.approach
+        assert result.workload == workload
+        assert result.num_chips >= 1
+        assert result.frequency_hz > 0
+        assert result.block_cycles > 0
+        assert result.block_energy_joules > 0
+        assert result.l3_bytes_per_block >= 0
+        assert result.weight_bytes_per_chip > 0
+        assert isinstance(result.weights_replicated, bool)
+        assert result.synchronisations_per_block >= 0
+        assert isinstance(result.uses_pipelining, bool)
+        assert result.block_runtime_seconds > 0
+        assert result.energy_delay_product > 0
+        assert result.summary()
+
+    @pytest.mark.parametrize("name", sorted(set(list_strategies())))
+    def test_round_trip_through_baseline_schema(self, session, name):
+        workload = prompt(tinyllama_42m(), 16)
+        result = session.run(workload, name, chips=8)
+        baseline = result.to_baseline_result()
+        for field in dataclasses.fields(baseline):
+            assert getattr(baseline, field.name) == getattr(result, field.name)

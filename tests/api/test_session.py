@@ -1,0 +1,179 @@
+"""Unit tests for Session.run/sweep/compare and the memoisation cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session, default_session
+from repro.errors import AnalysisError, UnknownStrategyError
+from repro.graph.workload import autoregressive, prompt
+from repro.hw.presets import siracusa_platform
+from repro.models.tinyllama import tinyllama_42m
+
+
+@pytest.fixture
+def workload():
+    return autoregressive(tinyllama_42m(), 128)
+
+
+@pytest.fixture
+def session():
+    return Session()
+
+
+class TestRun:
+    def test_run_returns_eval_result(self, session, workload):
+        result = session.run(workload, "paper", chips=8)
+        assert result.strategy == "paper"
+        assert result.num_chips == 8
+        assert result.block_cycles > 0
+        assert result.report is not None
+
+    def test_unknown_strategy_raises(self, session, workload):
+        with pytest.raises(UnknownStrategyError):
+            session.run(workload, "nope", chips=8)
+
+    def test_platform_resolution_precedence(self, workload):
+        session = Session(platform=siracusa_platform(4))
+        assert session.run(workload).num_chips == 4
+        assert session.run(workload, chips=2).num_chips == 2
+        explicit = siracusa_platform(8)
+        assert session.run(workload, platform=explicit).num_chips == 8
+
+    def test_no_platform_anywhere_raises(self, workload):
+        session = Session()
+        session.platform = None
+        with pytest.raises(AnalysisError):
+            session.resolve_platform()
+
+    def test_invalid_chip_count_rejected(self, session, workload):
+        with pytest.raises(AnalysisError):
+            session.run(workload, chips=0)
+
+
+class TestMemoisation:
+    def test_repeated_run_hits_cache_and_returns_same_object(
+        self, session, workload
+    ):
+        first = session.run(workload, "paper", chips=8)
+        second = session.run(workload, "paper", chips=8)
+        assert first is second
+        info = session.cache_info()
+        assert info.hits == 1
+        assert info.misses == 1
+        assert info.size == 1
+
+    def test_equal_but_distinct_inputs_hit_cache(self, session):
+        # Content-hash memoisation: equality of configuration is enough,
+        # object identity is not required.
+        first = session.run(autoregressive(tinyllama_42m(), 128), chips=8)
+        second = session.run(autoregressive(tinyllama_42m(), 128), chips=8)
+        assert first is second
+        assert session.cache_info().hits == 1
+
+    def test_alias_shares_cache_with_canonical_name(self, session, workload):
+        first = session.run(workload, "paper", chips=8)
+        second = session.run(workload, "ours", chips=8)
+        assert first is second
+
+    def test_different_inputs_miss(self, session, workload):
+        session.run(workload, "paper", chips=8)
+        session.run(workload, "paper", chips=4)
+        session.run(workload, "single_chip", chips=8)
+        session.run(prompt(tinyllama_42m(), 16), "paper", chips=8)
+        info = session.cache_info()
+        assert info.hits == 0
+        assert info.misses == 4
+
+    def test_cache_clear_resets(self, session, workload):
+        session.run(workload, chips=8)
+        session.cache_clear()
+        info = session.cache_info()
+        assert info == (0, 0, 0)
+        session.run(workload, chips=8)
+        assert session.cache_info().misses == 1
+
+    def test_memoize_false_disables_cache(self, workload):
+        session = Session(memoize=False)
+        first = session.run(workload, chips=8)
+        second = session.run(workload, chips=8)
+        assert first is not second
+        assert session.cache_info().size == 0
+        # ... but the numbers are still deterministic.
+        assert first.block_cycles == second.block_cycles
+
+
+class TestSweep:
+    def test_sweep_structure(self, session, workload):
+        sweep = session.sweep(workload, (1, 2, 8))
+        assert sweep.chip_counts == [1, 2, 8]
+        assert sweep.baseline.num_chips == 1
+        assert sweep.result_for(8).num_chips == 8
+        with pytest.raises(AnalysisError):
+            sweep.result_for(3)
+        speedups = sweep.speedups()
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[8] > 8
+
+    def test_sweep_rejects_bad_chip_lists(self, session, workload):
+        with pytest.raises(AnalysisError):
+            session.sweep(workload, ())
+        with pytest.raises(AnalysisError):
+            session.sweep(workload, (0,))
+
+    def test_sweep_any_registered_strategy(self, session, workload):
+        sweep = session.sweep(workload, (1, 8), strategy="pipeline_parallel")
+        assert sweep.strategy == "pipeline_parallel"
+        assert all(result.uses_pipelining for result in sweep.results)
+        with pytest.raises(AnalysisError):
+            sweep.to_sweep_result()  # analytical strategy: no BlockReports
+
+    def test_paper_sweep_converts_to_classic_sweep_result(self, session, workload):
+        classic = session.sweep(workload, (1, 8)).to_sweep_result()
+        assert classic.chip_counts == [1, 8]
+        assert classic.report_for(8).num_chips == 8
+
+    def test_parallel_sweep_matches_serial(self, workload):
+        serial = Session().sweep(workload, (1, 2, 4))
+        fanout = Session().sweep(workload, (1, 2, 4), parallel=2)
+        assert fanout.cycles() == serial.cycles()
+        assert fanout.energies_joules() == serial.energies_joules()
+
+
+class TestCompare:
+    def test_default_ablation_order(self, session, workload):
+        comparison = session.compare(workload, chips=8)
+        assert comparison.strategies == [
+            "single_chip",
+            "weight_replicated",
+            "pipeline_parallel",
+            "tensor_parallel",
+        ]
+        assert comparison.num_chips == 8
+        assert comparison.best().strategy == "tensor_parallel"
+
+    def test_compare_custom_strategies_and_lookup(self, session, workload):
+        comparison = session.compare(
+            workload, chips=8, strategies=("paper", "single_chip")
+        )
+        assert comparison.result_for("paper").report is not None
+        with pytest.raises(AnalysisError):
+            comparison.result_for("pipeline_parallel")
+        speedups = comparison.speedups_over("single_chip")
+        assert speedups["paper"] > 8
+        assert speedups["single_chip"] == pytest.approx(1.0)
+
+    def test_compare_requires_strategies(self, session, workload):
+        with pytest.raises(AnalysisError):
+            session.compare(workload, chips=8, strategies=())
+
+    def test_render_contains_all_rows(self, session, workload):
+        text = session.compare(workload, chips=8).render()
+        assert "Single chip" in text
+        assert "Pipeline parallel" in text
+        assert "tensor parallel" in text.lower()
+
+
+class TestDefaultSession:
+    def test_default_session_is_shared(self):
+        assert default_session() is default_session()

@@ -69,3 +69,54 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Table I" in output
         assert "tensor parallel" in output.lower()
+
+
+class TestStrategyCommands:
+    def test_strategies_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        output = capsys.readouterr().out
+        for name in (
+            "paper",
+            "single_chip",
+            "weight_replicated",
+            "pipeline_parallel",
+            "tensor_parallel",
+        ):
+            assert name in output
+
+    def test_evaluate_with_baseline_strategy(self, capsys):
+        assert main(
+            ["evaluate", "--strategy", "pipeline_parallel", "--chips", "4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "pipeline_parallel" in output
+        assert "L3 traffic" in output
+
+    def test_evaluate_unknown_strategy_errors(self):
+        with pytest.raises(Exception) as excinfo:
+            main(["evaluate", "--strategy", "bogus"])
+        assert "bogus" in str(excinfo.value)
+
+    def test_sweep_with_any_strategy(self, capsys):
+        assert main(
+            ["sweep", "--strategy", "weight_replicated", "--chips", "1", "8"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "weight_replicated" in output
+        assert "Cycles/block" in output
+        assert "Speedup" in output
+
+    def test_compare_prints_ablation(self, capsys):
+        assert main(["compare", "--chips", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "Single chip" in output
+        assert "Pipeline parallel" in output
+        assert "fastest: tensor_parallel" in output
+
+    def test_compare_custom_strategy_list(self, capsys):
+        assert main(
+            ["compare", "--chips", "8", "--strategies", "single_chip", "paper"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Single chip" in output
+        assert "fastest: paper" in output
