@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Serving capacity study: from one-block figures to tail-latency SLOs.
+
+The paper's figures report steady-state per-block numbers; a deployment is
+provisioned from a different question — *how much user traffic can the
+platform absorb while the first token still arrives on time?*  This example
+walks that chain end to end with the serving subsystem:
+
+1. describe traffic declaratively (:class:`repro.serving.PoissonTrace` and
+   a bursty MMPP variant, with log-normal prompt/reply lengths),
+2. call :meth:`repro.Session.serve` to run the discrete-event simulator on
+   top of the session's memoised block costs,
+3. read the analytics off the :class:`~repro.serving.ServingReport`:
+   TTFT/TPOT/e2e percentiles, throughput, queue depth, energy per request,
+   SLO attainment,
+4. compare scheduling policies under overload, where they differ most,
+5. check how bursty arrivals degrade the tail even at a safe average rate.
+
+Run with: ``python examples/serving_capacity_study.py``
+"""
+
+from __future__ import annotations
+
+from repro import Session, tinyllama_42m
+from repro.serving import BurstyTrace, LengthModel, PoissonTrace, slo_attainment
+
+#: The SLO of the study: first token within half a second.
+TTFT_SLO_S = 0.5
+
+
+def main() -> None:
+    model = tinyllama_42m()
+    session = Session()
+    lengths = LengthModel(prompt_mean=64, output_mean=32)
+
+    # ------------------------------------------------------------------
+    # 1. One comfortable operating point, end to end.
+    # ------------------------------------------------------------------
+    trace = PoissonTrace(rate_rps=2.0, duration_s=120.0, lengths=lengths)
+    report = session.serve(model, trace, policy="fifo", chips=8, seed=0)
+    print(report.render())
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Push the load up: where does each policy stop meeting the SLO?
+    # ------------------------------------------------------------------
+    print(f"SLO attainment (TTFT < {TTFT_SLO_S:g} s) vs. offered load:")
+    print(f"{'rate':>6}  {'fifo':>8}  {'shortest':>8}  {'continuous':>10}")
+    for rate in (2.0, 3.0, 4.0, 5.0):
+        load = PoissonTrace(rate_rps=rate, duration_s=60.0, lengths=lengths)
+        reports = {
+            policy: session.serve(model, load, policy=policy, chips=8, seed=0)
+            for policy in ("fifo", "shortest_prompt", "continuous")
+        }
+        row = [
+            slo_attainment(report.result.records, ttft_s=TTFT_SLO_S)
+            for report in reports.values()
+        ]
+        print(
+            f"{rate:>5.1f}r  "
+            + "  ".join(f"{fraction * 100:>7.1f}%" for fraction in row)
+            + "   (p95 TTFT fifo: "
+            f"{reports['fifo'].metrics.ttft.p95 * 1e3:.0f} ms)"
+        )
+    print()
+    print(
+        "The continuous-batching interleaver keeps first tokens flowing by"
+        " slicing decode, at the cost of longer per-request decode spans."
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Same average rate, bursty arrivals: the tail tells the story.
+    # ------------------------------------------------------------------
+    smooth = PoissonTrace(rate_rps=2.0, duration_s=120.0, lengths=lengths)
+    bursty = BurstyTrace(
+        base_rate_rps=1.0,
+        burst_rate_rps=8.0,
+        duration_s=120.0,
+        mean_base_s=20.0,
+        mean_burst_s=4.0,
+        lengths=lengths,
+    )
+    for name, variant in (("smooth", smooth), ("bursty", bursty)):
+        served = session.serve(model, variant, policy="fifo", chips=8, seed=0)
+        metrics = served.metrics
+        print(
+            f"{name:>6}: {metrics.requests} requests, "
+            f"p50 TTFT {metrics.ttft.p50 * 1e3:6.1f} ms, "
+            f"p99 TTFT {metrics.ttft.p99 * 1e3:7.1f} ms, "
+            f"peak queue {metrics.peak_queue_depth}"
+        )
+    print()
+    print(
+        "Bursty traffic at the same mean rate inflates the p99 tail —"
+        " capacity must be planned against bursts, not averages."
+    )
+    print()
+    print(
+        f"Block evaluations behind all of the above: "
+        f"{session.cache_info().misses} (everything else was memoised)."
+    )
+
+
+if __name__ == "__main__":
+    main()

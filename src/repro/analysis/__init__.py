@@ -2,6 +2,9 @@
 
 from .evaluate import BlockReport, evaluate_block
 from .export import (
+    comparison_to_json,
+    eval_result_to_dict,
+    eval_sweep_to_json,
     report_to_dict,
     sweep_to_csv,
     sweep_to_json,
@@ -36,6 +39,9 @@ __all__ = [
     "SweepResult",
     "chip_count_sweep",
     "comparison_table",
+    "comparison_to_json",
+    "eval_result_to_dict",
+    "eval_sweep_to_json",
     "edp_improvement",
     "energy_ratio",
     "energy_runtime_table",

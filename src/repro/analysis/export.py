@@ -10,12 +10,16 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List
 
 from ..core.schedule import RuntimeCategory
 from ..errors import AnalysisError
 from .evaluate import BlockReport
 from .sweep import SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle with repro.api
+    from ..api.result import EvalResult
+    from ..api.session import Comparison, EvalSweep
 
 #: Column order of the sweep CSV export.
 SWEEP_CSV_COLUMNS = (
@@ -86,6 +90,91 @@ def sweep_to_json(sweep: SweepResult, *, indent: int = 2) -> str:
         "workload": sweep.workload.name,
         "chip_counts": sweep.chip_counts,
         "results": sweep_to_records(sweep),
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+#: :func:`report_to_dict` fields only the simulator-backed report can fill;
+#: the analytical branch of :func:`eval_result_to_dict` exports them as
+#: ``None`` so both branches always share one schema.
+_SIMULATOR_ONLY_FIELDS = (
+    "on_chip",
+    "residencies",
+    "compute_cycles",
+    "dma_l3_l2_cycles",
+    "dma_l2_l1_cycles",
+    "chip_to_chip_cycles",
+    "idle_cycles",
+    "energy_breakdown_joules",
+)
+
+
+def eval_result_to_dict(
+    result: "EvalResult", speedup: float | None = None
+) -> Dict[str, Any]:
+    """Flatten one :class:`~repro.api.EvalResult` of *any* strategy.
+
+    Simulator-backed results reuse :func:`report_to_dict` so the keys match
+    the classic sweep export exactly; analytical baselines fill the
+    simulator-only fields (breakdowns, residencies) with ``None``.  The
+    strategy metadata columns are appended in both cases, giving every CLI
+    command one shared machine-readable schema.
+    """
+    if result.report is not None:
+        record = report_to_dict(result.report, speedup=speedup)
+    else:
+        record = {
+            "workload": result.workload.name,
+            "num_chips": result.num_chips,
+            "block_cycles": result.block_cycles,
+            "block_runtime_seconds": result.block_runtime_seconds,
+            "block_energy_joules": result.block_energy_joules,
+            "energy_delay_product": result.energy_delay_product,
+            "l3_bytes": result.l3_bytes_per_block,
+            "c2c_bytes": result.c2c_bytes_per_block,
+        }
+        for field in _SIMULATOR_ONLY_FIELDS:
+            record[field] = None
+        if speedup is not None:
+            record["speedup"] = speedup
+    record.update(
+        {
+            "strategy": result.strategy,
+            "approach": result.approach,
+            "weight_bytes_per_chip": result.weight_bytes_per_chip,
+            "weights_replicated": result.weights_replicated,
+            "synchronisations_per_block": result.synchronisations_per_block,
+            "uses_pipelining": result.uses_pipelining,
+            "notes": result.notes,
+        }
+    )
+    return record
+
+
+def eval_sweep_to_json(sweep: "EvalSweep", *, indent: int = 2) -> str:
+    """Serialise any strategy's chip-count sweep to a JSON document."""
+    speedups = sweep.speedups()
+    document = {
+        "workload": sweep.workload.name,
+        "strategy": sweep.strategy,
+        "chip_counts": sweep.chip_counts,
+        "results": [
+            eval_result_to_dict(result, speedup=speedups[result.num_chips])
+            for result in sweep.results
+        ],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def comparison_to_json(comparison: "Comparison", *, indent: int = 2) -> str:
+    """Serialise a strategy ablation to a JSON document."""
+    document = {
+        "workload": comparison.workload.name,
+        "num_chips": comparison.num_chips,
+        "strategies": comparison.strategies,
+        "results": [
+            eval_result_to_dict(result) for result in comparison.results
+        ],
     }
     return json.dumps(document, indent=indent, sort_keys=True)
 

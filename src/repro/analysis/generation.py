@@ -118,15 +118,19 @@ def evaluate_generation(
         config: Model configuration.
         platform: Multi-chip platform to run on.
         prompt_tokens: Number of prompt tokens processed in prompt mode.
-        generated_tokens: Number of tokens to decode.
+        generated_tokens: Number of tokens to decode (0 sizes a pure
+            prompt pass, e.g. classification or scoring).
         context_samples: Number of distinct context lengths to simulate.
         prefetch_accounting: Runtime accounting policy for weight prefetches.
 
     Raises:
-        AnalysisError: If the token counts are not positive.
+        AnalysisError: If ``prompt_tokens`` is not positive or
+            ``generated_tokens`` is negative.
     """
-    if prompt_tokens <= 0 or generated_tokens <= 0:
-        raise AnalysisError("prompt_tokens and generated_tokens must be positive")
+    if prompt_tokens <= 0:
+        raise AnalysisError("prompt_tokens must be positive")
+    if generated_tokens < 0:
+        raise AnalysisError("generated_tokens cannot be negative")
     if context_samples <= 0:
         raise AnalysisError("context_samples must be positive")
 
@@ -135,6 +139,15 @@ def evaluate_generation(
         platform,
         prefetch_accounting=prefetch_accounting,
     )
+    if generated_tokens == 0:
+        return GenerationReport(
+            config=config,
+            platform_chips=platform.num_chips,
+            prompt_tokens=prompt_tokens,
+            generated_tokens=0,
+            prompt_report=prompt_report,
+            steps=[],
+        )
 
     final_context = prompt_tokens + generated_tokens
     sampled_lengths = _sample_context_lengths(

@@ -434,6 +434,93 @@ class Session:
             results=results,
         )
 
+    def serve(
+        self,
+        config,
+        trace,
+        *,
+        policy: str = "fifo",
+        strategy: str = PAPER_STRATEGY,
+        chips: Optional[int] = None,
+        platform: Optional[MultiChipPlatform] = None,
+        seed: int = 0,
+        max_context: int = 1024,
+        slo_targets: Optional[Sequence[float]] = None,
+    ):
+        """Simulate request-level serving of ``config`` under a traffic trace.
+
+        Materialises the trace deterministically from ``seed``, serves it
+        with the named scheduling policy on a
+        :class:`~repro.serving.simulator.ServingSimulator` whose phase
+        costs are this session's memoised block evaluations, and returns
+        the aggregated :class:`~repro.serving.metrics.ServingReport`.
+
+        Args:
+            config: The served :class:`~repro.graph.transformer.TransformerConfig`.
+            trace: Any :class:`~repro.serving.traces.TrafficTrace`.
+            policy: Registered scheduling policy name (or instance).
+            strategy: Registered partitioning strategy producing the costs.
+            chips: Chip count (resolved like :meth:`run`).
+            platform: Explicit platform (overrides ``chips``).
+            seed: Trace seed; equal seeds give byte-identical reports.
+            max_context: Serving window.  The serve fails fast (before
+                simulating) if any request of the materialised trace needs
+                a longer context; closed-loop follow-ups are additionally
+                checked at cost-lookup time.
+            slo_targets: TTFT targets of the SLO-attainment curve
+                (defaults to the serving package's standard grid).
+        """
+        from ..serving.costs import RequestCostModel
+        from ..serving.metrics import (
+            DEFAULT_SLO_TTFT_TARGETS_S,
+            ServingMetrics,
+            ServingReport,
+        )
+        from ..serving.simulator import ServingSimulator
+
+        costs = RequestCostModel(
+            self,
+            config,
+            chips=chips,
+            platform=platform,
+            strategy=strategy,
+            max_context=max_context,
+        )
+        simulator = ServingSimulator(costs, policy)
+        source = trace.build(seed)
+        if not source.initial:
+            raise AnalysisError(
+                "the trace produced no requests (arrival rate x duration "
+                "too small?); nothing to serve"
+            )
+        for request in source.initial:
+            # The deepest context a request reaches is its prompt plus all
+            # but the last output token (the prefill emits the first).
+            required = request.prompt_tokens + request.output_tokens - 1
+            if required > max_context:
+                raise AnalysisError(
+                    f"request {request.request_id} needs context {required} "
+                    f"> max_context {max_context}; shorten the trace's "
+                    "lengths or raise max_context"
+                )
+        result = simulator.run(source)
+        metrics = ServingMetrics.from_result(
+            result,
+            slo_targets=(
+                slo_targets if slo_targets is not None
+                else DEFAULT_SLO_TTFT_TARGETS_S
+            ),
+        )
+        return ServingReport(
+            model=config.name,
+            num_chips=costs.platform.num_chips,
+            strategy=get_strategy(strategy).name,
+            policy=result.policy,
+            seed=seed,
+            result=result,
+            metrics=metrics,
+        )
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

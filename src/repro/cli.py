@@ -5,29 +5,42 @@ without writing any Python:
 
 * ``models``      — list the registered model configurations,
 * ``strategies``  — list the registered partitioning strategies,
+* ``policies``    — list the registered serving scheduler policies,
 * ``evaluate``    — evaluate one Transformer block on a chip count,
 * ``sweep``       — run a chip-count sweep with any registered strategy
   and print (or export) the Fig. 4/5-style tables,
 * ``compare``     — strategy ablation (Table-I style) on one chip count,
+* ``serve``       — request-level serving simulation (traffic trace,
+  queueing policy, tail-latency/SLO analytics),
 * ``experiments`` — regenerate the paper's figures and tables,
 * ``verify``      — numerically verify the partitioning scheme's exactness.
 
 Every evaluating command runs through :class:`repro.api.Session`, so any
-strategy added with :func:`repro.api.register_strategy` is immediately
-usable from the command line.
+strategy added with :func:`repro.api.register_strategy` (or scheduling
+policy added with :func:`repro.serving.register_policy`) is immediately
+usable from the command line.  ``evaluate``, ``sweep``, ``compare``, and
+``serve`` all take ``--json`` to emit one shared machine-readable format
+instead of the human tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional, Sequence
 
-from .analysis.export import write_sweep
+from .analysis.export import (
+    comparison_to_json,
+    eval_result_to_dict,
+    eval_sweep_to_json,
+    write_sweep,
+)
 from .analysis.tables import energy_runtime_table, format_table, runtime_breakdown_table
 from .api.registry import get_strategy, list_strategies
 from .api.session import EvalSweep, Session
 from .api.strategies import BASELINE_STRATEGIES, PAPER_STRATEGY
 from .core.placement import PrefetchAccounting
+from .errors import AnalysisError
 from .graph.transformer import InferenceMode
 from .graph.workload import Workload
 from .models.registry import get_model, list_models
@@ -59,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
         "strategies", help="list registered partitioning strategies"
     )
 
+    subparsers.add_parser(
+        "policies", help="list registered serving scheduler policies"
+    )
+
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate one Transformer block on a chip count"
     )
@@ -67,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--chips", type=int, default=8, help="number of chips (default: 8)"
     )
+    _add_json_argument(evaluate)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a chip-count sweep and print the figure tables"
@@ -93,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional export path (.csv or .json)",
     )
+    _add_json_argument(sweep)
 
     compare = subparsers.add_parser(
         "compare", help="strategy ablation on one chip count (Table I style)"
@@ -111,15 +130,151 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the Table I ablation)"
         ),
     )
+    _add_json_argument(compare)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="request-level serving simulation (queueing + tail latency)",
+    )
+    serve.add_argument(
+        "--model",
+        default="tinyllama-42m",
+        help="registered model name (see `repro models`)",
+    )
+    serve.add_argument(
+        "--chips", type=int, default=8, help="number of chips (default: 8)"
+    )
+    _add_strategy_argument(serve)
+    serve.add_argument(
+        "--policy",
+        default="fifo",
+        metavar="NAME",
+        help="registered scheduling policy (default: fifo; see `repro policies`)",
+    )
+    serve.add_argument(
+        "--trace",
+        choices=["poisson", "bursty", "closed"],
+        default="poisson",
+        help="synthetic traffic generator (default: poisson)",
+    )
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=2.0,
+        metavar="RPS",
+        help="mean arrival rate in requests/s (default: 2)",
+    )
+    serve.add_argument(
+        "--burst-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="burst-state arrival rate for --trace bursty (default: 4x base)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="arrival horizon in seconds (default: 300)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="client population for --trace closed (default: 8)",
+    )
+    serve.add_argument(
+        "--requests-per-client",
+        type=int,
+        default=16,
+        help="requests each closed-loop client submits (default: 16)",
+    )
+    serve.add_argument(
+        "--think-time",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="mean closed-loop think time in seconds (default: 1)",
+    )
+    serve.add_argument(
+        "--prompt-mean",
+        type=float,
+        default=64.0,
+        help="mean prompt length in tokens (default: 64)",
+    )
+    serve.add_argument(
+        "--output-mean",
+        type=float,
+        default=32.0,
+        help="mean reply length in tokens (default: 32)",
+    )
+    serve.add_argument(
+        "--prompt-max",
+        type=int,
+        default=256,
+        help="largest sampled prompt length (default: 256)",
+    )
+    serve.add_argument(
+        "--output-max",
+        type=int,
+        default=128,
+        help="largest sampled reply length (default: 128)",
+    )
+    serve.add_argument(
+        "--priority-levels",
+        type=int,
+        default=1,
+        help="uniform priority classes assigned by the trace (default: 1)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "trace seed; equal seeds give byte-identical output "
+            "(default: 0; meaningless with --replay)"
+        ),
+    )
+    serve.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "replay a recorded JSON trace verbatim instead of generating "
+            "one (the generator flags and --seed do not apply)"
+        ),
+    )
+    serve.add_argument(
+        "--save-trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the materialised trace as replayable JSON",
+    )
+    serve.add_argument(
+        "--slo-ttft",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="S",
+        help="TTFT targets of the SLO-attainment curve (default: standard grid)",
+    )
+    _add_json_argument(serve)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's figures and tables"
     )
     experiments.add_argument(
         "--only",
-        choices=["fig4", "fig5", "fig6", "table1", "headline", "all"],
+        choices=["fig4", "fig5", "fig6", "table1", "headline", "serving", "all"],
         default="all",
-        help="which experiment to run (default: all)",
+        help=(
+            "which experiment to run (default: all — the paper's figures; "
+            "'serving' runs the capacity-vs-SLO study)"
+        ),
     )
 
     verify = subparsers.add_parser(
@@ -170,6 +325,14 @@ def _add_strategy_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON document instead of the tables",
+    )
+
+
 def _workload_from_args(args: argparse.Namespace) -> Workload:
     config = get_model(args.model)
     mode = InferenceMode(args.mode)
@@ -202,10 +365,22 @@ def _command_strategies() -> List[str]:
     return lines
 
 
+def _command_policies() -> List[str]:
+    from .serving import get_policy, list_policies
+
+    lines = []
+    for name in list_policies():
+        policy = get_policy(name)
+        lines.append(f"{name:<20} {policy.label}")
+    return lines
+
+
 def _command_evaluate(args: argparse.Namespace) -> List[str]:
     workload = _workload_from_args(args)
     session = _session_from_args(args)
     result = session.run(workload, args.strategy, chips=args.chips)
+    if args.json:
+        return [json.dumps(eval_result_to_dict(result), indent=2, sort_keys=True)]
     lines = [
         result.summary()
         + (
@@ -258,9 +433,21 @@ def _strategy_sweep_table(sweep: EvalSweep) -> str:
 def _command_sweep(args: argparse.Namespace) -> List[str]:
     workload = _workload_from_args(args)
     session = _session_from_args(args)
+    if args.json and args.output and not args.output.lower().endswith(".json"):
+        # Pure argument validation: fail before the (possibly long) sweep.
+        raise AnalysisError(
+            f"--json writes a JSON document; use a .json path "
+            f"(got {args.output!r}) or drop --json for the CSV exporter"
+        )
     sweep = session.sweep(
         workload, args.chips, strategy=args.strategy, parallel=args.parallel
     )
+    if args.json:
+        lines = [eval_sweep_to_json(sweep)]
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(lines[0])
+        return lines
     lines = [f"Chip-count sweep for {workload.name} (strategy: {sweep.strategy})"]
     if all(result.report is not None for result in sweep.results):
         classic = sweep.to_sweep_result()
@@ -288,6 +475,8 @@ def _command_compare(args: argparse.Namespace) -> List[str]:
     comparison = session.compare(
         workload, chips=args.chips, strategies=args.strategies
     )
+    if args.json:
+        return [comparison_to_json(comparison)]
     best = comparison.best()
     return [
         (
@@ -302,17 +491,95 @@ def _command_compare(args: argparse.Namespace) -> List[str]:
     ]
 
 
+def _command_serve(args: argparse.Namespace) -> List[str]:
+    from .serving import (
+        BurstyTrace,
+        ClosedLoopTrace,
+        LengthModel,
+        PoissonTrace,
+        load_trace,
+        save_trace,
+    )
+
+    config = get_model(args.model)
+    lengths = LengthModel(
+        prompt_mean=args.prompt_mean,
+        output_mean=args.output_mean,
+        prompt_max=args.prompt_max,
+        output_max=args.output_max,
+    )
+    if args.replay is not None:
+        if args.seed is not None:
+            raise AnalysisError(
+                "--seed has no effect with --replay (the trace is replayed "
+                "verbatim); drop one of the two flags"
+            )
+        trace = load_trace(args.replay)
+    elif args.trace == "bursty":
+        burst_rate = (
+            args.burst_rate
+            if args.burst_rate is not None
+            else 4.0 * args.arrival_rate
+        )
+        trace = BurstyTrace(
+            base_rate_rps=args.arrival_rate,
+            burst_rate_rps=burst_rate,
+            duration_s=args.duration,
+            lengths=lengths,
+            priority_levels=args.priority_levels,
+        )
+    elif args.trace == "closed":
+        trace = ClosedLoopTrace(
+            clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            mean_think_s=args.think_time,
+            lengths=lengths,
+            priority_levels=args.priority_levels,
+        )
+    else:
+        trace = PoissonTrace(
+            rate_rps=args.arrival_rate,
+            duration_s=args.duration,
+            lengths=lengths,
+            priority_levels=args.priority_levels,
+        )
+
+    session = Session()
+    report = session.serve(
+        config,
+        trace,
+        policy=args.policy,
+        strategy=args.strategy,
+        chips=args.chips,
+        seed=args.seed if args.seed is not None else 0,
+        slo_targets=args.slo_ttft,
+    )
+    if args.save_trace is not None:
+        save_trace(
+            [record.request for record in report.result.records],
+            args.save_trace,
+        )
+    if args.json:
+        return [report.to_json()]
+    lines = [report.render()]
+    if args.save_trace is not None:
+        lines.append(f"wrote trace {args.save_trace}")
+    return lines
+
+
 def _command_experiments(args: argparse.Namespace) -> List[str]:
     from .experiments import (
         render_fig4,
         render_fig5,
         render_fig6,
         render_headline,
+        render_serving,
         render_table1,
         run_fig4,
         run_fig5,
         run_fig6,
         run_headline,
+        run_serving,
         run_table1,
     )
 
@@ -322,6 +589,7 @@ def _command_experiments(args: argparse.Namespace) -> List[str]:
         "fig6": lambda: render_fig6(run_fig6()),
         "table1": lambda: render_table1(run_table1()),
         "headline": lambda: render_headline(run_headline()),
+        "serving": lambda: render_serving(run_serving()),
     }
     if args.only == "all":
         from .experiments.runner import render_all, run_all
@@ -351,6 +619,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines = _command_models()
     elif args.command == "strategies":
         lines = _command_strategies()
+    elif args.command == "policies":
+        lines = _command_policies()
+    elif args.command == "serve":
+        lines = _command_serve(args)
     elif args.command == "evaluate":
         lines = _command_evaluate(args)
     elif args.command == "sweep":

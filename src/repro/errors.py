@@ -51,3 +51,11 @@ class UnknownStrategyError(ConfigurationError):
     The message lists the registered names so that callers (and CLI users)
     can see what is available without importing the registry module.
     """
+
+
+class UnknownPolicyError(ConfigurationError):
+    """A scheduling policy name is not present in the serving registry.
+
+    The message lists the registered names so that callers (and CLI users)
+    can see what is available without importing the registry module.
+    """

@@ -4,6 +4,12 @@ from .fig4 import Fig4Result, render_fig4, run_fig4, run_fig4a, run_fig4b, run_f
 from .fig5 import Fig5Result, render_fig5, run_fig5
 from .fig6 import Fig6Result, render_fig6, run_fig6
 from .headline import HeadlineMetric, HeadlineResult, render_headline, run_headline
+from .serving import (
+    ServingCapacityPoint,
+    ServingCapacityResult,
+    render_serving,
+    run_serving,
+)
 from .table1 import Table1Result, render_table1, run_table1
 
 __all__ = [
@@ -12,11 +18,14 @@ __all__ = [
     "Fig6Result",
     "HeadlineMetric",
     "HeadlineResult",
+    "ServingCapacityPoint",
+    "ServingCapacityResult",
     "Table1Result",
     "render_fig4",
     "render_fig5",
     "render_fig6",
     "render_headline",
+    "render_serving",
     "render_table1",
     "run_fig4",
     "run_fig4a",
@@ -25,5 +34,6 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_headline",
+    "run_serving",
     "run_table1",
 ]

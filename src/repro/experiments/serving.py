@@ -1,0 +1,180 @@
+"""Capacity-vs-SLO study: how much traffic can the platform absorb?
+
+The paper sizes one request; this experiment asks the serving question on
+top of it: sweeping the offered Poisson load on the 8-chip TinyLlama
+system, at what arrival rate does each scheduling policy stop meeting a
+time-to-first-token SLO?  The output is an attainment matrix (rate x
+policy) plus each policy's maximum sustainable rate — the number a
+deployment would actually be provisioned from.
+
+All simulations share :func:`repro.api.default_session`, so the handful of
+block evaluations behind the phase costs are computed once across the
+whole sweep (and shared with the figure harnesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..api.session import default_session
+from ..models.registry import get_model
+from ..serving.metrics import ServingMetrics, slo_attainment
+from ..serving.traces import LengthModel, PoissonTrace
+
+__all__ = [
+    "ServingCapacityPoint",
+    "ServingCapacityResult",
+    "render_serving",
+    "run_serving",
+]
+
+#: Offered loads of the sweep, in requests per second.
+DEFAULT_RATES_RPS: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+#: Compared scheduling policies, in presentation order.
+DEFAULT_POLICIES: Tuple[str, ...] = ("fifo", "shortest_prompt", "continuous")
+
+#: The SLO of the study: first token within this many seconds.
+DEFAULT_TTFT_SLO_S = 1.0
+
+#: Required fraction of requests meeting the SLO.
+DEFAULT_TARGET_ATTAINMENT = 0.95
+
+
+@dataclass(frozen=True)
+class ServingCapacityPoint:
+    """One (arrival rate, policy) cell of the capacity matrix."""
+
+    rate_rps: float
+    policy: str
+    metrics: ServingMetrics
+    attainment: float
+
+    @property
+    def meets_slo(self) -> bool:
+        """Whether the cell clears the study's attainment target."""
+        return self.attainment >= DEFAULT_TARGET_ATTAINMENT
+
+
+@dataclass(frozen=True)
+class ServingCapacityResult:
+    """The full capacity-vs-SLO matrix of one model/platform."""
+
+    model: str
+    num_chips: int
+    ttft_slo_s: float
+    target_attainment: float
+    points: Tuple[ServingCapacityPoint, ...]
+
+    def policies(self) -> Tuple[str, ...]:
+        ordered: Dict[str, None] = {}
+        for point in self.points:
+            ordered.setdefault(point.policy, None)
+        return tuple(ordered)
+
+    def rates(self) -> Tuple[float, ...]:
+        ordered: Dict[float, None] = {}
+        for point in self.points:
+            ordered.setdefault(point.rate_rps, None)
+        return tuple(ordered)
+
+    def point(self, rate_rps: float, policy: str) -> ServingCapacityPoint:
+        for candidate in self.points:
+            if candidate.rate_rps == rate_rps and candidate.policy == policy:
+                return candidate
+        raise KeyError(f"no point for rate={rate_rps}, policy={policy}")
+
+    def max_sustainable_rate(self, policy: str) -> Optional[float]:
+        """Largest swept rate the policy serves within the SLO, if any."""
+        sustainable = [
+            point.rate_rps
+            for point in self.points
+            if point.policy == policy and point.meets_slo
+        ]
+        return max(sustainable) if sustainable else None
+
+
+def run_serving(
+    *,
+    model: str = "tinyllama-42m",
+    chips: int = 8,
+    rates_rps: Tuple[float, ...] = DEFAULT_RATES_RPS,
+    policies: Tuple[str, ...] = DEFAULT_POLICIES,
+    duration_s: float = 60.0,
+    seed: int = 0,
+    ttft_slo_s: float = DEFAULT_TTFT_SLO_S,
+) -> ServingCapacityResult:
+    """Sweep offered load across scheduling policies on one platform."""
+    session = default_session()
+    config = get_model(model)
+    lengths = LengthModel()
+    points = []
+    for rate in rates_rps:
+        trace = PoissonTrace(
+            rate_rps=rate, duration_s=duration_s, lengths=lengths
+        )
+        for policy in policies:
+            report = session.serve(
+                config,
+                trace,
+                policy=policy,
+                chips=chips,
+                seed=seed,
+                slo_targets=(ttft_slo_s,),
+            )
+            points.append(
+                ServingCapacityPoint(
+                    rate_rps=rate,
+                    policy=policy,
+                    metrics=report.metrics,
+                    attainment=slo_attainment(
+                        report.result.records, ttft_s=ttft_slo_s
+                    ),
+                )
+            )
+    return ServingCapacityResult(
+        model=config.name,
+        num_chips=chips,
+        ttft_slo_s=ttft_slo_s,
+        target_attainment=DEFAULT_TARGET_ATTAINMENT,
+        points=tuple(points),
+    )
+
+
+def render_serving(result: ServingCapacityResult) -> str:
+    """Plain-text capacity matrix plus per-policy sustainable rates."""
+    from ..analysis.tables import format_table
+
+    policies = result.policies()
+    header = ["Rate (req/s)"] + [
+        f"{policy} att. / p95 TTFT" for policy in policies
+    ]
+    rows = []
+    for rate in result.rates():
+        row = [f"{rate:g}"]
+        for policy in policies:
+            point = result.point(rate, policy)
+            row.append(
+                f"{point.attainment * 100:5.1f}% / "
+                f"{point.metrics.ttft.p95 * 1e3:7.1f} ms"
+            )
+        rows.append(row)
+    lines = [
+        (
+            f"Capacity vs. SLO on {result.model}, {result.num_chips} chips "
+            f"(TTFT < {result.ttft_slo_s:g} s for "
+            f">= {result.target_attainment * 100:.0f}% of requests)"
+        ),
+        format_table(header, rows),
+        "",
+    ]
+    for policy in policies:
+        sustainable = result.max_sustainable_rate(policy)
+        verdict = (
+            f"{sustainable:g} req/s"
+            if sustainable is not None
+            else "below the swept range"
+        )
+        lines.append(f"max sustainable rate [{policy:<16}]: {verdict}")
+    return "\n".join(lines)

@@ -51,6 +51,7 @@ def list_models() -> List[str]:
 
 
 register_model("tinyllama-42m", tinyllama_42m)
+register_model("tinyllama", tinyllama_42m)  # convenience alias
 register_model("tinyllama-42m-64h", tinyllama_scaled)
 register_model("tinyllama-42m-gated", tinyllama_gated)
 register_model("mobilebert", mobilebert)

@@ -1,0 +1,152 @@
+"""Per-request phase costs derived from Session-memoised block evaluations.
+
+The serving simulator advances virtual time in two kinds of steps: a
+*prefill* pass over a request's prompt and a single-token *decode* step at
+a given KV-cache context length.  Both are full-model costs (all layers)
+obtained from the same per-block engine the figures use, via
+:meth:`repro.api.Session.run` — so serving numbers are, by construction,
+consistent with the paper's steady-state numbers.
+
+Running the engine for every distinct prompt/context length would dominate
+the simulation, so lengths are snapped to a geometric grid (piecewise-
+constant interpolation, like :func:`repro.analysis.generation` uses for
+single replies) and the handful of grid evaluations are memoised twice:
+once here per grid point, and once in the session by content hash, which
+shares them across policies, seeds, and repeated ``serve`` calls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..graph.transformer import TransformerConfig
+from ..graph.workload import autoregressive, prompt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.session import Session
+    from ..hw.platform import MultiChipPlatform
+
+__all__ = ["PhaseCost", "RequestCostModel"]
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Wall-clock and energy cost of one service phase (full model)."""
+
+    seconds: float
+    energy_joules: float
+
+    def __add__(self, other: "PhaseCost") -> "PhaseCost":
+        return PhaseCost(
+            seconds=self.seconds + other.seconds,
+            energy_joules=self.energy_joules + other.energy_joules,
+        )
+
+
+ZERO_COST = PhaseCost(seconds=0.0, energy_joules=0.0)
+
+
+class RequestCostModel:
+    """Bucketed prefill/decode costs of one model on one platform.
+
+    Args:
+        session: The evaluating session (its memoisation is what makes
+            repeated serving runs cheap).
+        config: The served model.
+        chips: Chip count, resolved through the session's platform factory.
+        platform: Explicit platform (overrides ``chips``).
+        strategy: Registered partitioning strategy evaluating the blocks.
+        grid_factor: Ratio between adjacent length-grid points; lengths are
+            snapped to the nearest grid point (1.0 < factor; smaller is
+            more accurate but runs the engine more often).
+        max_context: Hard cap on modelled context lengths (the model's
+            serving window); longer requests are rejected at lookup time.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        config: TransformerConfig,
+        *,
+        chips: Optional[int] = None,
+        platform: Optional["MultiChipPlatform"] = None,
+        strategy: Optional[str] = None,
+        grid_factor: float = math.sqrt(2.0),
+        max_context: int = 1024,
+    ) -> None:
+        from ..api.strategies import PAPER_STRATEGY
+
+        if grid_factor <= 1.0:
+            raise ConfigurationError("grid_factor must be greater than 1")
+        if max_context < 2:
+            raise ConfigurationError("max_context must be at least 2")
+        self.session = session
+        self.config = config
+        self.platform = session.resolve_platform(chips, platform)
+        self.strategy = strategy if strategy is not None else PAPER_STRATEGY
+        self.grid_factor = grid_factor
+        self.max_context = max_context
+        self._buckets: Dict[int, int] = {}
+        self._prefill: Dict[int, PhaseCost] = {}
+        self._decode: Dict[int, PhaseCost] = {}
+
+    # ------------------------------------------------------------------
+    # Length grid
+    # ------------------------------------------------------------------
+    def bucket(self, tokens: int) -> int:
+        """Snap a length to the geometric grid (capped at ``max_context``)."""
+        if tokens <= 0:
+            raise ConfigurationError("token count must be positive")
+        if tokens > self.max_context:
+            raise ConfigurationError(
+                f"context of {tokens} tokens exceeds the serving window "
+                f"({self.max_context}); shorten the trace's lengths or raise "
+                "max_context"
+            )
+        cached = self._buckets.get(tokens)
+        if cached is not None:
+            return cached
+        step = math.log(tokens) / math.log(self.grid_factor)
+        snapped = min(
+            self.max_context, max(1, round(self.grid_factor ** round(step)))
+        )
+        self._buckets[tokens] = snapped
+        return snapped
+
+    # ------------------------------------------------------------------
+    # Phase costs
+    # ------------------------------------------------------------------
+    def _cost_of(self, workload) -> PhaseCost:
+        result = self.session.run(
+            workload, self.strategy, platform=self.platform
+        )
+        return PhaseCost(
+            seconds=result.inference_runtime_seconds,
+            energy_joules=result.inference_energy_joules,
+        )
+
+    def prefill_cost(self, prompt_tokens: int) -> PhaseCost:
+        """Full-model cost of the prefill pass over ``prompt_tokens``."""
+        bucket = self.bucket(prompt_tokens)
+        cached = self._prefill.get(bucket)
+        if cached is None:
+            cached = self._cost_of(prompt(self.config, bucket))
+            self._prefill[bucket] = cached
+        return cached
+
+    def decode_cost(self, context_length: int) -> PhaseCost:
+        """Full-model cost of one decode step at ``context_length``."""
+        bucket = self.bucket(context_length)
+        cached = self._decode.get(bucket)
+        if cached is None:
+            cached = self._cost_of(autoregressive(self.config, bucket))
+            self._decode[bucket] = cached
+        return cached
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct engine evaluations performed through this model."""
+        return len(self._prefill) + len(self._decode)

@@ -1,0 +1,265 @@
+"""Pluggable scheduling policies and their registry.
+
+A *scheduling policy* decides, at every decision point of the serving
+simulator, which admitted request the engine advances next.  Policies
+register themselves by name with :func:`register_policy` — mirroring the
+partitioning-strategy registry of :mod:`repro.api` — so a new queueing idea
+becomes available to ``Session.serve`` and the ``repro serve`` CLI by
+writing one small class::
+
+    from repro.serving import register_policy
+
+    @register_policy
+    class DeadlinePolicy:
+        name = "deadline"
+        label = "Earliest deadline first"
+        decode_quantum = None
+
+        def select(self, ready, now_s):
+            return min(ready, key=lambda a: a.request.arrival_s + 2.0)
+
+The engine is non-preemptive *within a service grant*; the grant size is
+the policy's choice.  ``decode_quantum = None`` runs a selected request's
+remaining phase to completion (classic run-to-completion queueing), while a
+small integer time-slices decode between requests, which is how the
+continuous-batching-style interleaver keeps new arrivals' prefills from
+waiting behind long replies.
+
+Every shipped policy breaks ties by ``request_id``, which (together with
+seeded traces) is what makes simulations bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+from ..errors import ConfigurationError, UnknownPolicyError
+from .request import ActiveRequest
+
+__all__ = [
+    "ContinuousBatchingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "SchedulingPolicy",
+    "ShortestPromptPolicy",
+    "get_policy",
+    "list_policies",
+    "register_policy",
+    "unregister_policy",
+]
+
+
+@runtime_checkable
+class SchedulingPolicy(Protocol):
+    """What the registry requires of a scheduling policy.
+
+    Attributes:
+        name: Registry key (lowercase snake_case by convention).
+        label: Human-readable description shown by the CLI.
+        decode_quantum: Decode tokens granted per selection; ``None`` runs
+            the selected request's remaining phase to completion.
+    """
+
+    name: str
+    label: str
+    decode_quantum: Optional[int]
+
+    def select(
+        self, ready: Sequence[ActiveRequest], now_s: float
+    ) -> ActiveRequest:
+        """Pick the request the engine serves next.
+
+        Args:
+            ready: Admitted, unfinished requests in ``request_id`` order
+                (never empty).  Entries must not be mutated.
+            now_s: Current virtual time.
+        """
+        ...
+
+
+_POLICIES: Dict[str, SchedulingPolicy] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_policy(policy):
+    """Class decorator (or direct call) registering a scheduling policy.
+
+    Accepts either a policy *class* (instantiated with no arguments) or a
+    ready-made instance; the policy is registered under its ``name`` plus
+    any names in an optional ``aliases`` attribute.  Returns the argument
+    unchanged so it can be used as a decorator.
+
+    Raises:
+        ConfigurationError: If the name is missing, already taken, or the
+            object does not implement :class:`SchedulingPolicy`.
+    """
+    instance = policy() if isinstance(policy, type) else policy
+    name = getattr(instance, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            "a policy must define a non-empty string `name` attribute"
+        )
+    if not isinstance(instance, SchedulingPolicy):
+        raise ConfigurationError(
+            f"policy {name!r} does not implement the SchedulingPolicy "
+            "protocol (name, label, decode_quantum, select)"
+        )
+    quantum = instance.decode_quantum
+    if quantum is not None and quantum < 1:
+        raise ConfigurationError(
+            f"policy {name!r} has invalid decode_quantum {quantum!r}"
+        )
+    for key in (name, *getattr(instance, "aliases", ())):
+        if key in _POLICIES or key in _ALIASES:
+            raise ConfigurationError(f"policy name {key!r} already registered")
+    _POLICIES[name] = instance
+    for alias in getattr(instance, "aliases", ()):
+        _ALIASES[alias] = name
+    return policy
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a policy (and its aliases) from the registry."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _POLICIES:
+        raise UnknownPolicyError(_unknown_message(name))
+    instance = _POLICIES.pop(canonical)
+    for alias in getattr(instance, "aliases", ()):
+        _ALIASES.pop(alias, None)
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Look up a registered policy by name or alias.
+
+    Raises:
+        UnknownPolicyError: If no policy is registered under ``name``; the
+            message lists the available names.
+    """
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _POLICIES[canonical]
+    except KeyError:
+        raise UnknownPolicyError(_unknown_message(name)) from None
+
+
+def list_policies() -> List[str]:
+    """Sorted canonical names of all registered policies."""
+    return sorted(_POLICIES)
+
+
+def _unknown_message(name: str) -> str:
+    known = ", ".join(list_policies()) or "<none>"
+    return f"unknown scheduling policy {name!r}; registered: {known}"
+
+
+# ----------------------------------------------------------------------
+# Shipped policies
+# ----------------------------------------------------------------------
+@register_policy
+class FifoPolicy:
+    """First-come first-served, run to completion.
+
+    The earliest-arrived admitted request always wins, so once a request
+    starts it finishes before any later arrival is touched — the baseline
+    every other policy is compared against.
+    """
+
+    name = "fifo"
+    aliases = ("fcfs",)
+    label = "First-come first-served, run-to-completion"
+    decode_quantum: Optional[int] = None
+
+    def select(
+        self, ready: Sequence[ActiveRequest], now_s: float
+    ) -> ActiveRequest:
+        return min(
+            ready, key=lambda a: (a.request.arrival_s, a.request.request_id)
+        )
+
+
+@register_policy
+class ShortestPromptPolicy:
+    """Shortest prompt first (a shortest-job-first proxy).
+
+    Prefill cost grows with prompt length, so favouring short prompts at
+    every decision point cuts the queueing delay of the many short requests
+    at the expense of the few long ones — the textbook SJF trade, which
+    lowers p95 TTFT under overload but can starve long prompts.
+    """
+
+    name = "shortest_prompt"
+    aliases = ("spf", "sjf")
+    label = "Shortest prompt first (SJF on prefill cost)"
+    decode_quantum: Optional[int] = None
+
+    def select(
+        self, ready: Sequence[ActiveRequest], now_s: float
+    ) -> ActiveRequest:
+        return min(
+            ready,
+            key=lambda a: (
+                a.request.prompt_tokens,
+                a.request.arrival_s,
+                a.request.request_id,
+            ),
+        )
+
+
+@register_policy
+class PriorityPolicy:
+    """Strict priority classes, FIFO within a class.
+
+    Larger :attr:`~repro.serving.request.Request.priority` values win;
+    requests of equal priority are served in arrival order.
+    """
+
+    name = "priority"
+    label = "Strict priority (larger wins), FIFO within a class"
+    decode_quantum: Optional[int] = None
+
+    def select(
+        self, ready: Sequence[ActiveRequest], now_s: float
+    ) -> ActiveRequest:
+        return min(
+            ready,
+            key=lambda a: (
+                -a.request.priority,
+                a.request.arrival_s,
+                a.request.request_id,
+            ),
+        )
+
+
+@register_policy
+class ContinuousBatchingPolicy:
+    """Continuous-batching-style interleaver.
+
+    Mimics the scheduling behaviour of continuous batching on a serial
+    engine: pending prefills are admitted immediately (earliest arrival
+    first), and decode is time-sliced one token at a time round-robin
+    across the started requests (fewest tokens emitted first).  New
+    arrivals therefore reach their first token quickly instead of waiting
+    behind whole replies, at the cost of longer per-request decode spans.
+    """
+
+    name = "continuous"
+    aliases = ("interleave",)
+    label = "Continuous-batching interleaver (prefill first, token-sliced decode)"
+    decode_quantum: Optional[int] = 1
+
+    def select(
+        self, ready: Sequence[ActiveRequest], now_s: float
+    ) -> ActiveRequest:
+        pending = [a for a in ready if not a.prefill_done]
+        if pending:
+            return min(
+                pending, key=lambda a: (a.request.arrival_s, a.request.request_id)
+            )
+        return min(
+            ready,
+            key=lambda a: (
+                a.tokens_emitted,
+                a.request.arrival_s,
+                a.request.request_id,
+            ),
+        )

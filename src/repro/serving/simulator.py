@@ -1,0 +1,217 @@
+"""Discrete-event, request-level serving simulator.
+
+:class:`ServingSimulator` advances virtual time over a request stream:
+requests arrive (open loop) or are issued by thinking clients (closed
+loop), wait in the queue, and are served by the multi-chip platform, which
+the simulator models as one serial engine whose phase costs come from the
+Session-memoised :class:`~repro.serving.costs.RequestCostModel` — no block
+is ever re-simulated per token.
+
+The engine is non-preemptive within a *service grant*: at every decision
+point the scheduling policy picks a request, and the simulator runs either
+its prefill pass or up to ``policy.decode_quantum`` decode steps (all
+remaining steps when the quantum is ``None``) before the next decision.
+Arrivals during a grant are admitted with their true timestamps, so queue
+waits and queue-depth timelines are exact.
+
+Everything is deterministic: traces are seeded, costs are analytical, and
+policies tie-break on request ids, so two runs with equal inputs produce
+identical :class:`ServingResult` objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from ..errors import SimulationError
+from .costs import RequestCostModel
+from .policies import SchedulingPolicy, get_policy
+from .request import ActiveRequest, RequestPhase, RequestRecord
+from .traces import RequestSource
+
+__all__ = ["ServingResult", "ServingSimulator"]
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Raw outcome of one serving simulation (before metric aggregation).
+
+    Attributes:
+        policy: Canonical name of the scheduling policy that ran.
+        records: One :class:`RequestRecord` per request, in completion
+            order (every admitted request is drained).
+        makespan_s: Virtual time at which the last request finished.
+        busy_s: Total virtual time the engine spent serving.
+        queue_samples: ``(time, in-system count)`` at every admission and
+            completion — the queue-depth timeline.
+        busy_intervals: Merged ``(start, end)`` intervals of engine
+            activity — the utilisation timeline.
+    """
+
+    policy: str
+    records: Tuple[RequestRecord, ...]
+    makespan_s: float
+    busy_s: float
+    queue_samples: Tuple[Tuple[float, int], ...]
+    busy_intervals: Tuple[Tuple[float, float], ...]
+
+    @property
+    def num_requests(self) -> int:
+        """Number of completed requests."""
+        return len(self.records)
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the makespan the engine spent serving."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.busy_s / self.makespan_s
+
+    @property
+    def generated_tokens(self) -> int:
+        """Output tokens emitted across all requests."""
+        return sum(record.request.output_tokens for record in self.records)
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Prompt tokens ingested across all requests."""
+        return sum(record.request.prompt_tokens for record in self.records)
+
+
+class ServingSimulator:
+    """Serves a request stream with one policy on one cost model.
+
+    Args:
+        costs: Phase-cost model (any object with ``prefill_cost`` /
+            ``decode_cost``; normally a :class:`RequestCostModel`).
+        policy: Registered policy name (or a policy instance).
+    """
+
+    def __init__(
+        self,
+        costs: RequestCostModel,
+        policy: Union[str, SchedulingPolicy] = "fifo",
+    ) -> None:
+        self.costs = costs
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+
+    def run(self, source: RequestSource) -> ServingResult:
+        """Drain the request stream and return the per-request records."""
+        arrivals: List[Tuple[float, int, object]] = [
+            (request.arrival_s, request.request_id, request)
+            for request in source.initial
+        ]
+        heapq.heapify(arrivals)
+
+        active: Dict[int, ActiveRequest] = {}
+        records: List[RequestRecord] = []
+        queue_samples: List[Tuple[float, int]] = []
+        busy_intervals: List[Tuple[float, float]] = []
+        now = 0.0
+        busy_s = 0.0
+
+        def admit_until(time_s: float) -> None:
+            """Admit every arrival with ``arrival_s <= time_s``."""
+            while arrivals and arrivals[0][0] <= time_s:
+                _, _, request = heapq.heappop(arrivals)
+                if request.request_id in active:
+                    raise SimulationError(
+                        f"duplicate request id {request.request_id} admitted"
+                    )
+                active[request.request_id] = ActiveRequest(request=request)
+                queue_samples.append((request.arrival_s, len(active)))
+
+        while True:
+            admit_until(now)
+            if not active:
+                if not arrivals:
+                    break
+                now = max(now, arrivals[0][0])
+                continue
+
+            ready = [active[request_id] for request_id in sorted(active)]
+            chosen = self.policy.select(ready, now)
+            if chosen.request.request_id not in active:
+                raise SimulationError(
+                    f"policy {self.policy.name!r} selected a request that is "
+                    "not in the ready set"
+                )
+
+            grant = self._serve(chosen, now)
+            busy_s += grant
+            if busy_intervals and busy_intervals[-1][1] == now:
+                busy_intervals[-1] = (busy_intervals[-1][0], now + grant)
+            else:
+                busy_intervals.append((now, now + grant))
+            now += grant
+            # Admit arrivals that landed during the grant before recording
+            # the completion, so the queue-depth timeline stays in time
+            # order and counts the in-service request at those instants.
+            admit_until(now)
+
+            if chosen.is_done:
+                chosen.phase = RequestPhase.DONE
+                record = chosen.finish(now)
+                del active[chosen.request.request_id]
+                records.append(record)
+                queue_samples.append((now, len(active)))
+                successor = source.follow_up(record)
+                if successor is not None:
+                    if successor.arrival_s < now:
+                        raise SimulationError(
+                            "closed-loop follow-up arrives before the reply "
+                            "it reacts to"
+                        )
+                    heapq.heappush(
+                        arrivals,
+                        (successor.arrival_s, successor.request_id, successor),
+                    )
+
+        return ServingResult(
+            policy=self.policy.name,
+            records=tuple(records),
+            makespan_s=now,
+            busy_s=busy_s,
+            queue_samples=tuple(queue_samples),
+            busy_intervals=tuple(busy_intervals),
+        )
+
+    # ------------------------------------------------------------------
+    # One service grant
+    # ------------------------------------------------------------------
+    def _serve(self, chosen: ActiveRequest, now: float) -> float:
+        """Advance ``chosen`` by one grant; returns the grant's duration."""
+        request = chosen.request
+        if not chosen.prefill_done:
+            cost = self.costs.prefill_cost(request.prompt_tokens)
+            if chosen.first_scheduled_s is None:
+                chosen.first_scheduled_s = now
+            chosen.phase = RequestPhase.PREFILL
+            chosen.first_token_s = now + cost.seconds
+            chosen.tokens_emitted = 1
+            chosen.energy_joules += cost.energy_joules
+            chosen.phase = RequestPhase.DECODE
+            return cost.seconds
+
+        quantum = self.policy.decode_quantum
+        remaining = chosen.remaining_tokens
+        steps = remaining if quantum is None else min(quantum, remaining)
+        if steps <= 0:
+            raise SimulationError(
+                f"policy {self.policy.name!r} selected the finished request "
+                f"{request.request_id}"
+            )
+        seconds = 0.0
+        energy = 0.0
+        for step in range(steps):
+            # The k-th decode step of the reply attends to the prompt plus
+            # the tokens emitted so far (matching analysis/generation.py).
+            context = request.prompt_tokens + chosen.tokens_emitted + step
+            cost = self.costs.decode_cost(context)
+            seconds += cost.seconds
+            energy += cost.energy_joules
+        chosen.tokens_emitted += steps
+        chosen.energy_joules += energy
+        return seconds

@@ -1,0 +1,419 @@
+"""Seeded synthetic traffic generators and trace replay.
+
+A *trace* is a declarative, frozen description of a traffic pattern —
+arrival process plus prompt/reply length distributions — that materialises
+into a concrete request stream only when :meth:`~TrafficTrace.build` is
+called with a seed.  The same trace object therefore drives any number of
+simulations, and two builds with the same seed are identical request for
+request, which is what makes ``repro serve`` byte-reproducible.
+
+Four generators ship with the library:
+
+* :class:`PoissonTrace` — memoryless open-loop arrivals at a fixed rate;
+* :class:`BurstyTrace` — a two-state Markov-modulated Poisson process
+  (MMPP-2) alternating between a base and a burst rate;
+* :class:`ClosedLoopTrace` — a fixed population of clients, each thinking
+  after a reply before submitting its next request (arrivals depend on
+  completions, so the source issues follow-up requests to the simulator);
+* :class:`ReplayTrace` — verbatim replay of a recorded request list,
+  loadable from the JSON written by :func:`save_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..errors import ConfigurationError
+from .request import Request, RequestRecord
+
+__all__ = [
+    "BurstyTrace",
+    "ClosedLoopTrace",
+    "LengthModel",
+    "PoissonTrace",
+    "ReplayTrace",
+    "RequestSource",
+    "TrafficTrace",
+    "load_trace",
+    "save_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Length distributions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LengthModel:
+    """Log-normal prompt/reply length distributions with hard bounds.
+
+    LLM serving traces have heavy-tailed lengths; a bounded log-normal
+    captures that with two parameters per side.  ``sigma`` is the shape of
+    the underlying normal (0 degenerates to the mean).
+
+    Attributes:
+        prompt_mean: Mean prompt length in tokens.
+        output_mean: Mean reply length in tokens.
+        sigma: Log-normal shape parameter shared by both sides.
+        prompt_min / prompt_max: Clamp bounds of sampled prompt lengths.
+        output_min / output_max: Clamp bounds of sampled reply lengths.
+    """
+
+    prompt_mean: float = 64.0
+    output_mean: float = 32.0
+    sigma: float = 0.5
+    prompt_min: int = 1
+    prompt_max: int = 256
+    output_min: int = 1
+    output_max: int = 128
+
+    def __post_init__(self) -> None:
+        if self.prompt_mean <= 0 or self.output_mean <= 0:
+            raise ConfigurationError("mean lengths must be positive")
+        if self.sigma < 0:
+            raise ConfigurationError("sigma must be non-negative")
+        if not (1 <= self.prompt_min <= self.prompt_max):
+            raise ConfigurationError("need 1 <= prompt_min <= prompt_max")
+        if not (1 <= self.output_min <= self.output_max):
+            raise ConfigurationError("need 1 <= output_min <= output_max")
+        if not self.prompt_min <= self.prompt_mean <= self.prompt_max:
+            raise ConfigurationError(
+                f"prompt_mean {self.prompt_mean:g} outside "
+                f"[{self.prompt_min}, {self.prompt_max}]; clamping would "
+                "silently distort the workload — widen the bounds instead"
+            )
+        if not self.output_min <= self.output_mean <= self.output_max:
+            raise ConfigurationError(
+                f"output_mean {self.output_mean:g} outside "
+                f"[{self.output_min}, {self.output_max}]; clamping would "
+                "silently distort the workload — widen the bounds instead"
+            )
+
+    def _sample(self, rng: random.Random, mean: float, lo: int, hi: int) -> int:
+        if self.sigma == 0:
+            value = mean
+        else:
+            mu = math.log(mean) - self.sigma**2 / 2.0
+            value = rng.lognormvariate(mu, self.sigma)
+        return max(lo, min(hi, round(value)))
+
+    def sample_prompt(self, rng: random.Random) -> int:
+        """Draw one prompt length."""
+        return self._sample(rng, self.prompt_mean, self.prompt_min, self.prompt_max)
+
+    def sample_output(self, rng: random.Random) -> int:
+        """Draw one reply length."""
+        return self._sample(rng, self.output_mean, self.output_min, self.output_max)
+
+    @property
+    def max_context(self) -> int:
+        """Largest KV-cache occupancy any sampled request can reach."""
+        return self.prompt_max + self.output_max
+
+
+# ----------------------------------------------------------------------
+# The materialised request stream
+# ----------------------------------------------------------------------
+class RequestSource:
+    """A materialised request stream the simulator consumes.
+
+    Open-loop traces put every request in :attr:`initial`; closed-loop
+    traces additionally issue follow-up requests when a client's previous
+    reply completes (the simulator calls :meth:`follow_up` once per
+    completed record).
+    """
+
+    def __init__(
+        self,
+        initial: Iterable[Request],
+        follow_up: Optional[Callable[[RequestRecord], Optional[Request]]] = None,
+    ) -> None:
+        self.initial: Tuple[Request, ...] = tuple(
+            sorted(initial, key=lambda r: (r.arrival_s, r.request_id))
+        )
+        seen = {request.request_id for request in self.initial}
+        if len(seen) != len(self.initial):
+            raise ConfigurationError("trace contains duplicate request ids")
+        self._follow_up = follow_up
+
+    def follow_up(self, record: RequestRecord) -> Optional[Request]:
+        """The completed request's successor, if the trace is closed-loop."""
+        if self._follow_up is None:
+            return None
+        return self._follow_up(record)
+
+
+@runtime_checkable
+class TrafficTrace(Protocol):
+    """What the simulator requires of a traffic description."""
+
+    def build(self, seed: int) -> RequestSource:
+        """Materialise the request stream deterministically from ``seed``."""
+        ...
+
+
+def _rng(kind: str, seed: int) -> random.Random:
+    """A named, decorrelated random stream (one per trace kind / client)."""
+    return random.Random(f"repro.serving:{kind}:{seed}")
+
+
+def _make_request(
+    request_id: int,
+    arrival_s: float,
+    lengths: LengthModel,
+    rng: random.Random,
+    priority_levels: int,
+    client_id: Optional[int] = None,
+) -> Request:
+    priority = rng.randrange(priority_levels) if priority_levels > 1 else 0
+    return Request(
+        request_id=request_id,
+        arrival_s=arrival_s,
+        prompt_tokens=lengths.sample_prompt(rng),
+        output_tokens=lengths.sample_output(rng),
+        priority=priority,
+        client_id=client_id,
+    )
+
+
+# ----------------------------------------------------------------------
+# Open-loop generators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoissonTrace:
+    """Open-loop Poisson arrivals at a fixed rate.
+
+    Attributes:
+        rate_rps: Mean arrival rate in requests per second.
+        duration_s: Arrival horizon; requests arrive in ``[0, duration_s)``
+            (the simulator still drains every admitted request).
+        lengths: Prompt/reply length distributions.
+        priority_levels: Number of uniform priority classes (1 = no
+            priorities).
+    """
+
+    rate_rps: float
+    duration_s: float
+    lengths: LengthModel = field(default_factory=LengthModel)
+    priority_levels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.priority_levels < 1:
+            raise ConfigurationError("priority_levels must be at least 1")
+
+    def build(self, seed: int) -> RequestSource:
+        rng = _rng("poisson", seed)
+        requests: List[Request] = []
+        now = rng.expovariate(self.rate_rps)
+        while now < self.duration_s:
+            requests.append(
+                _make_request(
+                    len(requests), now, self.lengths, rng, self.priority_levels
+                )
+            )
+            now += rng.expovariate(self.rate_rps)
+        return RequestSource(requests)
+
+
+@dataclass(frozen=True)
+class BurstyTrace:
+    """Two-state Markov-modulated Poisson arrivals (base / burst).
+
+    The process alternates between a base state and a burst state with
+    exponentially distributed dwell times; within a state, arrivals are
+    Poisson at that state's rate.  This is the classic MMPP-2 model of
+    flash-crowd traffic.
+
+    Attributes:
+        base_rate_rps: Arrival rate in the base state.
+        burst_rate_rps: Arrival rate in the burst state.
+        duration_s: Arrival horizon.
+        mean_base_s: Mean dwell time of the base state.
+        mean_burst_s: Mean dwell time of the burst state.
+        lengths: Prompt/reply length distributions.
+        priority_levels: Number of uniform priority classes.
+    """
+
+    base_rate_rps: float
+    burst_rate_rps: float
+    duration_s: float
+    mean_base_s: float = 20.0
+    mean_burst_s: float = 5.0
+    lengths: LengthModel = field(default_factory=LengthModel)
+    priority_levels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_rate_rps <= 0 or self.burst_rate_rps <= 0:
+            raise ConfigurationError("arrival rates must be positive")
+        if self.burst_rate_rps < self.base_rate_rps:
+            raise ConfigurationError("burst_rate_rps must be >= base_rate_rps")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.mean_base_s <= 0 or self.mean_burst_s <= 0:
+            raise ConfigurationError("state dwell times must be positive")
+        if self.priority_levels < 1:
+            raise ConfigurationError("priority_levels must be at least 1")
+
+    def build(self, seed: int) -> RequestSource:
+        rng = _rng("bursty", seed)
+        requests: List[Request] = []
+        now = 0.0
+        in_burst = False
+        state_end = rng.expovariate(1.0 / self.mean_base_s)
+        while now < self.duration_s:
+            rate = self.burst_rate_rps if in_burst else self.base_rate_rps
+            candidate = now + rng.expovariate(rate)
+            if candidate >= state_end:
+                # The exponential is memoryless, so jumping to the state
+                # boundary and redrawing is statistically exact.
+                now = state_end
+                in_burst = not in_burst
+                dwell = self.mean_burst_s if in_burst else self.mean_base_s
+                state_end = now + rng.expovariate(1.0 / dwell)
+                continue
+            now = candidate
+            if now >= self.duration_s:
+                break
+            requests.append(
+                _make_request(
+                    len(requests), now, self.lengths, rng, self.priority_levels
+                )
+            )
+        return RequestSource(requests)
+
+
+# ----------------------------------------------------------------------
+# Closed-loop generator
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClosedLoopTrace:
+    """A fixed client population with think times between requests.
+
+    Each of ``clients`` users submits ``requests_per_client`` requests in
+    sequence: after receiving the last token of a reply, the client
+    "thinks" for an exponentially distributed time and then submits the
+    next request.  Arrivals therefore adapt to system load (the defining
+    property of a closed loop), which the source expresses by issuing
+    follow-up requests as the simulator completes records.
+
+    Attributes:
+        clients: Number of concurrent clients.
+        requests_per_client: Requests each client submits in total.
+        mean_think_s: Mean think time between a reply and the next request.
+        lengths: Prompt/reply length distributions.
+        priority_levels: Number of uniform priority classes.
+    """
+
+    clients: int
+    requests_per_client: int
+    mean_think_s: float = 1.0
+    lengths: LengthModel = field(default_factory=LengthModel)
+    priority_levels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigurationError("clients must be at least 1")
+        if self.requests_per_client < 1:
+            raise ConfigurationError("requests_per_client must be at least 1")
+        if self.mean_think_s <= 0:
+            raise ConfigurationError("mean_think_s must be positive")
+        if self.priority_levels < 1:
+            raise ConfigurationError("priority_levels must be at least 1")
+
+    def build(self, seed: int) -> RequestSource:
+        # One decorrelated stream per client keeps a client's behaviour
+        # independent of how other clients' completions interleave.
+        rngs = [_rng(f"closed:{client}", seed) for client in range(self.clients)]
+        issued = [1] * self.clients
+        next_id = [self.clients]  # mutable counter shared with the closure
+
+        initial = [
+            _make_request(
+                client,
+                rngs[client].expovariate(1.0 / self.mean_think_s),
+                self.lengths,
+                rngs[client],
+                self.priority_levels,
+                client_id=client,
+            )
+            for client in range(self.clients)
+        ]
+
+        def follow_up(record: RequestRecord) -> Optional[Request]:
+            client = record.request.client_id
+            if client is None or issued[client] >= self.requests_per_client:
+                return None
+            issued[client] += 1
+            rng = rngs[client]
+            arrival = record.finish_s + rng.expovariate(1.0 / self.mean_think_s)
+            request = _make_request(
+                next_id[0],
+                arrival,
+                self.lengths,
+                rng,
+                self.priority_levels,
+                client_id=client,
+            )
+            next_id[0] += 1
+            return request
+
+        return RequestSource(initial, follow_up)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplayTrace:
+    """Verbatim replay of a recorded request list (seed is ignored)."""
+
+    requests: Tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ConfigurationError("a replay trace needs at least one request")
+
+    def build(self, seed: int) -> RequestSource:  # noqa: ARG002 - protocol
+        return RequestSource(self.requests)
+
+
+def trace_to_dict(requests: Sequence[Request]) -> Dict[str, object]:
+    """The JSON document schema of a recorded trace."""
+    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+    return {"requests": [request.to_dict() for request in ordered]}
+
+
+def save_trace(requests: Sequence[Request], path: str) -> None:
+    """Write a request list as a replayable JSON trace."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_dict(requests), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_trace(path: str) -> ReplayTrace:
+    """Load a :class:`ReplayTrace` from a JSON trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    records = document.get("requests")
+    if not isinstance(records, list) or not records:
+        raise ConfigurationError(
+            f"{path!r} is not a trace file (expected a non-empty 'requests' list)"
+        )
+    return ReplayTrace(tuple(Request.from_dict(record) for record in records))

@@ -93,8 +93,77 @@ class TestGeneration:
         with pytest.raises(AnalysisError):
             evaluate_generation(
                 tinyllama_42m(), siracusa_platform(1),
+                prompt_tokens=4, generated_tokens=-1,
+            )
+        with pytest.raises(AnalysisError):
+            evaluate_generation(
+                tinyllama_42m(), siracusa_platform(1),
                 prompt_tokens=4, generated_tokens=4, context_samples=0,
             )
+
+
+class TestGenerationEdgeCases:
+    """Edge cases the serving simulator depends on."""
+
+    def test_zero_generated_tokens_is_a_pure_prompt_pass(self):
+        reply = evaluate_generation(
+            tinyllama_42m(), siracusa_platform(8),
+            prompt_tokens=16, generated_tokens=0,
+        )
+        assert reply.generated_tokens == 0
+        assert reply.steps == []
+        assert reply.decode_cycles == 0.0
+        assert reply.total_cycles == pytest.approx(reply.prompt_cycles)
+        assert reply.total_energy_joules == pytest.approx(
+            reply.prompt_report.inference_energy_joules
+        )
+        assert reply.mean_time_per_token_cycles == 0.0
+
+    def test_single_generated_token(self):
+        reply = evaluate_generation(
+            tinyllama_42m(), siracusa_platform(8),
+            prompt_tokens=16, generated_tokens=1,
+        )
+        assert len(reply.steps) == 1
+        assert reply.steps[0].context_length == 17
+        assert reply.decode_cycles == reply.steps[0].inference_cycles
+
+    def test_more_samples_than_tokens_deduplicates(self):
+        # 3 generated tokens but 16 requested samples: the sample grid
+        # collapses to the 3 distinct context lengths without error.
+        reply = evaluate_generation(
+            tinyllama_42m(), siracusa_platform(8),
+            prompt_tokens=8, generated_tokens=3, context_samples=16,
+        )
+        assert [step.context_length for step in reply.steps] == [9, 10, 11]
+
+    def test_interpolation_is_monotone_in_context(self):
+        # Piecewise-constant interpolation must assign non-decreasing
+        # per-step costs as the context grows (the attention and KV terms
+        # only grow), even between sampled lengths.
+        reply = evaluate_generation(
+            tinyllama_42m(), siracusa_platform(8),
+            prompt_tokens=16, generated_tokens=64, context_samples=4,
+        )
+        cycles = [step.inference_cycles for step in reply.steps]
+        assert all(late >= early for early, late in zip(cycles, cycles[1:]))
+        # And the interpolation endpoints are exact: the last step uses
+        # the final sampled context, the first step the earliest.
+        assert reply.steps[0].context_length == 17
+        assert reply.steps[-1].context_length == 80
+
+    def test_interpolation_tracks_exact_evaluation_closely(self):
+        coarse = evaluate_generation(
+            tinyllama_42m(), siracusa_platform(8),
+            prompt_tokens=16, generated_tokens=32, context_samples=2,
+        )
+        exact = evaluate_generation(
+            tinyllama_42m(), siracusa_platform(8),
+            prompt_tokens=16, generated_tokens=32, context_samples=32,
+        )
+        assert coarse.decode_cycles == pytest.approx(
+            exact.decode_cycles, rel=0.05
+        )
 
 
 class TestExport:
@@ -139,3 +208,82 @@ class TestExport:
         assert csv_path.read_text().startswith("workload,")
         with pytest.raises(AnalysisError):
             write_sweep(sweep, str(tmp_path / "sweep.txt"))
+
+
+class TestEvalResultExport:
+    """The shared --json schema across strategies (simulator + analytical)."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.api import Session
+
+        return Session()
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return autoregressive(tinyllama_42m(), 128)
+
+    def test_simulator_backed_result_matches_report_schema(
+        self, session, workload
+    ):
+        from repro.analysis.export import eval_result_to_dict
+
+        result = session.run(workload, "paper", chips=8)
+        record = eval_result_to_dict(result)
+        reference = report_to_dict(result.report)
+        for key, value in reference.items():
+            assert record[key] == value
+        assert record["strategy"] == "paper"
+        assert record["weights_replicated"] is False
+        json.dumps(record)
+
+    def test_analytical_result_fills_simulator_fields_with_none(
+        self, session, workload
+    ):
+        from repro.analysis.export import eval_result_to_dict
+
+        result = session.run(workload, "weight_replicated", chips=8)
+        record = eval_result_to_dict(result)
+        assert record["compute_cycles"] is None
+        assert record["residencies"] is None
+        assert record["block_cycles"] > 0
+        assert record["weights_replicated"] is True
+        json.dumps(record)
+
+    def test_both_branches_share_one_key_set(self, session, workload):
+        from repro.analysis.export import eval_result_to_dict
+
+        simulator = eval_result_to_dict(session.run(workload, "paper", chips=8))
+        analytical = eval_result_to_dict(
+            session.run(workload, "weight_replicated", chips=8)
+        )
+        # One shared schema: a key added to report_to_dict must also be
+        # exported (as None) by the analytical branch.
+        assert set(simulator) == set(analytical)
+
+    def test_eval_sweep_to_json_works_for_any_strategy(self, session, workload):
+        from repro.analysis.export import eval_sweep_to_json
+
+        for strategy in ("paper", "weight_replicated"):
+            document = json.loads(
+                eval_sweep_to_json(
+                    session.sweep(workload, (1, 8), strategy=strategy)
+                )
+            )
+            assert document["strategy"] == strategy
+            assert document["chip_counts"] == [1, 8]
+            assert document["results"][0]["speedup"] == pytest.approx(1.0)
+
+    def test_comparison_to_json_lists_strategies_in_order(
+        self, session, workload
+    ):
+        from repro.analysis.export import comparison_to_json
+
+        comparison = session.compare(workload, chips=8)
+        document = json.loads(comparison_to_json(comparison))
+        assert document["strategies"] == [
+            "single_chip", "weight_replicated", "pipeline_parallel",
+            "tensor_parallel",
+        ]
+        assert len(document["results"]) == 4
+        assert document["num_chips"] == 8

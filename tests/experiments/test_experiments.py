@@ -194,3 +194,41 @@ class TestHeadline:
     def test_render_headline(self, headline):
         text = render_headline(headline)
         assert "Paper" in text and "Measured" in text
+
+
+class TestServingCapacity:
+    @pytest.fixture(scope="class")
+    def capacity(self):
+        from repro.experiments.serving import run_serving
+
+        # A trimmed sweep keeps the test fast; the defaults drive the CLI.
+        return run_serving(
+            rates_rps=(1.0, 5.0), policies=("fifo", "continuous"),
+            duration_s=30.0,
+        )
+
+    def test_matrix_covers_every_cell(self, capacity):
+        assert capacity.rates() == (1.0, 5.0)
+        assert capacity.policies() == ("fifo", "continuous")
+        assert len(capacity.points) == 4
+
+    def test_attainment_degrades_with_load(self, capacity):
+        for policy in capacity.policies():
+            light = capacity.point(1.0, policy)
+            heavy = capacity.point(5.0, policy)
+            assert light.attainment >= heavy.attainment
+            assert heavy.metrics.ttft.p95 > light.metrics.ttft.p95
+
+    def test_continuous_sustains_more_load_than_fifo(self, capacity):
+        fifo = capacity.max_sustainable_rate("fifo")
+        continuous = capacity.max_sustainable_rate("continuous")
+        assert continuous == 5.0
+        assert fifo is None or fifo <= continuous
+
+    def test_render_shows_the_matrix(self, capacity):
+        from repro.experiments.serving import render_serving
+
+        text = render_serving(capacity)
+        assert "Capacity vs. SLO" in text
+        assert "max sustainable rate" in text
+        assert "fifo" in text and "continuous" in text

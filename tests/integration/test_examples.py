@@ -50,3 +50,9 @@ class TestExamples:
     def test_scalability_study_runs(self):
         output = run_example("scalability_study.py")
         assert "64" in output and "all_resident" in output
+
+    def test_serving_capacity_study_runs(self):
+        output = run_example("serving_capacity_study.py")
+        assert "SLO attainment" in output
+        assert "bursty" in output
+        assert "p99 TTFT" in output

@@ -1,0 +1,152 @@
+"""Unit tests for the scheduling-policy protocol and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownPolicyError
+from repro.serving import (
+    Request,
+    get_policy,
+    list_policies,
+    register_policy,
+    unregister_policy,
+)
+from repro.serving.request import ActiveRequest
+
+
+def active(
+    request_id: int,
+    arrival_s: float = 0.0,
+    prompt_tokens: int = 16,
+    output_tokens: int = 4,
+    priority: int = 0,
+    prefill_done: bool = False,
+    tokens_emitted: int = 0,
+) -> ActiveRequest:
+    entry = ActiveRequest(
+        request=Request(
+            request_id=request_id,
+            arrival_s=arrival_s,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            priority=priority,
+        )
+    )
+    if prefill_done:
+        entry.first_token_s = arrival_s
+        entry.tokens_emitted = max(1, tokens_emitted)
+    return entry
+
+
+class TestRegistry:
+    def test_shipped_policies_are_registered(self):
+        names = list_policies()
+        for name in ("fifo", "shortest_prompt", "priority", "continuous"):
+            assert name in names
+
+    def test_aliases_resolve(self):
+        assert get_policy("fcfs") is get_policy("fifo")
+        assert get_policy("sjf") is get_policy("shortest_prompt")
+        assert get_policy("interleave") is get_policy("continuous")
+
+    def test_unknown_policy_lists_known_names(self):
+        with pytest.raises(UnknownPolicyError) as excinfo:
+            get_policy("bogus")
+        assert "fifo" in str(excinfo.value)
+
+    def test_register_and_unregister(self):
+        @register_policy
+        class TestOnlyPolicy:
+            name = "test_only"
+            label = "test"
+            decode_quantum = None
+
+            def select(self, ready, now_s):
+                return ready[0]
+
+        try:
+            assert "test_only" in list_policies()
+        finally:
+            unregister_policy("test_only")
+        assert "test_only" not in list_policies()
+
+    def test_rejects_incomplete_policies(self):
+        class NoSelect:
+            name = "broken"
+            label = "broken"
+            decode_quantum = None
+
+        with pytest.raises(ConfigurationError):
+            register_policy(NoSelect)
+
+    def test_rejects_duplicate_names(self):
+        class Imposter:
+            name = "fifo"
+            label = "imposter"
+            decode_quantum = None
+
+            def select(self, ready, now_s):
+                return ready[0]
+
+        with pytest.raises(ConfigurationError):
+            register_policy(Imposter)
+
+    def test_rejects_invalid_quantum(self):
+        class ZeroQuantum:
+            name = "zero_quantum"
+            label = "broken"
+            decode_quantum = 0
+
+            def select(self, ready, now_s):
+                return ready[0]
+
+        with pytest.raises(ConfigurationError):
+            register_policy(ZeroQuantum)
+
+
+class TestSelection:
+    def test_fifo_picks_earliest_arrival(self):
+        ready = [active(0, arrival_s=2.0), active(1, arrival_s=1.0)]
+        assert get_policy("fifo").select(ready, 5.0).request.request_id == 1
+
+    def test_fifo_breaks_ties_by_id(self):
+        ready = [active(3, arrival_s=1.0), active(1, arrival_s=1.0)]
+        assert get_policy("fifo").select(ready, 5.0).request.request_id == 1
+
+    def test_shortest_prompt_picks_smallest_prefill(self):
+        ready = [
+            active(0, arrival_s=0.0, prompt_tokens=64),
+            active(1, arrival_s=3.0, prompt_tokens=8),
+        ]
+        policy = get_policy("shortest_prompt")
+        assert policy.select(ready, 5.0).request.request_id == 1
+
+    def test_priority_prefers_larger_then_fifo(self):
+        ready = [
+            active(0, arrival_s=0.0, priority=0),
+            active(1, arrival_s=4.0, priority=2),
+            active(2, arrival_s=3.0, priority=2),
+        ]
+        assert get_policy("priority").select(ready, 5.0).request.request_id == 2
+
+    def test_continuous_prefers_pending_prefills(self):
+        ready = [
+            active(0, arrival_s=0.0, prefill_done=True, tokens_emitted=1),
+            active(1, arrival_s=4.0),  # prefill still pending
+        ]
+        policy = get_policy("continuous")
+        assert policy.decode_quantum == 1
+        assert policy.select(ready, 5.0).request.request_id == 1
+
+    def test_continuous_round_robins_decode_by_tokens_emitted(self):
+        ready = [
+            active(0, prefill_done=True, tokens_emitted=3),
+            active(1, prefill_done=True, tokens_emitted=1),
+        ]
+        policy = get_policy("continuous")
+        assert policy.select(ready, 5.0).request.request_id == 1
+
+    def test_run_to_completion_policies_have_no_quantum(self):
+        for name in ("fifo", "shortest_prompt", "priority"):
+            assert get_policy(name).decode_quantum is None

@@ -120,3 +120,128 @@ class TestStrategyCommands:
         output = capsys.readouterr().out
         assert "Single chip" in output
         assert "fastest: paper" in output
+
+
+class TestJsonOutput:
+    def test_evaluate_json(self, capsys):
+        assert main(["evaluate", "--chips", "8", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["num_chips"] == 8
+        assert record["strategy"] == "paper"
+        assert record["block_cycles"] > 0
+
+    def test_evaluate_json_analytical_strategy(self, capsys):
+        assert main(
+            ["evaluate", "--strategy", "pipeline_parallel", "--chips", "4",
+             "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["strategy"] == "pipeline_parallel"
+        assert record["compute_cycles"] is None
+
+    def test_sweep_json_stdout_and_file(self, capsys, tmp_path):
+        output_path = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--chips", "1", "8", "--json",
+             "--output", str(output_path)]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["chip_counts"] == [1, 8]
+        assert json.loads(output_path.read_text()) == document
+
+    def test_sweep_json_works_for_analytical_strategies(self, capsys):
+        assert main(
+            ["sweep", "--strategy", "weight_replicated", "--chips", "1", "8",
+             "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["strategy"] == "weight_replicated"
+
+    def test_compare_json(self, capsys):
+        assert main(["compare", "--chips", "8", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["results"]) == 4
+
+    def test_sweep_json_rejects_non_json_output_path(self, tmp_path):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            main(["sweep", "--chips", "1", "8", "--json",
+                  "--output", str(tmp_path / "sweep.csv")])
+
+
+class TestServeCommand:
+    SERVE = ["serve", "--model", "tinyllama", "--arrival-rate", "2",
+             "--duration", "20", "--policy", "fifo", "--seed", "0"]
+
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fifo", "shortest_prompt", "priority", "continuous"):
+            assert name in output
+
+    def test_serve_reports_the_headline_metrics(self, capsys):
+        assert main(self.SERVE) == 0
+        output = capsys.readouterr().out
+        for token in ("TTFT", "TPOT", "e2e", "p50", "p95", "p99",
+                      "throughput", "energy", "SLO"):
+            assert token in output
+
+    def test_serve_json_is_byte_identical_across_runs(self, capsys):
+        assert main(self.SERVE + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.SERVE + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["seed"] == 0
+        assert document["policy"] == "fifo"
+        metrics = document["metrics"]
+        for key in ("ttft_s", "tpot_s", "e2e_s", "throughput_rps",
+                    "throughput_tps", "energy_per_request_joules",
+                    "slo_curve"):
+            assert key in metrics
+        for summary_key in ("p50", "p95", "p99"):
+            assert summary_key in metrics["ttft_s"]
+
+    def test_serve_other_traces_and_policies(self, capsys):
+        assert main(
+            ["serve", "--trace", "bursty", "--arrival-rate", "1",
+             "--duration", "30", "--policy", "continuous", "--seed", "1"]
+        ) == 0
+        assert "Served" in capsys.readouterr().out
+        assert main(
+            ["serve", "--trace", "closed", "--clients", "4",
+             "--requests-per-client", "3", "--policy", "shortest_prompt"]
+        ) == 0
+        assert "Served" in capsys.readouterr().out
+
+    def test_serve_save_and_replay_round_trip(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(self.SERVE + ["--save-trace", str(trace_path),
+                                  "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["serve", "--replay", str(trace_path), "--policy", "fifo",
+                     "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed["metrics"] == first["metrics"]
+
+    def test_serve_replay_rejects_a_conflicting_seed(self, tmp_path):
+        from repro.errors import AnalysisError
+
+        trace_path = tmp_path / "trace.json"
+        assert main(self.SERVE + ["--save-trace", str(trace_path)]) == 0
+        with pytest.raises(AnalysisError) as excinfo:
+            main(["serve", "--replay", str(trace_path), "--seed", "7"])
+        assert "--replay" in str(excinfo.value)
+
+    def test_serve_custom_slo_targets(self, capsys):
+        assert main(self.SERVE + ["--slo-ttft", "0.25", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [point["ttft_target_s"]
+                for point in document["metrics"]["slo_curve"]] == [0.25]
+
+    def test_serve_unknown_policy_errors(self):
+        with pytest.raises(Exception) as excinfo:
+            main(self.SERVE[:-2] + ["--policy", "bogus"])
+        assert "bogus" in str(excinfo.value)
