@@ -12,6 +12,11 @@ pipeline can answer deployment questions the paper leaves open:
 
 Each sweep reuses one :class:`repro.Session`, overriding the platform per
 point; memoisation means shared reference points are simulated only once.
+
+These are hand-rolled one-axis sweeps.  For automated multi-objective
+search over the same knobs (Pareto fronts, constraints, searchers), see
+``examples/platform_tuning.py`` and the `repro.dse` subsystem
+(``docs/DSE.md``).
 """
 
 from __future__ import annotations

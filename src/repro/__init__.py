@@ -74,6 +74,21 @@ from .core import (
     partition_block,
     plan_memory,
 )
+from .dse import (
+    ChoiceAxis,
+    Constraint,
+    FloatAxis,
+    IntAxis,
+    SearchSpace,
+    ServingScenario,
+    TuneResult,
+    default_space,
+    list_objectives,
+    list_searchers,
+    pareto_front,
+    register_objective,
+    register_searcher,
+)
 from .energy import EnergyBreakdown, EnergyModel, EnergyReport, energy_of
 from .graph import (
     FfnKind,
@@ -89,7 +104,11 @@ from .hw import (
     ChipToChipLink,
     ClusterModel,
     MultiChipPlatform,
+    PlatformPreset,
+    get_platform_preset,
+    list_platform_presets,
     mipi_link,
+    register_platform_preset,
     siracusa_chip,
     siracusa_platform,
 )
@@ -104,7 +123,7 @@ from .models import (
 )
 from .sim import MultiChipSimulator, SimulationResult, simulate_block
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BlockPartition",
@@ -115,8 +134,10 @@ __all__ = [
     "ChipModel",
     "ChipPartition",
     "ChipToChipLink",
+    "ChoiceAxis",
     "ClusterModel",
     "Comparison",
+    "Constraint",
     "EnergyBreakdown",
     "EnergyModel",
     "EnergyReport",
@@ -124,39 +145,54 @@ __all__ = [
     "EvalResult",
     "EvalSweep",
     "FfnKind",
+    "FloatAxis",
     "GenerationReport",
     "InferenceMode",
+    "IntAxis",
     "KernelLibrary",
     "MatmulEfficiencyModel",
     "MemoryPlan",
     "MultiChipPlatform",
     "MultiChipSimulator",
     "PartitionStrategy",
+    "PlatformPreset",
     "PrefetchAccounting",
     "ScalingPoint",
+    "SearchSpace",
+    "ServingScenario",
     "Session",
     "SimulationResult",
     "SweepResult",
     "TransformerConfig",
+    "TuneResult",
     "WeightResidency",
     "Workload",
     "autoregressive",
     "chip_count_sweep",
     "chip_footprint",
     "default_session",
+    "default_space",
     "encoder",
     "energy_of",
     "evaluate_block",
     "evaluate_generation",
     "get_model",
+    "get_platform_preset",
     "get_strategy",
     "list_models",
+    "list_objectives",
+    "list_platform_presets",
+    "list_searchers",
     "list_strategies",
     "mipi_link",
     "mobilebert",
+    "pareto_front",
     "partition_block",
     "plan_memory",
     "prompt",
+    "register_objective",
+    "register_platform_preset",
+    "register_searcher",
     "register_strategy",
     "scaling_points",
     "simulate_block",

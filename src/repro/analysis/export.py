@@ -19,7 +19,8 @@ from .sweep import SweepResult
 
 if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle with repro.api
     from ..api.result import EvalResult
-    from ..api.session import Comparison, EvalSweep
+    from ..api.session import CacheInfo, Comparison, EvalSweep
+    from ..dse.engine import TuneResult
 
 #: Column order of the sweep CSV export.
 SWEEP_CSV_COLUMNS = (
@@ -151,8 +152,19 @@ def eval_result_to_dict(
     return record
 
 
-def eval_sweep_to_json(sweep: "EvalSweep", *, indent: int = 2) -> str:
-    """Serialise any strategy's chip-count sweep to a JSON document."""
+def cache_info_to_dict(cache: "CacheInfo") -> Dict[str, int]:
+    """Flatten a session's memoisation statistics for JSON export."""
+    return dict(cache._asdict())
+
+
+def eval_sweep_to_json(
+    sweep: "EvalSweep", *, indent: int = 2, cache: "CacheInfo | None" = None
+) -> str:
+    """Serialise any strategy's chip-count sweep to a JSON document.
+
+    Pass the evaluating session's :meth:`~repro.api.Session.cache_info`
+    as ``cache`` to make memoisation reuse observable in the output.
+    """
     speedups = sweep.speedups()
     document = {
         "workload": sweep.workload.name,
@@ -163,7 +175,44 @@ def eval_sweep_to_json(sweep: "EvalSweep", *, indent: int = 2) -> str:
             for result in sweep.results
         ],
     }
+    if cache is not None:
+        document["cache"] = cache_info_to_dict(cache)
     return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def tune_result_to_dict(result: "TuneResult") -> Dict[str, Any]:
+    """Flatten a :class:`~repro.dse.engine.TuneResult` into primitives.
+
+    Candidates and the front appear in evaluation order; together with
+    the deterministic searchers this makes the document byte-identical
+    across runs for equal seed/space/budget.
+    """
+    return {
+        "workload": result.workload.name,
+        "searcher": result.searcher,
+        "seed": result.seed,
+        "budget": result.budget,
+        "objectives": [
+            {"name": objective.name, "sense": objective.sense.value}
+            for objective in result.objectives
+        ],
+        "constraints": [
+            constraint.render() for constraint in result.constraints
+        ],
+        "space": {
+            "axes": list(result.space.names),
+            "size": result.space.size,
+        },
+        "evaluations_requested": result.evaluations_requested,
+        "candidates": [candidate.as_dict() for candidate in result.candidates],
+        "front": [candidate.as_dict() for candidate in result.front],
+        "cache": cache_info_to_dict(result.cache),
+    }
+
+
+def tune_result_to_json(result: "TuneResult", *, indent: int = 2) -> str:
+    """Serialise a tuning run to a JSON document (``repro tune --json``)."""
+    return json.dumps(tune_result_to_dict(result), indent=indent, sort_keys=True)
 
 
 def comparison_to_json(comparison: "Comparison", *, indent: int = 2) -> str:

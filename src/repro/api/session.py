@@ -391,10 +391,12 @@ class Session:
         """
         if not chips:
             raise AnalysisError("chip_counts must not be empty")
-        impl = get_strategy(strategy)
+        # Validate the chip counts before resolving the strategy so a bad
+        # count is reported even when paired with an unknown strategy name.
         for count in chips:
             if count <= 0:
                 raise AnalysisError(f"invalid chip count {count}")
+        impl = get_strategy(strategy)
         if (
             parallel is not None
             and parallel > 1
@@ -519,6 +521,60 @@ class Session:
             seed=seed,
             result=result,
             metrics=metrics,
+        )
+
+    def tune(
+        self,
+        workload: Workload,
+        space=None,
+        *,
+        searcher: str = "random",
+        budget: int = 24,
+        seed: int = 0,
+        objectives: Sequence = ("latency", "energy"),
+        constraints: Sequence = (),
+        serving=None,
+    ):
+        """Search a platform/partition design space for ``workload``.
+
+        Drives a registered search algorithm over a
+        :class:`~repro.dse.space.SearchSpace` (the standard platform
+        space around the paper's deployment point by default), measuring
+        every unique design through this session — so repeated points hit
+        the memoisation cache — and returns the
+        :class:`~repro.dse.engine.TuneResult` with the constraint-feasible
+        Pareto front of the named objectives.
+
+        Args:
+            workload: The workload to tune the platform for.
+            space: Optional :class:`~repro.dse.space.SearchSpace`
+                (defaults to :func:`repro.dse.default_space`).
+            searcher: Registered search-algorithm name
+                (see ``repro searchers``).
+            budget: Maximum evaluation calls the searcher may issue
+                (repeat visits included; they cost nothing).
+            seed: Search seed; equal seeds give identical results.
+            objectives: Registered objective names (or instances), in
+                presentation order (see ``repro.dse.list_objectives``).
+            constraints: Bounds like ``"latency<=0.01"`` (or
+                :class:`~repro.dse.pareto.Constraint` instances);
+                constraint-only objectives are measured automatically.
+            serving: Optional :class:`~repro.dse.engine.ServingScenario`
+                for serving-level objectives (``slo``,
+                ``energy_per_request``).
+        """
+        from ..dse.engine import run_tune
+
+        return run_tune(
+            self,
+            workload,
+            space,
+            searcher=searcher,
+            budget=budget,
+            seed=seed,
+            objectives=objectives,
+            constraints=constraints,
+            serving=serving,
         )
 
     # ------------------------------------------------------------------

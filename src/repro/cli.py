@@ -6,21 +6,28 @@ without writing any Python:
 * ``models``      — list the registered model configurations,
 * ``strategies``  — list the registered partitioning strategies,
 * ``policies``    — list the registered serving scheduler policies,
+* ``platforms``   — list the registered hardware platform presets,
+* ``searchers``   — list the registered DSE search algorithms/objectives,
 * ``evaluate``    — evaluate one Transformer block on a chip count,
 * ``sweep``       — run a chip-count sweep with any registered strategy
   and print (or export) the Fig. 4/5-style tables,
 * ``compare``     — strategy ablation (Table-I style) on one chip count,
 * ``serve``       — request-level serving simulation (traffic trace,
   queueing policy, tail-latency/SLO analytics),
+* ``tune``        — design-space exploration (searchable platform space,
+  multi-objective search, Pareto front),
 * ``experiments`` — regenerate the paper's figures and tables,
 * ``verify``      — numerically verify the partitioning scheme's exactness.
 
 Every evaluating command runs through :class:`repro.api.Session`, so any
 strategy added with :func:`repro.api.register_strategy` (or scheduling
-policy added with :func:`repro.serving.register_policy`) is immediately
-usable from the command line.  ``evaluate``, ``sweep``, ``compare``, and
-``serve`` all take ``--json`` to emit one shared machine-readable format
-instead of the human tables.
+policy added with :func:`repro.serving.register_policy`, search algorithm
+added with :func:`repro.dse.register_searcher`, objective added with
+:func:`repro.dse.register_objective`) is immediately usable from the
+command line.  ``evaluate``, ``sweep``, ``compare``, ``serve``, and
+``tune`` all take ``--json`` to emit one shared machine-readable format
+instead of the human tables; the Session-driven JSON documents include
+the session's cache statistics so memoisation reuse is observable.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from .analysis.export import (
     comparison_to_json,
     eval_result_to_dict,
     eval_sweep_to_json,
+    tune_result_to_json,
     write_sweep,
 )
 from .analysis.tables import energy_runtime_table, format_table, runtime_breakdown_table
@@ -44,7 +52,6 @@ from .errors import AnalysisError
 from .graph.transformer import InferenceMode
 from .graph.workload import Workload
 from .models.registry import get_model, list_models
-from .numerics.verify import verify_partition_equivalence
 from .units import format_bytes, format_energy, format_time
 
 #: Default sequence lengths per inference mode (the paper's setup).
@@ -74,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser(
         "policies", help="list registered serving scheduler policies"
+    )
+
+    subparsers.add_parser(
+        "platforms", help="list registered hardware platform presets"
+    )
+
+    subparsers.add_parser(
+        "searchers",
+        help="list registered design-space searchers and objectives",
     )
 
     evaluate = subparsers.add_parser(
@@ -264,16 +280,103 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_argument(serve)
 
+    tune = subparsers.add_parser(
+        "tune",
+        help="design-space exploration (multi-objective platform search)",
+    )
+    _add_workload_arguments(tune)
+    tune.add_argument(
+        "--searcher",
+        default="random",
+        metavar="NAME",
+        help=(
+            "registered search algorithm (default: random; "
+            "see `repro searchers`)"
+        ),
+    )
+    tune.add_argument(
+        "--budget",
+        type=int,
+        default=24,
+        help="evaluation budget of the searcher (default: 24)",
+    )
+    tune.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="search seed; equal seeds give byte-identical output (default: 0)",
+    )
+    tune.add_argument(
+        "--objectives",
+        nargs="+",
+        default=["latency", "energy", "hw_cost"],
+        metavar="NAME",
+        help=(
+            "objectives of the Pareto front, in order "
+            "(default: latency energy hw_cost; see `repro searchers`)"
+        ),
+    )
+    tune.add_argument(
+        "--constraint",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="feasibility bound like 'latency<=0.01' or 'slo>=0.95' (repeatable)",
+    )
+    tune.add_argument(
+        "--chips",
+        type=int,
+        nargs="+",
+        default=None,
+        help="chip-count choices of the space (default: 1 2 4 8)",
+    )
+    tune.add_argument(
+        "--link-gbps",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="GBPS",
+        help="C2C bandwidth levels in GB/s (default: 0.125 0.25 0.5 1 2)",
+    )
+    tune.add_argument(
+        "--l2-kib",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="KIB",
+        help="L2 capacity choices in KiB (default: 1024 2048 4096)",
+    )
+    tune.add_argument(
+        "--freq-mhz",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="MHZ",
+        help="cluster frequency levels in MHz (default: 300 500)",
+    )
+    tune.add_argument(
+        "--strategies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="strategy choices of the space (default: paper)",
+    )
+    _add_json_argument(tune)
+
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's figures and tables"
     )
     experiments.add_argument(
         "--only",
-        choices=["fig4", "fig5", "fig6", "table1", "headline", "serving", "all"],
+        choices=[
+            "fig4", "fig5", "fig6", "table1", "headline", "serving", "dse",
+            "all",
+        ],
         default="all",
         help=(
             "which experiment to run (default: all — the paper's figures; "
-            "'serving' runs the capacity-vs-SLO study)"
+            "'serving' runs the capacity-vs-SLO study, 'dse' the "
+            "budget-vs-Pareto-front study)"
         ),
     )
 
@@ -375,6 +478,42 @@ def _command_policies() -> List[str]:
     return lines
 
 
+def _command_platforms() -> List[str]:
+    from .hw.presets import get_platform_preset, list_platform_presets
+
+    lines = []
+    for name in list_platform_presets():
+        preset = get_platform_preset(name)
+        platform = preset.build(1)
+        chip = platform.chip
+        lines.append(f"{name:<20} {preset.description}")
+        lines.append(
+            f"{'':<20} cores={chip.cluster.num_cores} "
+            f"@ {chip.cluster.frequency_hz / 1e6:.0f} MHz, "
+            f"L1={format_bytes(chip.l1.size_bytes)}, "
+            f"L2={format_bytes(chip.l2.size_bytes)}, "
+            f"link={platform.link.bandwidth_bytes_per_s / 1e9:g} GB/s "
+            f"@ {platform.link.energy_pj_per_byte:g} pJ/B, "
+            f"groups of {platform.group_size}"
+        )
+    return lines
+
+
+def _command_searchers() -> List[str]:
+    from .dse import get_objective, get_searcher, list_objectives, list_searchers
+
+    lines = []
+    for name in list_searchers():
+        searcher = get_searcher(name)
+        lines.append(f"{name:<20} {searcher.label}")
+    lines.append("")
+    lines.append("objectives:")
+    for name in list_objectives():
+        objective = get_objective(name)
+        lines.append(f"{name:<20} [{objective.sense.value}] {objective.label}")
+    return lines
+
+
 def _command_evaluate(args: argparse.Namespace) -> List[str]:
     workload = _workload_from_args(args)
     session = _session_from_args(args)
@@ -443,7 +582,7 @@ def _command_sweep(args: argparse.Namespace) -> List[str]:
         workload, args.chips, strategy=args.strategy, parallel=args.parallel
     )
     if args.json:
-        lines = [eval_sweep_to_json(sweep)]
+        lines = [eval_sweep_to_json(sweep, cache=session.cache_info())]
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(lines[0])
@@ -560,21 +699,63 @@ def _command_serve(args: argparse.Namespace) -> List[str]:
             args.save_trace,
         )
     if args.json:
-        return [report.to_json()]
+        return [report.to_json(cache=session.cache_info())]
     lines = [report.render()]
     if args.save_trace is not None:
         lines.append(f"wrote trace {args.save_trace}")
     return lines
 
 
+def _space_from_args(args: argparse.Namespace):
+    """Build the tune command's search space from the axis-override flags."""
+    from .dse import ChoiceAxis, FloatAxis, SearchSpace
+
+    chips = tuple(args.chips) if args.chips else (1, 2, 4, 8)
+    link = (
+        tuple(args.link_gbps) if args.link_gbps
+        else (0.125, 0.25, 0.5, 1.0, 2.0)
+    )
+    l2 = tuple(args.l2_kib) if args.l2_kib else (1024, 2048, 4096)
+    freq = tuple(args.freq_mhz) if args.freq_mhz else (300.0, 500.0)
+    strategies = tuple(args.strategies) if args.strategies else ("paper",)
+    return SearchSpace(
+        axes=(
+            ChoiceAxis("chips", chips),
+            FloatAxis("link_gbps", min(link), max(link), levels=link),
+            ChoiceAxis("l2_kib", l2),
+            FloatAxis("freq_mhz", min(freq), max(freq), levels=freq),
+            ChoiceAxis("strategy", strategies),
+        )
+    )
+
+
+def _command_tune(args: argparse.Namespace) -> List[str]:
+    workload = _workload_from_args(args)
+    session = _session_from_args(args)
+    result = session.tune(
+        workload,
+        _space_from_args(args),
+        searcher=args.searcher,
+        budget=args.budget,
+        seed=args.seed,
+        objectives=tuple(args.objectives),
+        constraints=tuple(args.constraint),
+    )
+    if args.json:
+        return [tune_result_to_json(result)]
+    return [result.render()]
+
+
 def _command_experiments(args: argparse.Namespace) -> List[str]:
     from .experiments import (
+        render_dse,
         render_fig4,
         render_fig5,
         render_fig6,
         render_headline,
         render_serving,
         render_table1,
+        run_dse,
         run_fig4,
         run_fig5,
         run_fig6,
@@ -590,6 +771,7 @@ def _command_experiments(args: argparse.Namespace) -> List[str]:
         "table1": lambda: render_table1(run_table1()),
         "headline": lambda: render_headline(run_headline()),
         "serving": lambda: render_serving(run_serving()),
+        "dse": lambda: render_dse(run_dse()),
     }
     if args.only == "all":
         from .experiments.runner import render_all, run_all
@@ -599,6 +781,10 @@ def _command_experiments(args: argparse.Namespace) -> List[str]:
 
 
 def _command_verify(args: argparse.Namespace) -> List[str]:
+    # Imported lazily: the numerical check is the only CLI path that
+    # needs numpy, and every other subcommand must work without it.
+    from .numerics.verify import verify_partition_equivalence
+
     config = get_model(args.model)
     report = verify_partition_equivalence(config, args.chips, rows=args.rows)
     status = "EXACT" if report.is_equivalent() else "MISMATCH"
@@ -621,6 +807,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines = _command_strategies()
     elif args.command == "policies":
         lines = _command_policies()
+    elif args.command == "platforms":
+        lines = _command_platforms()
+    elif args.command == "searchers":
+        lines = _command_searchers()
+    elif args.command == "tune":
+        lines = _command_tune(args)
     elif args.command == "serve":
         lines = _command_serve(args)
     elif args.command == "evaluate":

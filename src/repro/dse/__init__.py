@@ -1,0 +1,129 @@
+"""Design-space exploration: searchable platform/partition spaces.
+
+The third subsystem layered on the evaluation API and the serving
+simulator.  Three declarative layers compose into
+:meth:`repro.api.Session.tune` and the ``repro tune`` CLI:
+
+* :mod:`repro.dse.space` — typed parameter axes (chip count, link
+  bandwidth/energy, L2 capacity, cluster frequency/cores, strategy) with
+  bounds and choices, deterministic seeded sampling, and validated
+  materialisation of a :class:`~repro.hw.platform.MultiChipPlatform` +
+  strategy from every point;
+* :mod:`repro.dse.searchers` — pluggable search algorithms behind
+  :func:`register_searcher` (grid, random, simulated annealing,
+  evolutionary), all driving evaluations through one shared memoising
+  :class:`~repro.api.Session`;
+* :mod:`repro.dse.objectives` / :mod:`repro.dse.pareto` — named
+  multi-objective metrics (latency, energy, hardware-cost proxy, serving
+  SLO attainment) with Pareto-front extraction and constraint filtering.
+
+Quick tour::
+
+    from repro import Session, autoregressive, tinyllama_42m
+
+    session = Session()
+    workload = autoregressive(tinyllama_42m(), context_len=128)
+    result = session.tune(
+        workload,
+        searcher="random",
+        budget=32,
+        seed=0,
+        objectives=("latency", "hw_cost"),
+        constraints=("latency<=0.05",),
+    )
+    print(result.render())          # the latency/cost Pareto front
+"""
+
+from .engine import (
+    Candidate,
+    DesignEvaluator,
+    ServingScenario,
+    TuneResult,
+    run_tune,
+)
+from .objectives import (
+    Measurement,
+    Objective,
+    Sense,
+    get_objective,
+    hardware_cost_units,
+    list_objectives,
+    register_objective,
+    unregister_objective,
+)
+from .pareto import (
+    Constraint,
+    dominates,
+    filter_constraints,
+    objective_vector,
+    pareto_front,
+    parse_constraint,
+)
+from .searchers import (
+    AnnealingSearcher,
+    EvolutionarySearcher,
+    GridSearcher,
+    RandomSearcher,
+    SearchAlgorithm,
+    get_searcher,
+    list_searchers,
+    register_searcher,
+    unregister_searcher,
+)
+from .space import (
+    Axis,
+    ChoiceAxis,
+    DesignPoint,
+    FloatAxis,
+    IntAxis,
+    PLATFORM_AXES,
+    Point,
+    SearchSpace,
+    Value,
+    default_space,
+    materialise,
+    point_key,
+)
+
+__all__ = [
+    "AnnealingSearcher",
+    "Axis",
+    "Candidate",
+    "ChoiceAxis",
+    "Constraint",
+    "DesignEvaluator",
+    "DesignPoint",
+    "EvolutionarySearcher",
+    "FloatAxis",
+    "GridSearcher",
+    "IntAxis",
+    "Measurement",
+    "Objective",
+    "PLATFORM_AXES",
+    "Point",
+    "RandomSearcher",
+    "SearchAlgorithm",
+    "SearchSpace",
+    "Sense",
+    "ServingScenario",
+    "TuneResult",
+    "Value",
+    "default_space",
+    "dominates",
+    "filter_constraints",
+    "get_objective",
+    "get_searcher",
+    "hardware_cost_units",
+    "list_objectives",
+    "list_searchers",
+    "materialise",
+    "objective_vector",
+    "pareto_front",
+    "parse_constraint",
+    "point_key",
+    "register_objective",
+    "register_searcher",
+    "run_tune",
+    "unregister_objective",
+    "unregister_searcher",
+]

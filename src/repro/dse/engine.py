@@ -1,0 +1,459 @@
+"""The DSE engine: point evaluation, tuning runs, and their results.
+
+The engine glues the declarative layers together: a
+:class:`DesignEvaluator` turns search-space points into measured
+:class:`Candidate` records through one shared
+:class:`~repro.api.Session` (so repeated points hit the session's
+memoisation cache and serving scenarios reuse its phase costs), and
+:func:`run_tune` drives a registered search algorithm over it, returning
+the :class:`TuneResult` behind :meth:`repro.api.Session.tune` and the
+``repro tune`` CLI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..api.session import CacheInfo, Session
+from ..errors import (
+    AnalysisError,
+    MemoryCapacityError,
+    PartitioningError,
+    SchedulingError,
+)
+from ..graph.workload import Workload
+from .objectives import Measurement, Objective, Sense, get_objective
+from .pareto import Constraint, filter_constraints, pareto_front, parse_constraint
+from .space import (
+    DesignPoint,
+    Point,
+    SearchSpace,
+    Value,
+    default_space,
+    materialise,
+    point_key,
+)
+
+__all__ = [
+    "Candidate",
+    "DesignEvaluator",
+    "ServingScenario",
+    "TuneResult",
+    "run_tune",
+]
+
+
+# ----------------------------------------------------------------------
+# Serving scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServingScenario:
+    """The fixed traffic scenario behind serving-level objectives.
+
+    Objectives with ``requires_serving`` (SLO attainment, energy per
+    request) simulate this scenario once per unique design point; the
+    scenario is deliberately small so a tuning run stays interactive.
+
+    Attributes:
+        rate_rps: Mean Poisson arrival rate.
+        duration_s: Arrival horizon in seconds.
+        policy: Registered scheduling policy name.
+        seed: Trace seed (one fixed seed keeps tuning deterministic).
+        ttft_slo_s: The TTFT target the ``slo`` objective scores against.
+        max_context: Serving context window.
+    """
+
+    rate_rps: float = 2.0
+    duration_s: float = 20.0
+    policy: str = "fifo"
+    seed: int = 0
+    ttft_slo_s: float = 1.0
+    max_context: int = 1024
+
+    def trace(self):
+        """Build the scenario's traffic trace."""
+        from ..serving.traces import PoissonTrace
+
+        return PoissonTrace(rate_rps=self.rate_rps, duration_s=self.duration_s)
+
+
+# ----------------------------------------------------------------------
+# Candidates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated design point.
+
+    Attributes:
+        point: Canonical (name-sorted) items of the originating point.
+        strategy: Partitioning strategy of the point.
+        num_chips: Chip count of the materialised platform.
+        feasible: Whether the point could be evaluated at all (a chip
+            count exceeding the model's head count, or a workload that
+            does not fit, yields an infeasible candidate rather than a
+            failed search).
+        objective_values: Measured ``(objective name, value)`` pairs, in
+            measurement order; empty when infeasible.
+        block_cycles: Per-block runtime in cycles (``None`` if infeasible).
+        block_runtime_seconds: Per-block runtime in seconds.
+        block_energy_joules: Per-block energy in joules.
+        note: Failure description for infeasible candidates.
+    """
+
+    point: Tuple[Tuple[str, Value], ...]
+    strategy: str
+    num_chips: int
+    feasible: bool
+    objective_values: Tuple[Tuple[str, float], ...] = ()
+    block_cycles: Optional[float] = None
+    block_runtime_seconds: Optional[float] = None
+    block_energy_joules: Optional[float] = None
+    note: str = ""
+
+    @property
+    def point_dict(self) -> Point:
+        """The point as a plain mutable mapping."""
+        return dict(self.point)
+
+    def value(self, objective: str) -> float:
+        """The measured value of one objective.
+
+        Raises:
+            AnalysisError: If the candidate is infeasible or the
+                objective was not measured.
+        """
+        if not self.feasible:
+            raise AnalysisError(
+                f"candidate {dict(self.point)} is infeasible ({self.note}); "
+                "it has no objective values"
+            )
+        for name, measured in self.objective_values:
+            if name == objective:
+                return measured
+        measured_names = ", ".join(name for name, _ in self.objective_values)
+        raise AnalysisError(
+            f"objective {objective!r} was not measured for this candidate "
+            f"(measured: {measured_names or '<none>'})"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (used by ``repro tune --json``)."""
+        return {
+            "point": dict(self.point),
+            "strategy": self.strategy,
+            "num_chips": self.num_chips,
+            "feasible": self.feasible,
+            "objectives": dict(self.objective_values),
+            "block_cycles": self.block_cycles,
+            "block_runtime_seconds": self.block_runtime_seconds,
+            "block_energy_joules": self.block_energy_joules,
+            "note": self.note,
+        }
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+class DesignEvaluator:
+    """Evaluates search-space points through one shared session.
+
+    Every unique point is materialised, run, and (when any objective
+    needs it) served exactly once; repeats return the cached
+    :class:`Candidate`.  Together with the session's own content-hash
+    memoisation this guarantees at most one simulator evaluation per
+    unique configuration regardless of how often a searcher revisits it.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        workload: Workload,
+        objectives: Sequence[Objective],
+        *,
+        serving: Optional[ServingScenario] = None,
+        default_strategy: str = "paper",
+    ) -> None:
+        if not objectives:
+            raise AnalysisError("the evaluator needs at least one objective")
+        self.session = session
+        self.workload = workload
+        self.objectives = tuple(objectives)
+        self.default_strategy = default_strategy
+        needs_serving = any(obj.requires_serving for obj in self.objectives)
+        self.serving = serving if serving is not None else (
+            ServingScenario() if needs_serving else None
+        )
+        self._needs_serving = needs_serving
+        self._candidates: Dict[Tuple[Tuple[str, Value], ...], Candidate] = {}
+        self._requested = 0
+
+    @property
+    def history(self) -> Tuple[Candidate, ...]:
+        """Unique evaluated candidates, in first-evaluation order."""
+        return tuple(self._candidates.values())
+
+    @property
+    def evaluations_requested(self) -> int:
+        """Total :meth:`evaluate` calls, including cache-hit repeats."""
+        return self._requested
+
+    def evaluate(self, point: Mapping[str, Value]) -> Candidate:
+        """Measure one point (memoised by canonical point identity)."""
+        self._requested += 1
+        key = point_key(point)
+        cached = self._candidates.get(key)
+        if cached is not None:
+            return cached
+        try:
+            design = materialise(point, default_strategy=self.default_strategy)
+            result = self.session.run(
+                self.workload, design.strategy, platform=design.platform
+            )
+            serving_report = (
+                self._serve(design) if self._needs_serving else None
+            )
+        except (PartitioningError, MemoryCapacityError, SchedulingError) as error:
+            candidate = Candidate(
+                point=key,
+                strategy=str(point.get("strategy", self.default_strategy)),
+                num_chips=int(point.get("chips", 8)),
+                feasible=False,
+                note=f"{type(error).__name__}: {error}",
+            )
+            self._candidates[key] = candidate
+            return candidate
+        measurement = Measurement(
+            design=design, result=result, serving=serving_report
+        )
+        values = tuple(
+            (objective.name, float(objective.value(measurement)))
+            for objective in self.objectives
+        )
+        candidate = Candidate(
+            point=key,
+            strategy=design.strategy,
+            num_chips=design.platform.num_chips,
+            feasible=True,
+            objective_values=values,
+            block_cycles=result.block_cycles,
+            block_runtime_seconds=result.block_runtime_seconds,
+            block_energy_joules=result.block_energy_joules,
+        )
+        self._candidates[key] = candidate
+        return candidate
+
+    def _serve(self, design: DesignPoint):
+        scenario = self.serving
+        assert scenario is not None
+        return self.session.serve(
+            self.workload.config,
+            scenario.trace(),
+            policy=scenario.policy,
+            strategy=design.strategy,
+            platform=design.platform,
+            seed=scenario.seed,
+            max_context=scenario.max_context,
+            slo_targets=(scenario.ttft_slo_s,),
+        )
+
+
+# ----------------------------------------------------------------------
+# Tune result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one tuning run — the ``Session.tune`` deliverable.
+
+    Attributes:
+        workload: The tuned workload.
+        searcher: Canonical name of the search algorithm.
+        space: The searched space.
+        seed: The search seed.
+        budget: The evaluation budget the searcher was granted.
+        objectives: The Pareto objectives, in request order.
+        constraints: The feasibility constraints.
+        candidates: Unique evaluated candidates, in evaluation order.
+        front: The constraint-feasible Pareto front, in evaluation order.
+        evaluations_requested: Searcher evaluation calls, repeats included.
+        cache: The session's memoisation statistics after the run.
+    """
+
+    workload: Workload
+    searcher: str
+    space: SearchSpace
+    seed: int
+    budget: int
+    objectives: Tuple[Objective, ...]
+    constraints: Tuple[Constraint, ...]
+    candidates: Tuple[Candidate, ...]
+    front: Tuple[Candidate, ...]
+    evaluations_requested: int
+    cache: CacheInfo
+
+    @property
+    def objective_names(self) -> Tuple[str, ...]:
+        """Names of the Pareto objectives, in request order."""
+        return tuple(objective.name for objective in self.objectives)
+
+    def feasible(self) -> Tuple[Candidate, ...]:
+        """Candidates that evaluated and satisfy every constraint."""
+        return tuple(filter_constraints(self.candidates, self.constraints))
+
+    def best(self, objective: Optional[str] = None) -> Candidate:
+        """The best feasible candidate by one objective (default: the first).
+
+        Raises:
+            AnalysisError: If no candidate is feasible, or the objective
+                is not part of this run.
+        """
+        name = objective if objective is not None else self.objective_names[0]
+        if name not in self.objective_names:
+            raise AnalysisError(
+                f"objective {name!r} is not part of this tuning run "
+                f"(objectives: {', '.join(self.objective_names)})"
+            )
+        eligible = self.feasible()
+        if not eligible:
+            raise AnalysisError(
+                "no feasible candidate: every evaluated point was "
+                "infeasible or violated a constraint"
+            )
+        spec = next(obj for obj in self.objectives if obj.name == name)
+        chooser = min if spec.sense is Sense.MIN else max
+        return chooser(eligible, key=lambda candidate: candidate.value(name))
+
+    def render(self) -> str:
+        """Plain-text summary: run header plus the Pareto-front table."""
+        from ..analysis.tables import format_table
+
+        lines = [
+            (
+                f"Tuned {self.workload.name} with searcher "
+                f"'{self.searcher}' (seed {self.seed}): "
+                f"{len(self.candidates)} unique / "
+                f"{self.evaluations_requested} requested evaluations "
+                f"of budget {self.budget}"
+            ),
+            (
+                f"  objectives : "
+                + ", ".join(
+                    f"{obj.name} ({obj.sense.value})" for obj in self.objectives
+                )
+            ),
+        ]
+        if self.constraints:
+            lines.append(
+                "  constraints: "
+                + ", ".join(constraint.render() for constraint in self.constraints)
+            )
+        lines.append(
+            f"  cache      : {self.cache.hits} hits, "
+            f"{self.cache.misses} misses, {self.cache.size} entries"
+        )
+        if not self.front:
+            lines.append("  Pareto front: empty (no feasible candidate)")
+            return "\n".join(lines)
+        axis_names = list(self.space.names)
+        header = axis_names + [
+            f"{obj.name} ({obj.sense.value})" for obj in self.objectives
+        ]
+        first = self.objectives[0]
+        ordered = sorted(
+            self.front,
+            key=lambda candidate: (
+                candidate.value(first.name)
+                * (1.0 if first.sense is Sense.MIN else -1.0)
+            ),
+        )
+        rows = []
+        for candidate in ordered:
+            point = candidate.point_dict
+            row = [_format_value(point.get(name)) for name in axis_names]
+            row += [
+                f"{candidate.value(obj.name):.6g}" for obj in self.objectives
+            ]
+            rows.append(row)
+        lines.append(f"  Pareto front ({len(self.front)} points):")
+        lines.append(format_table(header, rows))
+        return "\n".join(lines)
+
+
+def _format_value(value: Optional[Value]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# The tuning run
+# ----------------------------------------------------------------------
+def run_tune(
+    session: Session,
+    workload: Workload,
+    space: Optional[SearchSpace] = None,
+    *,
+    searcher: str = "random",
+    budget: int = 24,
+    seed: int = 0,
+    objectives: Sequence[Union[str, Objective]] = ("latency", "energy"),
+    constraints: Sequence[Union[str, Constraint]] = (),
+    serving: Optional[ServingScenario] = None,
+) -> TuneResult:
+    """Search a design space for ``workload`` and extract the Pareto front.
+
+    This is the engine behind :meth:`repro.api.Session.tune`; see there
+    for the user-facing contract.  Constraint objectives that are not
+    also Pareto objectives are measured anyway (so a run can constrain on
+    ``slo`` while trading off ``latency`` vs ``hw_cost``).
+    """
+    from .searchers import get_searcher
+
+    if budget <= 0:
+        raise AnalysisError(f"tuning budget must be positive, got {budget}")
+    resolved_space = space if space is not None else default_space()
+    pareto_objectives = tuple(
+        get_objective(obj) if isinstance(obj, str) else obj for obj in objectives
+    )
+    if not pareto_objectives:
+        raise AnalysisError("tuning needs at least one objective")
+    resolved_constraints = tuple(
+        parse_constraint(constraint) if isinstance(constraint, str) else constraint
+        for constraint in constraints
+    )
+    measured = list(pareto_objectives)
+    measured_names = {objective.name for objective in measured}
+    for constraint in resolved_constraints:
+        if constraint.objective not in measured_names:
+            measured.append(get_objective(constraint.objective))
+            measured_names.add(constraint.objective)
+    algorithm = get_searcher(searcher)
+    evaluator = DesignEvaluator(
+        session, workload, tuple(measured), serving=serving
+    )
+    algorithm.search(
+        resolved_space,
+        evaluator.evaluate,
+        pareto_objectives,
+        budget=budget,
+        rng=random.Random(seed),
+    )
+    candidates = evaluator.history
+    eligible = filter_constraints(candidates, resolved_constraints)
+    front = tuple(pareto_front(eligible, pareto_objectives))
+    return TuneResult(
+        workload=workload,
+        searcher=algorithm.name,
+        space=resolved_space,
+        seed=seed,
+        budget=budget,
+        objectives=pareto_objectives,
+        constraints=resolved_constraints,
+        candidates=candidates,
+        front=front,
+        evaluations_requested=evaluator.evaluations_requested,
+        cache=session.cache_info(),
+    )

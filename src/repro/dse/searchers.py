@@ -1,0 +1,345 @@
+"""Pluggable search algorithms and their registry.
+
+A *searcher* decides which points of a :class:`~repro.dse.space.
+SearchSpace` get evaluated within a budget.  Searchers register by name
+with :func:`register_searcher` — mirroring the strategy/policy/objective
+registries — so a new search idea becomes available to
+:meth:`repro.api.Session.tune` and the ``repro tune`` CLI by writing one
+class::
+
+    from repro.dse import register_searcher
+
+    @register_searcher
+    class HalvingSearcher:
+        name = "halving"
+        label = "Successive halving"
+
+        def search(self, space, evaluate, objectives, *, budget, rng):
+            ...
+
+The ``evaluate`` callable maps a point to a measured
+:class:`~repro.dse.engine.Candidate` and is memoised per unique point, so
+revisiting a configuration costs nothing; ``budget`` caps the number of
+``evaluate`` calls (repeats included).  All randomness must come from the
+passed :class:`random.Random`, which is what makes every shipped searcher
+bit-reproducible for equal seeds.
+
+Four searchers ship: exhaustive ``grid``, uniform ``random``,
+simulated-annealing ``anneal`` (Metropolis acceptance over a normalised
+scalarisation of the objectives), and a small ``evolution`` strategy
+(mutation + uniform crossover with non-dominated survivor selection).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..errors import ConfigurationError, UnknownSearcherError
+from .objectives import Objective
+from .pareto import objective_vector
+from .space import Point, SearchSpace
+
+__all__ = [
+    "AnnealingSearcher",
+    "EvolutionarySearcher",
+    "GridSearcher",
+    "RandomSearcher",
+    "SearchAlgorithm",
+    "get_searcher",
+    "list_searchers",
+    "register_searcher",
+    "unregister_searcher",
+]
+
+#: Signature of the (memoised) point evaluator a searcher drives.
+Evaluate = Callable[[Point], "object"]
+
+
+@runtime_checkable
+class SearchAlgorithm(Protocol):
+    """What the registry requires of a search algorithm.
+
+    Attributes:
+        name: Registry key (lowercase snake_case by convention).
+        label: Human-readable description shown by the CLI.
+    """
+
+    name: str
+    label: str
+
+    def search(
+        self,
+        space: SearchSpace,
+        evaluate: Evaluate,
+        objectives: Sequence[Objective],
+        *,
+        budget: int,
+        rng: random.Random,
+    ) -> Sequence[object]:
+        """Drive up to ``budget`` evaluations; return the visited candidates."""
+        ...
+
+
+_SEARCHERS: Dict[str, SearchAlgorithm] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_searcher(searcher):
+    """Class decorator (or direct call) registering a search algorithm.
+
+    Accepts either a searcher *class* (instantiated with no arguments) or
+    a ready-made instance; registered under its ``name`` plus any names in
+    an optional ``aliases`` attribute.  Returns the argument unchanged so
+    it can be used as a decorator.
+
+    Raises:
+        ConfigurationError: If the name is missing, already taken, or the
+            object does not implement :class:`SearchAlgorithm`.
+    """
+    instance = searcher() if isinstance(searcher, type) else searcher
+    name = getattr(instance, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            "a searcher must define a non-empty string `name` attribute"
+        )
+    if not isinstance(instance, SearchAlgorithm):
+        raise ConfigurationError(
+            f"searcher {name!r} does not implement the SearchAlgorithm "
+            "protocol (name, label, search)"
+        )
+    for key in (name, *getattr(instance, "aliases", ())):
+        if key in _SEARCHERS or key in _ALIASES:
+            raise ConfigurationError(f"searcher name {key!r} already registered")
+    _SEARCHERS[name] = instance
+    for alias in getattr(instance, "aliases", ()):
+        _ALIASES[alias] = name
+    return searcher
+
+
+def unregister_searcher(name: str) -> None:
+    """Remove a searcher (and its aliases) from the registry."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _SEARCHERS:
+        raise UnknownSearcherError(_unknown_message(name))
+    instance = _SEARCHERS.pop(canonical)
+    for alias in getattr(instance, "aliases", ()):
+        _ALIASES.pop(alias, None)
+
+
+def get_searcher(name: str) -> SearchAlgorithm:
+    """Look up a registered searcher by name or alias.
+
+    Raises:
+        UnknownSearcherError: If no searcher is registered under ``name``;
+            the message lists the available names.
+    """
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _SEARCHERS[canonical]
+    except KeyError:
+        raise UnknownSearcherError(_unknown_message(name)) from None
+
+
+def list_searchers() -> List[str]:
+    """Sorted canonical names of all registered searchers."""
+    return sorted(_SEARCHERS)
+
+
+def _unknown_message(name: str) -> str:
+    known = ", ".join(list_searchers()) or "<none>"
+    return f"unknown searcher {name!r}; registered: {known}"
+
+
+# ----------------------------------------------------------------------
+# Scalarisation (annealing)
+# ----------------------------------------------------------------------
+class _RunningScalariser:
+    """Normalised weighted sum over the objective values seen so far.
+
+    Values are folded into minimisation space, then each objective is
+    min-max normalised against the running bounds; infeasible candidates
+    scalarise to ``+inf`` so any feasible neighbour beats them.
+    """
+
+    def __init__(self, objectives: Sequence[Objective]) -> None:
+        self.objectives = tuple(objectives)
+        self._bounds: Dict[str, Tuple[float, float]] = {}
+
+    def observe(self, candidate) -> None:
+        if not candidate.feasible:
+            return
+        for objective, value in zip(
+            self.objectives, objective_vector(candidate, self.objectives)
+        ):
+            low, high = self._bounds.get(objective.name, (value, value))
+            self._bounds[objective.name] = (min(low, value), max(high, value))
+
+    def scalar(self, candidate) -> float:
+        if not candidate.feasible:
+            return math.inf
+        total = 0.0
+        for objective, value in zip(
+            self.objectives, objective_vector(candidate, self.objectives)
+        ):
+            low, high = self._bounds.get(objective.name, (value, value))
+            if high > low:
+                total += (value - low) / (high - low)
+        return total / len(self.objectives)
+
+
+# ----------------------------------------------------------------------
+# Shipped searchers
+# ----------------------------------------------------------------------
+@register_searcher
+class GridSearcher:
+    """Exhaustive enumeration of a finite space, truncated at the budget."""
+
+    name = "grid"
+    aliases = ("exhaustive",)
+    label = "Exhaustive grid enumeration (finite spaces)"
+
+    def search(self, space, evaluate, objectives, *, budget, rng):
+        if space.size is None:
+            raise ConfigurationError(
+                "grid search needs a finite space; give every float axis "
+                "explicit levels (or use the random/anneal searchers)"
+            )
+        visited = []
+        for count, point in enumerate(space.grid()):
+            if count >= budget:
+                break
+            visited.append(evaluate(point))
+        return visited
+
+
+@register_searcher
+class RandomSearcher:
+    """Uniform random sampling; duplicates hit the evaluator's cache."""
+
+    name = "random"
+    label = "Uniform random sampling"
+
+    def search(self, space, evaluate, objectives, *, budget, rng):
+        return [evaluate(space.sample(rng)) for _ in range(budget)]
+
+
+@register_searcher
+class AnnealingSearcher:
+    """Simulated annealing on a normalised scalarisation of the objectives.
+
+    A geometric temperature schedule cools from 1.0 to 0.01 across the
+    budget; moves are single-axis mutations, accepted when they improve
+    the scalarised objective or with Metropolis probability otherwise.
+    """
+
+    name = "anneal"
+    aliases = ("annealing", "simulated_annealing")
+    label = "Simulated annealing (scalarised objectives)"
+
+    initial_temperature = 1.0
+    final_temperature = 0.01
+
+    def search(self, space, evaluate, objectives, *, budget, rng):
+        scalariser = _RunningScalariser(objectives)
+        current = evaluate(space.sample(rng))
+        scalariser.observe(current)
+        visited = [current]
+        if budget <= 1:
+            return visited
+        cooling = (self.final_temperature / self.initial_temperature) ** (
+            1.0 / (budget - 1)
+        )
+        temperature = self.initial_temperature
+        for _ in range(budget - 1):
+            candidate = evaluate(space.mutate(current.point_dict, rng))
+            scalariser.observe(candidate)
+            visited.append(candidate)
+            delta = scalariser.scalar(candidate) - scalariser.scalar(current)
+            if delta <= 0 or (
+                math.isfinite(delta)
+                and rng.random() < math.exp(-delta / temperature)
+            ):
+                current = candidate
+            temperature *= cooling
+        return visited
+
+
+@register_searcher
+class EvolutionarySearcher:
+    """A small (mu + lambda) evolution strategy with Pareto selection.
+
+    Parents are drawn uniformly from the surviving population; offspring
+    come from uniform crossover (probability 0.5) or single-axis
+    mutation.  Survivor selection keeps the ``population_size`` candidates
+    with the fewest dominators (ties broken by age), so the population
+    drifts toward the Pareto front without collapsing to one scalar.
+    """
+
+    name = "evolution"
+    aliases = ("evolutionary", "ga")
+    label = "Evolutionary search (mutation + crossover, Pareto selection)"
+
+    population_size = 4
+    crossover_probability = 0.5
+
+    def search(self, space, evaluate, objectives, *, budget, rng):
+        mu = min(self.population_size, budget)
+        visited = [evaluate(space.sample(rng)) for _ in range(mu)]
+        population = list(visited)
+        evaluations = mu
+        while evaluations < budget:
+            parent = population[rng.randrange(len(population))]
+            if (
+                len(population) > 1
+                and rng.random() < self.crossover_probability
+            ):
+                other = population[rng.randrange(len(population))]
+                child_point = self._crossover(
+                    space, parent.point_dict, other.point_dict, rng
+                )
+            else:
+                child_point = space.mutate(parent.point_dict, rng)
+            child = evaluate(child_point)
+            visited.append(child)
+            population.append(child)
+            evaluations += 1
+            population = self._select(population, objectives, mu)
+        return visited
+
+    @staticmethod
+    def _crossover(
+        space: SearchSpace, a: Point, b: Point, rng: random.Random
+    ) -> Point:
+        return {
+            axis.name: (a if rng.random() < 0.5 else b)[axis.name]
+            for axis in space.axes
+        }
+
+    @staticmethod
+    def _select(population, objectives, mu):
+        feasible = [c for c in population if c.feasible]
+
+        def rank(entry):
+            index, candidate = entry
+            if not candidate.feasible:
+                return (math.inf, index)
+            vector = objective_vector(candidate, objectives)
+            dominators = sum(
+                1
+                for other in feasible
+                if other is not candidate
+                and all(
+                    x <= y
+                    for x, y in zip(objective_vector(other, objectives), vector)
+                )
+                and any(
+                    x < y
+                    for x, y in zip(objective_vector(other, objectives), vector)
+                )
+            )
+            return (dominators, index)
+
+        ordered = sorted(enumerate(population), key=rank)
+        return [candidate for _, candidate in ordered[:mu]]

@@ -59,3 +59,27 @@ class UnknownPolicyError(ConfigurationError):
     The message lists the registered names so that callers (and CLI users)
     can see what is available without importing the registry module.
     """
+
+
+class UnknownSearcherError(ConfigurationError):
+    """A search-algorithm name is not present in the DSE registry.
+
+    The message lists the registered names so that callers (and CLI users)
+    can see what is available without importing the registry module.
+    """
+
+
+class UnknownObjectiveError(ConfigurationError):
+    """An objective name is not present in the DSE objective registry.
+
+    The message lists the registered names so that callers (and CLI users)
+    can see what is available without importing the registry module.
+    """
+
+
+class UnknownPlatformPresetError(ConfigurationError):
+    """A hardware-preset name is not present in the platform registry.
+
+    The message lists the registered names so that callers (and CLI users)
+    can see what is available without importing the registry module.
+    """

@@ -1,5 +1,6 @@
 """Experiment drivers: one module per figure/table of the paper."""
 
+from .dse import DseStudyPoint, DseStudyResult, render_dse, run_dse
 from .fig4 import Fig4Result, render_fig4, run_fig4, run_fig4a, run_fig4b, run_fig4c
 from .fig5 import Fig5Result, render_fig5, run_fig5
 from .fig6 import Fig6Result, render_fig6, run_fig6
@@ -13,6 +14,8 @@ from .serving import (
 from .table1 import Table1Result, render_table1, run_table1
 
 __all__ = [
+    "DseStudyPoint",
+    "DseStudyResult",
     "Fig4Result",
     "Fig5Result",
     "Fig6Result",
@@ -21,12 +24,14 @@ __all__ = [
     "ServingCapacityPoint",
     "ServingCapacityResult",
     "Table1Result",
+    "render_dse",
     "render_fig4",
     "render_fig5",
     "render_fig6",
     "render_headline",
     "render_serving",
     "render_table1",
+    "run_dse",
     "run_fig4",
     "run_fig4a",
     "run_fig4b",

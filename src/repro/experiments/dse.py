@@ -1,0 +1,193 @@
+"""Budget-vs-Pareto-front study: how much search does a deployer need?
+
+The DSE engine can enumerate the standard platform space exhaustively,
+which gives the *true* latency/hardware-cost Pareto front; the practical
+question is how close the cheaper searchers get on a fraction of that
+budget.  This experiment runs each registered stochastic searcher at a
+range of evaluation budgets against the exhaustive reference and reports
+the share of the true front each (searcher, budget) pair recovers — the
+number that tells a deployer whether 25 simulations are enough or the
+full grid is warranted.
+
+All runs share :func:`repro.api.default_session`, so a design point
+simulated by one searcher is a cache hit for every other searcher and
+budget (observable in the reported cache statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..api.session import default_session
+from ..dse.engine import TuneResult
+from ..dse.space import ChoiceAxis, FloatAxis, SearchSpace
+from ..graph.workload import Workload, autoregressive
+from ..models.tinyllama import tinyllama_42m
+
+__all__ = [
+    "DseStudyPoint",
+    "DseStudyResult",
+    "render_dse",
+    "run_dse",
+]
+
+#: Evaluation budgets of the study (the reference grid has 24 points).
+DEFAULT_BUDGETS: Tuple[int, ...] = (6, 12, 24)
+
+#: Compared stochastic searchers, in presentation order.
+DEFAULT_SEARCHERS: Tuple[str, ...] = ("random", "anneal", "evolution")
+
+#: The study's Pareto objectives.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("latency", "hw_cost")
+
+
+def study_space() -> SearchSpace:
+    """The finite 24-point platform space of the study."""
+    return SearchSpace(
+        axes=(
+            ChoiceAxis("chips", (1, 2, 4, 8)),
+            FloatAxis("link_gbps", 0.25, 1.0, levels=(0.25, 0.5, 1.0)),
+            ChoiceAxis("l2_kib", (2048, 4096)),
+            ChoiceAxis("strategy", ("paper",)),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class DseStudyPoint:
+    """One (searcher, budget) cell of the study matrix."""
+
+    searcher: str
+    budget: int
+    result: TuneResult
+    recovered_fraction: float
+
+    @property
+    def unique_evaluations(self) -> int:
+        """Distinct design points the searcher actually simulated."""
+        return len(self.result.candidates)
+
+    @property
+    def front_size(self) -> int:
+        """Size of the front the searcher believes it found."""
+        return len(self.result.front)
+
+
+@dataclass(frozen=True)
+class DseStudyResult:
+    """The full budget-vs-front matrix plus the exhaustive reference."""
+
+    workload: Workload
+    reference: TuneResult
+    points: Tuple[DseStudyPoint, ...]
+
+    def point(self, searcher: str, budget: int) -> DseStudyPoint:
+        """One cell of the matrix."""
+        for candidate in self.points:
+            if candidate.searcher == searcher and candidate.budget == budget:
+                return candidate
+        raise KeyError(f"no study point for searcher={searcher}, budget={budget}")
+
+    def searchers(self) -> Tuple[str, ...]:
+        ordered: Dict[str, None] = {}
+        for point in self.points:
+            ordered.setdefault(point.searcher, None)
+        return tuple(ordered)
+
+    def budgets(self) -> Tuple[int, ...]:
+        ordered: Dict[int, None] = {}
+        for point in self.points:
+            ordered.setdefault(point.budget, None)
+        return tuple(ordered)
+
+
+def run_dse(
+    *,
+    budgets: Tuple[int, ...] = DEFAULT_BUDGETS,
+    searchers: Tuple[str, ...] = DEFAULT_SEARCHERS,
+    objectives: Tuple[str, ...] = DEFAULT_OBJECTIVES,
+    seed: int = 0,
+) -> DseStudyResult:
+    """Run every searcher at every budget against the exhaustive reference."""
+    session = default_session()
+    workload = autoregressive(tinyllama_42m(), 128)
+    space = study_space()
+    grid_size = space.size
+    assert grid_size is not None
+    reference = session.tune(
+        workload,
+        space,
+        searcher="grid",
+        budget=grid_size,
+        seed=seed,
+        objectives=objectives,
+    )
+    reference_points = {candidate.point for candidate in reference.front}
+    points = []
+    for searcher in searchers:
+        for budget in budgets:
+            result = session.tune(
+                workload,
+                space,
+                searcher=searcher,
+                budget=budget,
+                seed=seed,
+                objectives=objectives,
+            )
+            found = {candidate.point for candidate in result.front}
+            recovered = (
+                len(found & reference_points) / len(reference_points)
+                if reference_points
+                else 1.0
+            )
+            points.append(
+                DseStudyPoint(
+                    searcher=searcher,
+                    budget=budget,
+                    result=result,
+                    recovered_fraction=recovered,
+                )
+            )
+    return DseStudyResult(
+        workload=workload, reference=reference, points=tuple(points)
+    )
+
+
+def render_dse(result: DseStudyResult) -> str:
+    """Plain-text matrix: recovered front share per searcher and budget."""
+    from ..analysis.tables import format_table
+
+    budgets = result.budgets()
+    header = ["Searcher"] + [f"budget {budget}" for budget in budgets]
+    rows = []
+    for searcher in result.searchers():
+        row = [searcher]
+        for budget in budgets:
+            point = result.point(searcher, budget)
+            row.append(
+                f"{point.recovered_fraction * 100:5.1f}% "
+                f"({point.unique_evaluations} evals)"
+            )
+        rows.append(row)
+    cache = result.points[-1].result.cache if result.points else None
+    lines = [
+        (
+            f"Budget vs. Pareto front on {result.workload.name} "
+            f"(space of {result.reference.space.size} points, "
+            f"reference front {len(result.reference.front)} points, "
+            f"objectives: {', '.join(result.reference.objective_names)})"
+        ),
+        format_table(header, rows),
+        "",
+        (
+            "Cells show the share of the exhaustive-grid Pareto front each "
+            "searcher recovers and the distinct designs it simulated."
+        ),
+    ]
+    if cache is not None:
+        lines.append(
+            f"shared session cache after the study: {cache.hits} hits, "
+            f"{cache.misses} misses ({cache.size} entries)"
+        )
+    return "\n".join(lines)

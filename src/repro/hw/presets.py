@@ -19,6 +19,10 @@ reproduction (documented in DESIGN.md and EXPERIMENTS.md):
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import ConfigurationError, UnknownPlatformPresetError
 from ..units import gigabytes_per_second, kib, mib
 from .chip import ChipModel
 from .cluster import ClusterModel
@@ -159,3 +163,132 @@ def siracusa_platform(
         link=mipi_link(),
         group_size=group_size,
     )
+
+
+def siracusa_fast_link_platform(num_chips: int) -> MultiChipPlatform:
+    """A what-if Siracusa system with a 2 GB/s chip-to-chip link.
+
+    Everything except the link bandwidth matches the paper's platform;
+    this is a hypothetical variant for sensitivity studies, not a
+    published configuration.
+    """
+    return MultiChipPlatform(
+        chip=siracusa_chip(),
+        num_chips=num_chips,
+        link=ChipToChipLink(
+            name="MIPI-2G",
+            bandwidth_bytes_per_s=gigabytes_per_second(2.0),
+            energy_pj_per_byte=MIPI_ENERGY_PJ_PER_BYTE,
+        ),
+        group_size=SIRACUSA_GROUP_SIZE,
+    )
+
+
+def siracusa_big_l2_platform(num_chips: int) -> MultiChipPlatform:
+    """A what-if Siracusa system with 4 MiB of L2 per chip.
+
+    Doubles the scratchpad (same runtime reserve) so the on-chip
+    weight-residency crossover moves to lower chip counts; a hypothetical
+    variant for sensitivity studies, not a published configuration.
+    """
+    chip = siracusa_chip()
+    memory = replace(chip.memory, l2=replace(chip.memory.l2, size_bytes=mib(4)))
+    return MultiChipPlatform(
+        chip=replace(chip, memory=memory),
+        num_chips=num_chips,
+        link=mipi_link(),
+        group_size=SIRACUSA_GROUP_SIZE,
+    )
+
+
+# ----------------------------------------------------------------------
+# Preset registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlatformPreset:
+    """A named, discoverable hardware configuration.
+
+    Attributes:
+        name: Registry key (``repro platforms`` lists them).
+        description: One-line provenance note (paper setup vs. what-if).
+        factory: Builds the platform from a chip count.
+        default_chips: Chip count the paper/preset is usually quoted at.
+        aliases: Alternative registry names.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[int], MultiChipPlatform]
+    default_chips: int = 8
+    aliases: Tuple[str, ...] = ()
+
+    def build(self, num_chips: int | None = None) -> MultiChipPlatform:
+        """Materialise the preset (at ``default_chips`` when unspecified)."""
+        return self.factory(num_chips if num_chips is not None else self.default_chips)
+
+
+_PRESETS: Dict[str, PlatformPreset] = {}
+_PRESET_ALIASES: Dict[str, str] = {}
+
+
+def register_platform_preset(preset: PlatformPreset) -> PlatformPreset:
+    """Register a platform preset under its name and aliases.
+
+    Returns the preset unchanged so call sites can keep a reference.
+
+    Raises:
+        ConfigurationError: If any name is already taken.
+    """
+    for key in (preset.name, *preset.aliases):
+        if key in _PRESETS or key in _PRESET_ALIASES:
+            raise ConfigurationError(f"platform preset {key!r} already registered")
+    _PRESETS[preset.name] = preset
+    for alias in preset.aliases:
+        _PRESET_ALIASES[alias] = preset.name
+    return preset
+
+
+def get_platform_preset(name: str) -> PlatformPreset:
+    """Look up a registered platform preset by name or alias.
+
+    Raises:
+        UnknownPlatformPresetError: If no preset is registered under
+            ``name``; the message lists the available names.
+    """
+    canonical = _PRESET_ALIASES.get(name, name)
+    try:
+        return _PRESETS[canonical]
+    except KeyError:
+        known = ", ".join(list_platform_presets()) or "<none>"
+        raise UnknownPlatformPresetError(
+            f"unknown platform preset {name!r}; registered: {known}"
+        ) from None
+
+
+def list_platform_presets() -> List[str]:
+    """Sorted canonical names of all registered platform presets."""
+    return sorted(_PRESETS)
+
+
+register_platform_preset(
+    PlatformPreset(
+        name="siracusa-mipi",
+        description="The paper's platform: Siracusa chips, 0.5 GB/s MIPI links",
+        factory=siracusa_platform,
+        aliases=("siracusa",),
+    )
+)
+register_platform_preset(
+    PlatformPreset(
+        name="siracusa-fast-link",
+        description="What-if variant: 2 GB/s chip-to-chip links",
+        factory=siracusa_fast_link_platform,
+    )
+)
+register_platform_preset(
+    PlatformPreset(
+        name="siracusa-big-l2",
+        description="What-if variant: 4 MiB L2 per chip",
+        factory=siracusa_big_l2_platform,
+    )
+)

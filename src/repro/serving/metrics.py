@@ -285,8 +285,15 @@ class ServingReport:
     result: ServingResult
     metrics: ServingMetrics
 
-    def to_dict(self, *, include_records: bool = True) -> Dict[str, Any]:
-        """JSON-serialisable form (the ``repro serve --json`` document)."""
+    def to_dict(
+        self, *, include_records: bool = True, cache=None
+    ) -> Dict[str, Any]:
+        """JSON-serialisable form (the ``repro serve --json`` document).
+
+        Pass the evaluating session's
+        :meth:`~repro.api.Session.cache_info` as ``cache`` to make the
+        phase-cost memoisation reuse observable in the output.
+        """
         document: Dict[str, Any] = {
             "model": self.model,
             "num_chips": self.num_chips,
@@ -295,6 +302,8 @@ class ServingReport:
             "seed": self.seed,
             "metrics": self.metrics.to_dict(),
         }
+        if cache is not None:
+            document["cache"] = dict(cache._asdict())
         if include_records:
             ordered = sorted(
                 self.result.records, key=lambda r: r.request.request_id
@@ -302,10 +311,12 @@ class ServingReport:
             document["records"] = [record.to_dict() for record in ordered]
         return document
 
-    def to_json(self, *, indent: int = 2, include_records: bool = True) -> str:
+    def to_json(
+        self, *, indent: int = 2, include_records: bool = True, cache=None
+    ) -> str:
         """Deterministic JSON document (sorted keys, stable float reprs)."""
         return json.dumps(
-            self.to_dict(include_records=include_records),
+            self.to_dict(include_records=include_records, cache=cache),
             indent=indent,
             sort_keys=True,
         )

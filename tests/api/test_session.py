@@ -121,6 +121,17 @@ class TestSweep:
         with pytest.raises(AnalysisError):
             session.sweep(workload, (0,))
 
+    def test_sweep_validates_chips_before_resolving_the_strategy(
+        self, session, workload
+    ):
+        # A bad chip count must report the chip-count error even when
+        # paired with an unknown strategy name (validation order).
+        with pytest.raises(AnalysisError, match="chip count") as excinfo:
+            session.sweep(workload, (0,), strategy="not-a-strategy")
+        assert not isinstance(excinfo.value, UnknownStrategyError)
+        with pytest.raises(UnknownStrategyError):
+            session.sweep(workload, (1, 2), strategy="not-a-strategy")
+
     def test_sweep_any_registered_strategy(self, session, workload):
         sweep = session.sweep(workload, (1, 8), strategy="pipeline_parallel")
         assert sweep.strategy == "pipeline_parallel"

@@ -232,3 +232,46 @@ class TestServingCapacity:
         assert "Capacity vs. SLO" in text
         assert "max sustainable rate" in text
         assert "fifo" in text and "continuous" in text
+
+
+class TestDseStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments.dse import run_dse
+
+        # A trimmed matrix keeps the test fast; the defaults drive the CLI.
+        return run_dse(budgets=(6, 24), searchers=("random", "anneal"))
+
+    def test_matrix_covers_every_cell(self, study):
+        assert study.searchers() == ("random", "anneal")
+        assert study.budgets() == (6, 24)
+        assert len(study.points) == 4
+        with pytest.raises(KeyError):
+            study.point("grid", 6)
+
+    def test_reference_front_is_exhaustive_and_non_trivial(self, study):
+        assert len(study.reference.candidates) == study.reference.space.size
+        assert len(study.reference.front) >= 2
+
+    def test_recovered_fraction_is_a_valid_share(self, study):
+        for point in study.points:
+            assert 0.0 <= point.recovered_fraction <= 1.0
+            assert point.unique_evaluations <= point.budget
+
+    def test_bigger_random_budgets_never_recover_less(self, study):
+        # Only 'random' guarantees this: with one seed its budget-24 visit
+        # set is a superset of the budget-6 one, and a true-front point can
+        # never be displaced by new candidates.  Annealing's trajectory
+        # depends on the budget (cooling schedule), so it carries no such
+        # invariant.
+        small = study.point("random", 6)
+        large = study.point("random", 24)
+        assert large.recovered_fraction >= small.recovered_fraction
+
+    def test_render_shows_the_matrix(self, study):
+        from repro.experiments.dse import render_dse
+
+        text = render_dse(study)
+        assert "Budget vs. Pareto front" in text
+        assert "random" in text and "anneal" in text
+        assert "cache" in text

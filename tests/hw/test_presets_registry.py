@@ -1,0 +1,73 @@
+"""Unit tests for the discoverable platform-preset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownPlatformPresetError
+from repro.hw.presets import (
+    MIPI_BANDWIDTH_BYTES_PER_S,
+    PlatformPreset,
+    get_platform_preset,
+    list_platform_presets,
+    register_platform_preset,
+    siracusa_platform,
+)
+from repro.units import gigabytes_per_second, mib
+
+
+class TestRegistry:
+    def test_shipped_presets(self):
+        assert list_platform_presets() == [
+            "siracusa-big-l2",
+            "siracusa-fast-link",
+            "siracusa-mipi",
+        ]
+
+    def test_alias_resolves_to_the_paper_platform(self):
+        assert get_platform_preset("siracusa") is get_platform_preset(
+            "siracusa-mipi"
+        )
+
+    def test_unknown_preset_lists_registered_names(self):
+        with pytest.raises(UnknownPlatformPresetError, match="siracusa-mipi"):
+            get_platform_preset("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_platform_preset(
+                PlatformPreset(
+                    name="siracusa-mipi",
+                    description="duplicate",
+                    factory=siracusa_platform,
+                )
+            )
+
+
+class TestPresetPlatforms:
+    def test_paper_preset_matches_the_direct_factory(self):
+        preset = get_platform_preset("siracusa-mipi")
+        built = preset.build(8)
+        assert built == siracusa_platform(8)
+        assert preset.build().num_chips == preset.default_chips
+
+    def test_fast_link_preset_only_changes_the_link(self):
+        fast = get_platform_preset("siracusa-fast-link").build(4)
+        paper = siracusa_platform(4)
+        assert fast.link.bandwidth_bytes_per_s == pytest.approx(
+            gigabytes_per_second(2.0)
+        )
+        assert paper.link.bandwidth_bytes_per_s == pytest.approx(
+            MIPI_BANDWIDTH_BYTES_PER_S
+        )
+        assert fast.chip == paper.chip
+        assert fast.link.energy_pj_per_byte == paper.link.energy_pj_per_byte
+
+    def test_big_l2_preset_only_changes_the_scratchpad(self):
+        big = get_platform_preset("siracusa-big-l2").build(4)
+        paper = siracusa_platform(4)
+        assert big.chip.l2.size_bytes == mib(4)
+        assert big.chip.l2_runtime_reserve_bytes == (
+            paper.chip.l2_runtime_reserve_bytes
+        )
+        assert big.link == paper.link

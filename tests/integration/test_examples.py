@@ -56,3 +56,10 @@ class TestExamples:
         assert "SLO attainment" in output
         assert "bursty" in output
         assert "p99 TTFT" in output
+
+    def test_platform_tuning_runs(self):
+        output = run_example("platform_tuning.py")
+        assert "Pareto front" in output
+        assert "Cheapest platform" in output
+        assert "recovered" in output
+        assert "shared session cache" in output

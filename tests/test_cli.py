@@ -170,6 +170,94 @@ class TestJsonOutput:
                   "--output", str(tmp_path / "sweep.csv")])
 
 
+class TestDiscoveryCommands:
+    def test_platforms_lists_presets_with_headline_parameters(self, capsys):
+        assert main(["platforms"]) == 0
+        output = capsys.readouterr().out
+        assert "siracusa-mipi" in output
+        assert "siracusa-fast-link" in output
+        assert "siracusa-big-l2" in output
+        assert "cores=8" in output
+        assert "GB/s" in output
+        assert "pJ/B" in output
+
+    def test_searchers_lists_searchers_and_objectives(self, capsys):
+        assert main(["searchers"]) == 0
+        output = capsys.readouterr().out
+        for name in ("grid", "random", "anneal", "evolution"):
+            assert name in output
+        assert "objectives:" in output
+        for name in ("latency", "energy", "hw_cost", "slo"):
+            assert name in output
+
+
+class TestTuneCommand:
+    TUNE = ["tune", "--budget", "8", "--seed", "0",
+            "--chips", "1", "8", "--link-gbps", "0.5", "1.0",
+            "--l2-kib", "2048", "--freq-mhz", "500"]
+
+    def test_tune_prints_the_front(self, capsys):
+        assert main(self.TUNE) == 0
+        output = capsys.readouterr().out
+        assert "Pareto front" in output
+        assert "latency (min)" in output
+        assert "cache" in output
+
+    def test_tune_json_is_byte_identical_across_runs(self, capsys):
+        assert main(self.TUNE + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.TUNE + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["seed"] == 0
+        assert document["budget"] == 8
+        assert document["searcher"] == "random"
+        assert document["front"]
+        assert document["cache"]["misses"] == len(document["candidates"])
+        assert document["evaluations_requested"] == 8
+
+    def test_tune_with_constraint_and_searcher(self, capsys):
+        assert main(
+            self.TUNE + ["--searcher", "anneal",
+                         "--objectives", "hw_cost", "latency",
+                         "--constraint", "latency<=1.0", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["searcher"] == "anneal"
+        assert document["constraints"] == ["latency<=1"]
+        assert [o["name"] for o in document["objectives"]] == [
+            "hw_cost", "latency",
+        ]
+
+    def test_tune_unknown_searcher_errors(self):
+        with pytest.raises(Exception) as excinfo:
+            main(self.TUNE + ["--searcher", "bogus"])
+        assert "bogus" in str(excinfo.value)
+
+    def test_tune_unknown_objective_errors(self):
+        with pytest.raises(Exception) as excinfo:
+            main(self.TUNE + ["--objectives", "karma"])
+        assert "karma" in str(excinfo.value)
+
+
+class TestCacheVisibility:
+    def test_sweep_json_reports_cache_statistics(self, capsys):
+        assert main(["sweep", "--chips", "1", "8", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["cache"] == {"hits": 0, "misses": 2, "size": 2}
+
+    def test_serve_json_reports_cache_statistics(self, capsys):
+        assert main(
+            ["serve", "--model", "tinyllama", "--arrival-rate", "2",
+             "--duration", "20", "--seed", "0", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        cache = document["cache"]
+        assert cache["misses"] > 0
+        assert cache["size"] == cache["misses"]
+
+
 class TestServeCommand:
     SERVE = ["serve", "--model", "tinyllama", "--arrival-rate", "2",
              "--duration", "20", "--policy", "fifo", "--seed", "0"]
