@@ -123,7 +123,7 @@ from .models import (
 )
 from .sim import MultiChipSimulator, SimulationResult, simulate_block
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BlockPartition",

@@ -30,7 +30,7 @@ from ..energy.model import EnergyModel, EnergyReport
 from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
 from ..kernels.library import KernelLibrary
-from ..sim.simulator import MultiChipSimulator
+from ..sim.simulator import simulate_block
 from ..sim.trace import SimulationResult
 
 
@@ -174,7 +174,7 @@ def evaluate_block(
         prefetch_accounting=prefetch_accounting,
     )
     program = scheduler.build(workload)
-    simulation = MultiChipSimulator(program=program, record_events=record_events).run()
+    simulation = simulate_block(program, record_events=record_events)
     if energy_model is None:
         energy_model = EnergyModel(platform)
     energy = energy_model.from_simulation(simulation)

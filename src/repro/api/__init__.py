@@ -7,13 +7,23 @@ One front door for the paper's partitioning scheme and every baseline:
   everywhere by name (``Session.run``, ``Session.compare``, the CLI),
 * :class:`EvalResult` — the single result schema every strategy returns,
 * :class:`Session` — runs, sweeps, and compares strategies with
-  content-hash memoisation and optional process-pool fan-out.
+  content-hash memoisation and optional process-pool fan-out,
+* :class:`EvalCache` — the persistent cross-process layer behind the
+  memoisation (``Session(cache_dir=...)``, shared by CLI invocations,
+  sweep workers, serving cost models, and DSE searchers).
 
 See ``docs/API.md`` for the full protocol description and the migration
 guide from the legacy ``evaluate_block``/``compare_approaches`` entry
 points (which remain available as thin shims over this package).
 """
 
+from .cache import (
+    CacheStats,
+    EvalCache,
+    default_cache_dir,
+    open_default_cache,
+    persistent_cache_disabled,
+)
 from .registry import (
     EnergyModelFactory,
     EvalOptions,
@@ -32,12 +42,15 @@ from .session import (
     Session,
     content_hash,
     default_session,
+    set_default_session,
 )
 
 __all__ = [
     "BASELINE_STRATEGIES",
     "CacheInfo",
+    "CacheStats",
     "Comparison",
+    "EvalCache",
     "EnergyModelFactory",
     "EvalOptions",
     "EvalResult",
@@ -46,9 +59,13 @@ __all__ = [
     "PartitionStrategy",
     "Session",
     "content_hash",
+    "default_cache_dir",
     "default_session",
     "get_strategy",
+    "open_default_cache",
+    "persistent_cache_disabled",
     "list_strategies",
     "register_strategy",
+    "set_default_session",
     "unregister_strategy",
 ]

@@ -61,6 +61,13 @@ class EvalOptions:
     prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN
     record_events: bool = False
 
+    def __getstate__(self) -> dict:
+        # The content-hash memo (repro.api.session) is per-process state
+        # and would bloat every process-pool payload.
+        state = dict(self.__dict__)
+        state.pop("_repro_canonical_memo", None)
+        return state
+
 
 @runtime_checkable
 class PartitionStrategy(Protocol):

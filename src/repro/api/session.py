@@ -2,8 +2,9 @@
 
 :class:`Session` is the library's front door: one object that evaluates
 any registered partitioning strategy on any workload/platform combination,
-memoises repeated evaluations by content hash, and fans sweeps out over a
-process pool when asked to::
+memoises repeated evaluations by content hash (optionally persisting them
+on disk for other processes — see :mod:`repro.api.cache`), and fans
+sweeps out over a process pool when asked to::
 
     from repro.api import Session
 
@@ -23,6 +24,7 @@ import hashlib
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
 from functools import cached_property
+from pathlib import Path
 from typing import (
     Dict,
     List,
@@ -30,14 +32,17 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..core.placement import PrefetchAccounting
 from ..errors import AnalysisError
+from ..graph.transformer import TransformerConfig
 from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
 from ..hw.presets import siracusa_platform
 from ..kernels.library import KernelLibrary
+from .cache import EvalCache, open_default_cache
 from .registry import EnergyModelFactory, EvalOptions, get_strategy
 from .result import EvalResult
 from .strategies import BASELINE_STRATEGIES, PAPER_STRATEGY
@@ -48,30 +53,59 @@ __all__ = [
     "EvalSweep",
     "Session",
     "default_session",
+    "set_default_session",
 ]
 
 
 # ----------------------------------------------------------------------
 # Content hashing
 # ----------------------------------------------------------------------
+#: Frozen input types whose canonical form is memoised on the instance.
+#: Workloads, platforms, and model configurations are hashed on every
+#: ``Session.run`` — serving simulations and design-space searches hash
+#: the same objects thousands of times, so recomputing the walk each
+#: time leaves the profile entirely.
+_MEMOISED_CANONICAL_TYPES = (
+    Workload,
+    MultiChipPlatform,
+    TransformerConfig,
+    EvalOptions,
+)
+
+_CANONICAL_MEMO_ATTR = "_repro_canonical_memo"
+
+
 def _canonical(obj) -> str:
     """Deterministic textual form of an evaluation input for hashing.
 
     Walks dataclasses field by field (skipping derived ``init=False``
     fields), so two platforms or workloads with equal configuration hash
-    equally regardless of object identity.
+    equally regardless of object identity.  The canonical form of frozen
+    workloads/platforms/configs is memoised on the instance, since those
+    are immutable and hashed repeatedly.
     """
     if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
         return repr(obj)
     if isinstance(obj, Enum):
         return f"{type(obj).__qualname__}.{obj.name}"
     if is_dataclass(obj) and not isinstance(obj, type):
+        memoise = isinstance(obj, _MEMOISED_CANONICAL_TYPES)
+        if memoise:
+            cached = obj.__dict__.get(_CANONICAL_MEMO_ATTR)
+            if cached is not None:
+                return cached
         parts = ",".join(
             f"{field.name}={_canonical(getattr(obj, field.name))}"
             for field in fields(obj)
             if field.init
         )
-        return f"{type(obj).__qualname__}({parts})"
+        text = f"{type(obj).__qualname__}({parts})"
+        if memoise:
+            try:
+                object.__setattr__(obj, _CANONICAL_MEMO_ATTR, text)
+            except (AttributeError, TypeError):
+                pass  # __slots__ or exotic subclass: skip the memo
+        return text
     if isinstance(obj, (tuple, list)):
         return "[" + ",".join(_canonical(item) for item in obj) + "]"
     if isinstance(obj, dict):
@@ -94,11 +128,21 @@ def content_hash(*parts) -> str:
 
 
 class CacheInfo(NamedTuple):
-    """Memoisation statistics of one :class:`Session`."""
+    """Memoisation statistics of one :class:`Session`.
+
+    Attributes:
+        hits: In-memory content-hash cache hits.
+        misses: Evaluations that actually ran a strategy's engine
+            (including points evaluated by ``sweep --parallel`` workers).
+        size: Entries in the in-memory cache.
+        disk_hits: Evaluations answered by the persistent on-disk cache
+            (:mod:`repro.api.cache`) instead of running the engine.
+    """
 
     hits: int
     misses: int
     size: int
+    disk_hits: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -234,10 +278,50 @@ class Comparison:
 # ----------------------------------------------------------------------
 # Process-pool fan-out
 # ----------------------------------------------------------------------
-def _evaluate_point(payload) -> EvalResult:
-    """Module-level worker so sweeps can fan out over a process pool."""
-    strategy_name, workload, platform, options = payload
-    return get_strategy(strategy_name).evaluate(workload, platform, options)
+def _strategy_is_persistable(impl) -> bool:
+    """Whether a strategy's results may enter the cross-process store.
+
+    The store's version salt covers this package's code only, so results
+    of strategies registered from outside ``repro`` stay in memory — an
+    edited user strategy must never be answered with its old results.
+    """
+    module = type(impl).__module__ or ""
+    return module == "repro" or module.startswith("repro.")
+
+
+#: Per-worker-process stores, keyed by cache directory, so a worker
+#: evaluating several sweep points opens one sqlite connection, not one
+#: per point.
+_WORKER_STORES: Dict[str, EvalCache] = {}
+
+
+def _worker_store(cache_dir: str) -> EvalCache:
+    store = _WORKER_STORES.get(cache_dir)
+    if store is None:
+        store = _WORKER_STORES[cache_dir] = EvalCache(cache_dir)
+    return store
+
+
+def _evaluate_point(payload) -> Tuple[bool, EvalResult]:
+    """Module-level worker so sweeps can fan out over a process pool.
+
+    Workers share the parent's persistent cache: each one re-checks the
+    on-disk store before simulating (another worker or process may have
+    produced the point meanwhile) and writes its result back, so a
+    repeated parallel sweep performs zero engine runs.  Returns
+    ``(ran_engine, result)`` so the parent's cache statistics stay
+    truthful under concurrent sweeps.
+    """
+    strategy_name, workload, platform, options, key, cache_dir = payload
+    store = _worker_store(cache_dir) if cache_dir is not None else None
+    if store is not None:
+        cached = store.get(key)
+        if cached is not None:
+            return False, cached
+    result = get_strategy(strategy_name).evaluate(workload, platform, options)
+    if store is not None:
+        store.put(key, result)
+    return True, result
 
 
 # ----------------------------------------------------------------------
@@ -258,6 +342,22 @@ class Session:
             platform (defaults to the paper's analytical model).
         prefetch_accounting: Prefetch runtime-accounting policy.
         memoize: Keep a content-hash cache of evaluations (default on).
+            ``memoize=False`` disables the persistent layer too.
+        cache_dir: Directory of a persistent cross-process evaluation
+            cache (:mod:`repro.api.cache`); results are stored on disk
+            behind the in-memory memoisation and shared with every other
+            process using the same directory.  Incompatible with
+            ``memoize=False`` and with a custom ``energy`` factory
+            (arbitrary callables cannot be content-hashed soundly across
+            processes) — both raise instead of silently not persisting.
+            Results of strategies registered outside the ``repro``
+            package are never persisted (their code is not covered by
+            the store's version salt).
+        persistent: ``True`` opens the *default* persistent store
+            (``REPRO_CACHE_DIR`` or ``~/.cache/repro``, unless
+            ``REPRO_NO_CACHE`` is set); ``False`` forces it off.  The
+            default ``None`` enables persistence only when ``cache_dir``
+            is given, keeping plain library sessions in-memory-only.
     """
 
     def __init__(
@@ -269,6 +369,8 @@ class Session:
         energy: Optional[EnergyModelFactory] = None,
         prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN,
         memoize: bool = True,
+        cache_dir: Optional[Union[str, Path]] = None,
+        persistent: Optional[bool] = None,
     ) -> None:
         self.platform = platform
         self.platform_factory = platform_factory
@@ -276,21 +378,70 @@ class Session:
         self.energy = energy
         self.prefetch_accounting = prefetch_accounting
         self.memoize = memoize
+        self._store: Optional[EvalCache] = None
+        # Custom energy factories are arbitrary callables, which content-
+        # hash by qualified name only — good enough within one process
+        # (the factory is fixed per session) but unsound across processes
+        # (two different lambdas share a qualname), so such sessions stay
+        # off the shared on-disk store.  Custom kernel libraries are
+        # frozen dataclasses and hash by value, so they are safe.
+        if not memoize or energy is not None:
+            if cache_dir is not None or persistent:
+                requested = (
+                    f"cache_dir={str(cache_dir)!r}"
+                    if cache_dir is not None
+                    else "persistent=True"
+                )
+                reason = (
+                    "memoize=False disables all caching"
+                    if not memoize
+                    else "a custom energy factory cannot be content-hashed "
+                    "soundly across processes"
+                )
+                raise AnalysisError(
+                    f"{requested} cannot be honoured: {reason}"
+                )
+        elif persistent is not False:
+            if cache_dir is not None:
+                self._store = EvalCache(cache_dir)
+            elif persistent:
+                self._store = open_default_cache()
         self._cache: Dict[str, EvalResult] = {}
+        self._default_options: Optional[EvalOptions] = None
+        self._default_options_config: Optional[tuple] = None
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
     def options(self, *, record_events: bool = False) -> EvalOptions:
-        """The :class:`EvalOptions` this session passes to strategies."""
-        return EvalOptions(
+        """The :class:`EvalOptions` this session passes to strategies.
+
+        The common (``record_events=False``) instance is shared while
+        the session's configuration is unchanged, so its memoised
+        canonical form keeps repeated cache-key hashing cheap; mutating
+        ``kernels``/``energy``/``prefetch_accounting`` on a live session
+        invalidates it.
+        """
+        config = (self.kernels, self.energy, self.prefetch_accounting)
+        if (
+            not record_events
+            and self._default_options is not None
+            and self._default_options_config == config
+        ):
+            return self._default_options
+        built = EvalOptions(
             kernel_library=self.kernels,
             energy=self.energy,
             prefetch_accounting=self.prefetch_accounting,
             record_events=record_events,
         )
+        if not record_events:
+            self._default_options = built
+            self._default_options_config = config
+        return built
 
     def resolve_platform(
         self,
@@ -318,15 +469,30 @@ class Session:
             "the Session with a default platform"
         )
 
+    @property
+    def persistent_cache(self) -> Optional[EvalCache]:
+        """The on-disk evaluation store, when this session has one."""
+        return self._store
+
     def cache_info(self) -> CacheInfo:
-        """Memoisation statistics (hits, misses, entries)."""
-        return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+        """Memoisation statistics (hits, misses, entries, disk hits)."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._cache),
+            disk_hits=self._disk_hits,
+        )
 
     def cache_clear(self) -> None:
-        """Drop every memoised evaluation and reset the statistics."""
+        """Drop every in-memory memoised evaluation and reset the statistics.
+
+        The persistent store (if any) is left untouched; clear it with
+        ``session.persistent_cache.clear()`` or ``repro cache clear``.
+        """
         self._cache.clear()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
     def _cache_key(
         self,
@@ -365,9 +531,18 @@ class Session:
         if key in self._cache:
             self._hits += 1
             return self._cache[key]
+        store = self._store if _strategy_is_persistable(impl) else None
+        if store is not None:
+            cached = store.get(key)
+            if cached is not None:
+                self._disk_hits += 1
+                self._cache[key] = cached
+                return cached
         self._misses += 1
         result = impl.evaluate(workload, resolved, options)
         self._cache[key] = result
+        if store is not None:
+            store.put(key, result)
         return result
 
     def sweep(
@@ -587,8 +762,20 @@ class Session:
         strategy: str,
         parallel: int,
     ) -> None:
-        """Evaluate uncached sweep points in a process pool, filling the cache."""
+        """Evaluate uncached sweep points in a process pool, filling the cache.
+
+        Points already warm in the in-memory *or* persistent cache never
+        reach the pool, and worker results are written back to the
+        persistent store, so a repeated parallel sweep — even from a
+        fresh process — performs zero engine runs.
+        """
         options = self.options()
+        store = (
+            self._store
+            if _strategy_is_persistable(get_strategy(strategy))
+            else None
+        )
+        cache_dir = str(store.directory) if store is not None else None
         pending: List[Tuple[str, tuple]] = []
         seen = set()
         for count in chips:
@@ -596,8 +783,16 @@ class Session:
             key = self._cache_key(strategy, workload, platform, options)
             if key in self._cache or key in seen:
                 continue
+            if store is not None:
+                cached = store.get(key)
+                if cached is not None:
+                    self._disk_hits += 1
+                    self._cache[key] = cached
+                    continue
             seen.add(key)
-            pending.append((key, (strategy, workload, platform, options)))
+            pending.append(
+                (key, (strategy, workload, platform, options, key, cache_dir))
+            )
         if len(pending) < 2:
             return
         try:
@@ -615,12 +810,34 @@ class Session:
             # pool, ...): prefill is best-effort, so fall back to the
             # serial path, which re-raises any genuine evaluation error.
             return
-        for (key, _), result in zip(pending, evaluated):
+        # The workers already wrote their results to the persistent
+        # store; the parent only fills its in-memory layer.  A point a
+        # worker answered from disk (written meanwhile by a concurrent
+        # process) counts as a disk hit, not an engine run.
+        for (key, _), (ran_engine, result) in zip(pending, evaluated):
             self._cache[key] = result
-            self._misses += 1
+            if ran_engine:
+                self._misses += 1
+            else:
+                self._disk_hits += 1
 
 
 _DEFAULT_SESSION: Optional[Session] = None
+
+
+def set_default_session(session: Optional[Session]) -> Optional[Session]:
+    """Install ``session`` as the process-wide shared session.
+
+    The experiment harnesses evaluate through :func:`default_session`;
+    installing a configured session (e.g. one with a persistent cache,
+    as ``repro experiments`` does) redirects them all.  Returns the
+    previously installed session (``None`` if none existed yet) so
+    callers can scope the override and restore it afterwards.
+    """
+    global _DEFAULT_SESSION
+    previous = _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+    return previous
 
 
 def default_session() -> Session:

@@ -23,7 +23,7 @@ from ..core.scheduler import BlockScheduler
 from ..energy.model import EnergyModel
 from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
-from ..sim.simulator import MultiChipSimulator
+from ..sim.simulator import simulate_block
 from .types import BaselineResult
 
 
@@ -55,7 +55,7 @@ def evaluate_pipeline_parallel(
     )
     scheduler = BlockScheduler(platform=stage_platform)
     program = scheduler.build(stage_workload)
-    simulation = MultiChipSimulator(program=program).run()
+    simulation = simulate_block(program)
     energy = EnergyModel(stage_platform).from_simulation(simulation)
 
     block_cycles = simulation.total_cycles

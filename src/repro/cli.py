@@ -17,7 +17,8 @@ without writing any Python:
 * ``tune``        — design-space exploration (searchable platform space,
   multi-objective search, Pareto front),
 * ``experiments`` — regenerate the paper's figures and tables,
-* ``verify``      — numerically verify the partitioning scheme's exactness.
+* ``verify``      — numerically verify the partitioning scheme's exactness,
+* ``cache``       — inspect or clear the persistent evaluation cache.
 
 Every evaluating command runs through :class:`repro.api.Session`, so any
 strategy added with :func:`repro.api.register_strategy` (or scheduling
@@ -28,6 +29,13 @@ command line.  ``evaluate``, ``sweep``, ``compare``, ``serve``, and
 ``tune`` all take ``--json`` to emit one shared machine-readable format
 instead of the human tables; the Session-driven JSON documents include
 the session's cache statistics so memoisation reuse is observable.
+
+Every evaluating command also shares the persistent cross-process
+evaluation cache (:mod:`repro.api.cache`): results land on disk under
+``~/.cache/repro`` (override with ``--cache-dir`` or ``REPRO_CACHE_DIR``)
+and are reused by later invocations, so re-running a sweep or serving
+study in a new process is nearly free.  Disable with ``--no-cache`` or
+``REPRO_NO_CACHE=1``; inspect with ``repro cache stats``.
 """
 
 from __future__ import annotations
@@ -71,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(DATE 2025 reproduction)"
         ),
     )
+    _add_cache_arguments(parser, suppress=False)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("models", help="list registered model configurations")
@@ -387,6 +396,23 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--chips", type=int, default=8)
     verify.add_argument("--rows", type=int, default=4)
 
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent evaluation cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=["stats", "clear", "path"],
+        help=(
+            "stats: entry count/size/versions; clear: drop every stored "
+            "evaluation; path: print the store location"
+        ),
+    )
+
+    # The cache flags are accepted both before the subcommand (the global
+    # position) and after it, where most users type them.
+    for evaluating in (evaluate, sweep, compare, serve, tune, experiments, cache):
+        _add_cache_arguments(evaluating, suppress=True)
+
     return parser
 
 
@@ -436,6 +462,33 @@ def _add_json_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_arguments(
+    parser: argparse.ArgumentParser, *, suppress: bool
+) -> None:
+    """Add the persistent-cache flags to a (sub)parser.
+
+    The root parser owns the defaults; subparsers use ``SUPPRESS`` so a
+    flag given after the subcommand overrides the root default without a
+    conflicting second default.
+    """
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="do not read or write the persistent evaluation cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=argparse.SUPPRESS if suppress else None,
+        metavar="DIR",
+        help=(
+            "persistent evaluation cache directory (default: "
+            "$REPRO_CACHE_DIR or ~/.cache/repro)"
+        ),
+    )
+
+
 def _workload_from_args(args: argparse.Namespace) -> Workload:
     config = get_model(args.model)
     mode = InferenceMode(args.mode)
@@ -444,7 +497,22 @@ def _workload_from_args(args: argparse.Namespace) -> Workload:
 
 
 def _session_from_args(args: argparse.Namespace) -> Session:
-    return Session(prefetch_accounting=PrefetchAccounting(args.prefetch))
+    """A session honouring the prefetch and persistent-cache flags.
+
+    CLI sessions persist evaluations on disk by default, so a repeated
+    invocation in a fresh process reuses every warm result instead of
+    re-simulating it.
+    """
+    prefetch = PrefetchAccounting(
+        getattr(args, "prefetch", PrefetchAccounting.HIDDEN.value)
+    )
+    if getattr(args, "no_cache", False):
+        return Session(prefetch_accounting=prefetch, persistent=False)
+    return Session(
+        prefetch_accounting=prefetch,
+        cache_dir=getattr(args, "cache_dir", None),
+        persistent=True,
+    )
 
 
 def _command_models() -> List[str]:
@@ -683,7 +751,7 @@ def _command_serve(args: argparse.Namespace) -> List[str]:
             priority_levels=args.priority_levels,
         )
 
-    session = Session()
+    session = _session_from_args(args)
     report = session.serve(
         config,
         trace,
@@ -747,6 +815,21 @@ def _command_tune(args: argparse.Namespace) -> List[str]:
 
 
 def _command_experiments(args: argparse.Namespace) -> List[str]:
+    from .api.session import set_default_session
+
+    # The harnesses evaluate through the shared default session; install
+    # one honouring the cache flags so figure regeneration also reuses
+    # (and feeds) the persistent cross-process cache.  The override is
+    # scoped to this command so programmatic main() callers (and the
+    # test suite) keep their own default session afterwards.
+    previous = set_default_session(_session_from_args(args))
+    try:
+        return _run_experiments(args)
+    finally:
+        set_default_session(previous)
+
+
+def _run_experiments(args: argparse.Namespace) -> List[str]:
     from .experiments import (
         render_dse,
         render_fig4,
@@ -778,6 +861,30 @@ def _command_experiments(args: argparse.Namespace) -> List[str]:
 
         return [render_all(run_all())]
     return [runners[args.only]()]
+
+
+def _command_cache(args: argparse.Namespace) -> List[str]:
+    from .api.cache import EvalCache, default_cache_dir, persistent_cache_disabled
+
+    directory = getattr(args, "cache_dir", None) or default_cache_dir()
+    store = EvalCache(directory)
+    if args.action == "path":
+        return [str(store.path)]
+    if args.action == "clear":
+        removed = store.clear()
+        return [f"removed {removed} cached evaluation(s) from {store.path}"]
+    stats = store.stats()
+    lines = [
+        f"path           : {stats.path}",
+        f"entries        : {stats.entries}",
+        f"size           : {format_bytes(stats.size_bytes)}",
+        f"schema version : {stats.schema_version}",
+        f"code version   : {stats.code_version}",
+    ]
+    if persistent_cache_disabled():
+        lines.append("note           : REPRO_NO_CACHE is set; the default "
+                     "store is disabled for evaluating commands")
+    return lines
 
 
 def _command_verify(args: argparse.Namespace) -> List[str]:
@@ -825,6 +932,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines = _command_experiments(args)
     elif args.command == "verify":
         lines = _command_verify(args)
+    elif args.command == "cache":
+        lines = _command_cache(args)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
         return 2

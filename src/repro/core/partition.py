@@ -107,6 +107,31 @@ class BlockPartition:
         self.validate()
 
     # ------------------------------------------------------------------
+    # Compact pickling
+    # ------------------------------------------------------------------
+    # Partitions built by :func:`partition_block` with the default root
+    # (which marks them) are a deterministic function of (config,
+    # num_chips), so their per-chip shares are dropped from the pickle
+    # and rebuilt on first access; hand-crafted partitions are
+    # serialised in full.  This keeps persistent-cache entries and
+    # process-pool transfers small.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if state.pop("_chips_are_canonical", False):
+            state.pop("chips", None)
+            state["_chips_are_canonical"] = True
+        return state
+
+    def __getattr__(self, name: str):
+        if name == "chips":
+            chips = partition_block(self.config, self.num_chips).chips
+            object.__setattr__(self, "chips", chips)
+            return chips
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -263,4 +288,11 @@ def partition_block(
         )
         head_offset += head_shares[chip_id]
         ffn_offset += ffn_shares[chip_id]
-    return BlockPartition(config=config, num_chips=num_chips, chips=tuple(chips))
+    partition = BlockPartition(
+        config=config, num_chips=num_chips, chips=tuple(chips)
+    )
+    if reduce_root == 0:
+        # Default-root partitions are exactly what __getattr__ rebuilds,
+        # so pickling may drop the per-chip shares (see __getstate__).
+        object.__setattr__(partition, "_chips_are_canonical", True)
+    return partition

@@ -13,13 +13,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
 from .partition import BlockPartition
 from .placement import MemoryPlan, PrefetchAccounting
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernels.library import KernelLibrary
 
 
 class RuntimeCategory(str, enum.Enum):
@@ -180,6 +183,8 @@ class BlockProgram:
         memory_plans: Per-chip weight-placement decisions.
         schedules: Per-chip step schedules (keyed by chip id).
         prefetch_accounting: The prefetch runtime-accounting policy used.
+        kernel_library: The kernel cost models the schedules were priced
+            with (kept so pickled programs can rebuild their schedules).
     """
 
     workload: Workload
@@ -188,6 +193,9 @@ class BlockProgram:
     memory_plans: Dict[int, MemoryPlan] = field(default_factory=dict)
     schedules: Dict[int, ChipSchedule] = field(default_factory=dict)
     prefetch_accounting: PrefetchAccounting = PrefetchAccounting.HIDDEN
+    kernel_library: Optional["KernelLibrary"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         expected = set(range(self.platform.num_chips))
@@ -221,6 +229,71 @@ class BlockProgram:
                 f"sends without receives {unmatched_sends}, "
                 f"receives without sends {unmatched_recvs}"
             )
+
+    # ------------------------------------------------------------------
+    # Compact pickling
+    # ------------------------------------------------------------------
+    # The step schedules dominate a pickled program (tens of kilobytes of
+    # small step objects on large systems).  When the program was built
+    # by the scheduler (which marks it — see BlockScheduler.build) they
+    # are a pure deterministic function of the remaining fields, so they
+    # are dropped from the pickle and rebuilt on first access; hand-built
+    # programs keep their schedules verbatim.  The per-chip memory plans
+    # are flattened to value rows and rebuilt in one batch.  This is what
+    # keeps the persistent evaluation cache (`repro.api.cache`) and
+    # process-pool result transfers cheap.
+    def __getstate__(self) -> Dict:
+        state = dict(self.__dict__)
+        if state.pop("_schedules_are_canonical", False):
+            state.pop("schedules", None)
+            state["_schedules_are_canonical"] = True
+        plans = state.pop("memory_plans", None)
+        if plans is not None:
+            state["_packed_memory_plans"] = tuple(
+                (
+                    plan.chip_id,
+                    plan.residency,
+                    plan.l2_budget_bytes,
+                    plan.required_bytes,
+                    plan.block_weight_bytes,
+                    plan.l3_weight_bytes_per_block,
+                )
+                for plan in plans.values()
+            )
+        return state
+
+    def __getattr__(self, name: str):
+        if name == "schedules":
+            from .scheduler import BlockScheduler
+
+            scheduler = BlockScheduler(
+                platform=self.platform,
+                kernel_library=self.kernel_library,
+                prefetch_accounting=self.prefetch_accounting,
+            )
+            rebuilt = scheduler.build(self.workload, self.partition).schedules
+            object.__setattr__(self, "schedules", rebuilt)
+            return rebuilt
+        if name == "memory_plans":
+            packed = self.__dict__.get("_packed_memory_plans")
+            if packed is not None:
+                plans = {}
+                for chip_id, residency, budget, required, block, l3 in packed:
+                    plan = MemoryPlan.__new__(MemoryPlan)
+                    plan.__dict__.update(
+                        chip_id=chip_id,
+                        residency=residency,
+                        l2_budget_bytes=budget,
+                        required_bytes=required,
+                        block_weight_bytes=block,
+                        l3_weight_bytes_per_block=l3,
+                    )
+                    plans[chip_id] = plan
+                object.__setattr__(self, "memory_plans", plans)
+                return plans
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     @property
     def chip_ids(self) -> List[int]:

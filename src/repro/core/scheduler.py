@@ -28,7 +28,7 @@ exactly the paper's execution scheme (Sec. IV and Fig. 3):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..errors import SchedulingError
@@ -115,39 +115,79 @@ class BlockScheduler:
         all_reduce = hierarchical_all_reduce(self.platform, reduce_bytes)
         broadcast = hierarchical_broadcast(self.platform, reduce_bytes)
 
+        # The two synchronisations are assembled once for the whole
+        # platform (one pass over the collective plans, bucketed per
+        # chip) instead of re-scanning every transfer for every chip.
+        sync_steps = {
+            stage: self._synchronisation_steps_by_chip(
+                stage, workload, partition, all_reduce, broadcast
+            )
+            for stage in ("attn", "ffn")
+        }
+
+        # Chips with the same partition slice produce identical memory
+        # plans and local (kernel/staging) steps, so those are built once
+        # per unique slice and shared; steps are immutable, and the plan
+        # only needs its chip id rebound.
+        slice_cache: Dict[tuple, tuple] = {}
         memory_plans: Dict[int, MemoryPlan] = {}
         schedules: Dict[int, ChipSchedule] = {}
         for chip in partition.chips:
-            footprint = chip_footprint(config, workload, chip)
-            plan = plan_memory(self.platform.chip, footprint)
+            slice_key = (chip.num_heads, chip.ffn_cols)
+            cached = slice_cache.get(slice_key)
+            if cached is None:
+                footprint = chip_footprint(config, workload, chip)
+                plan = plan_memory(self.platform.chip, footprint)
+                cached = (plan, self._local_steps(workload, chip, plan))
+                slice_cache[slice_key] = cached
+            plan, local = cached
+            if plan.chip_id != chip.chip_id:
+                plan = replace(plan, chip_id=chip.chip_id)
             memory_plans[chip.chip_id] = plan
-            steps = self._build_chip_steps(
-                workload, chip, plan, all_reduce, broadcast
+            staging, attn, ffn, tail = local
+            steps = (
+                staging
+                + attn
+                + sync_steps["attn"][chip.chip_id]
+                + ffn
+                + sync_steps["ffn"][chip.chip_id]
+                + tail
             )
             schedules[chip.chip_id] = ChipSchedule(
                 chip_id=chip.chip_id, steps=tuple(steps)
             )
 
-        return BlockProgram(
+        program = BlockProgram(
             workload=workload,
             platform=self.platform,
             partition=partition,
             memory_plans=memory_plans,
             schedules=schedules,
             prefetch_accounting=self.prefetch_accounting,
+            kernel_library=self._library,
         )
+        # Scheduler-built schedules are a deterministic function of the
+        # program's other fields, so pickling may drop and rebuild them
+        # (see BlockProgram.__getstate__); hand-built programs lack the
+        # mark and serialise their schedules in full.
+        object.__setattr__(program, "_schedules_are_canonical", True)
+        return program
 
     # ------------------------------------------------------------------
     # Per-chip schedule construction
     # ------------------------------------------------------------------
-    def _build_chip_steps(
+    def _local_steps(
         self,
         workload: Workload,
         chip: ChipPartition,
         plan: MemoryPlan,
-        all_reduce: CollectivePlan,
-        broadcast: CollectivePlan,
-    ) -> List[Step]:
+    ) -> tuple:
+        """The chip-local step groups of one slice, in schedule order.
+
+        Returns ``(staging, attn, ffn, tail)``; everything here depends
+        only on the chip's slice (head and FFN-column counts), so chips
+        with equal slices share one instance of each group.
+        """
         config = workload.config
         streamed = plan.residency is WeightResidency.STREAMED
         operators = build_block_operators(
@@ -162,23 +202,18 @@ class BlockScheduler:
                 holds_residual=False,
             ),
         )
-
-        steps: List[Step] = []
-        steps.extend(self._weight_staging_steps(plan))
-        steps.extend(self._stage_steps("attn", operators.attention, streamed))
-        steps.extend(
-            self._synchronisation_steps("attn", workload, chip, all_reduce, broadcast)
-        )
-        steps.extend(self._stage_steps("ffn", operators.ffn, streamed))
-        steps.extend(
-            self._synchronisation_steps("ffn", workload, chip, all_reduce, broadcast)
-        )
+        tail: List[Step] = []
         if (
             plan.residency is WeightResidency.DOUBLE_BUFFERED
             and self.prefetch_accounting is PrefetchAccounting.OVERLAP
         ):
-            steps.append(PrefetchJoinStep(name="weights.prefetch_join"))
-        return steps
+            tail.append(PrefetchJoinStep(name="weights.prefetch_join"))
+        return (
+            self._weight_staging_steps(plan),
+            self._stage_steps("attn", operators.attention, streamed),
+            self._stage_steps("ffn", operators.ffn, streamed),
+            tail,
+        )
 
     def _weight_staging_steps(self, plan: MemoryPlan) -> List[Step]:
         """Steps that bring the block's weights on-chip (or start doing so)."""
@@ -243,112 +278,121 @@ class BlockScheduler:
             )
         return steps
 
-    def _synchronisation_steps(
+    def _synchronisation_steps_by_chip(
         self,
         stage: str,
         workload: Workload,
-        chip: ChipPartition,
+        partition: BlockPartition,
         all_reduce: CollectivePlan,
         broadcast: CollectivePlan,
-    ) -> List[Step]:
-        """One of the block's two synchronisations, seen from ``chip``.
+    ) -> Dict[int, List[Step]]:
+        """One of the block's two synchronisations, for every chip at once.
 
         Consists of the hierarchical all-reduce (with per-message
         accumulation on the receivers), the residual merge and
         normalisation on the root chip, and the hierarchical broadcast.
-        In the single-chip case only the residual and normalisation remain.
+        In the single-chip case only the residual and normalisation
+        remain.  The collective plans are walked once, appending each
+        transfer to its two endpoint chips, so building all schedules is
+        linear in the number of transfers instead of quadratic in the
+        chip count.
         """
         config = workload.config
         rows = workload.query_rows
-        steps: List[Step] = []
+        steps_by_chip: Dict[int, List[Step]] = {
+            chip.chip_id: [] for chip in partition.chips
+        }
 
-        for round_index, round_ in enumerate(all_reduce.rounds):
-            for transfer in round_.transfers:
-                tag = f"{stage}.reduce.r{round_index}.{transfer.src}->{transfer.dst}"
-                if transfer.src == chip.chip_id:
-                    steps.append(
-                        SendStep(
-                            name=f"{stage}.reduce.send_to_{transfer.dst}",
-                            dst=transfer.dst,
-                            num_bytes=transfer.num_bytes,
-                            tag=tag,
-                        )
-                    )
-                elif transfer.dst == chip.chip_id:
-                    steps.append(
-                        RecvStep(
-                            name=f"{stage}.reduce.recv_from_{transfer.src}",
-                            src=transfer.src,
-                            num_bytes=transfer.num_bytes,
-                            tag=tag,
-                        )
-                    )
-                    steps.append(self._accumulate_step(stage, config, rows, transfer.src))
-
-        if chip.is_reduce_root:
-            residual = ElementwiseOp(
-                name=f"{stage}.residual_add",
+        # Every accumulation has the same shape; price it once and only
+        # vary the step name (which appears in traces) per source chip.
+        accumulate_cost = self._library.cost(
+            ElementwiseOp(
+                name=f"{stage}.reduce_accumulate",
                 rows=rows,
                 cols=config.embed_dim,
                 kind=ElementwiseKind.ADD,
                 act_dtype=config.act_dtype,
             )
-            norm = NormOp(
-                name=f"{stage}.norm",
-                rows=rows,
-                cols=config.embed_dim,
-                kind=config.norm_kind,
-                act_dtype=config.act_dtype,
-            )
-            for op in (residual, norm):
-                cost = self._library.cost(op)
-                steps.append(
+        )
+
+        for round_index, round_ in enumerate(all_reduce.rounds):
+            for transfer in round_.transfers:
+                tag = f"{stage}.reduce.r{round_index}.{transfer.src}->{transfer.dst}"
+                steps_by_chip[transfer.src].append(
+                    SendStep(
+                        name=f"{stage}.reduce.send_to_{transfer.dst}",
+                        dst=transfer.dst,
+                        num_bytes=transfer.num_bytes,
+                        tag=tag,
+                    )
+                )
+                if transfer.dst == transfer.src:
+                    continue
+                receiver_steps = steps_by_chip[transfer.dst]
+                receiver_steps.append(
+                    RecvStep(
+                        name=f"{stage}.reduce.recv_from_{transfer.src}",
+                        src=transfer.src,
+                        num_bytes=transfer.num_bytes,
+                        tag=tag,
+                    )
+                )
+                receiver_steps.append(
                     ComputeStep(
-                        name=op.name,
-                        compute_cycles=cost.compute_cycles,
-                        l2_l1_bytes=cost.l2_l1_bytes,
+                        name=f"{stage}.reduce_accumulate_from_{transfer.src}",
+                        compute_cycles=accumulate_cost.compute_cycles,
+                        l2_l1_bytes=accumulate_cost.l2_l1_bytes,
                         overlap_dma=True,
                     )
                 )
 
-        for round_index, round_ in enumerate(broadcast.rounds):
-            for transfer in round_.transfers:
-                tag = f"{stage}.bcast.r{round_index}.{transfer.src}->{transfer.dst}"
-                if transfer.src == chip.chip_id:
-                    steps.append(
-                        SendStep(
-                            name=f"{stage}.bcast.send_to_{transfer.dst}",
-                            dst=transfer.dst,
-                            num_bytes=transfer.num_bytes,
-                            tag=tag,
-                        )
-                    )
-                elif transfer.dst == chip.chip_id:
-                    steps.append(
-                        RecvStep(
-                            name=f"{stage}.bcast.recv_from_{transfer.src}",
-                            src=transfer.src,
-                            num_bytes=transfer.num_bytes,
-                            tag=tag,
-                        )
-                    )
-        return steps
-
-    def _accumulate_step(
-        self, stage: str, config, rows: int, src: int
-    ) -> ComputeStep:
-        """The element-wise accumulation a reduce receiver performs."""
-        accumulate = ElementwiseOp(
-            name=f"{stage}.reduce_accumulate_from_{src}",
+        residual = ElementwiseOp(
+            name=f"{stage}.residual_add",
             rows=rows,
             cols=config.embed_dim,
             kind=ElementwiseKind.ADD,
             act_dtype=config.act_dtype,
         )
-        cost = self._library.cost(accumulate)
-        return ComputeStep(
-            name=accumulate.name,
-            compute_cycles=cost.compute_cycles,
-            l2_l1_bytes=cost.l2_l1_bytes,
-            overlap_dma=True,
+        norm = NormOp(
+            name=f"{stage}.norm",
+            rows=rows,
+            cols=config.embed_dim,
+            kind=config.norm_kind,
+            act_dtype=config.act_dtype,
         )
+        merge_steps = [
+            ComputeStep(
+                name=op.name,
+                compute_cycles=cost.compute_cycles,
+                l2_l1_bytes=cost.l2_l1_bytes,
+                overlap_dma=True,
+            )
+            for op in (residual, norm)
+            for cost in (self._library.cost(op),)
+        ]
+        for chip in partition.chips:
+            if chip.is_reduce_root:
+                steps_by_chip[chip.chip_id].extend(merge_steps)
+
+        for round_index, round_ in enumerate(broadcast.rounds):
+            for transfer in round_.transfers:
+                tag = f"{stage}.bcast.r{round_index}.{transfer.src}->{transfer.dst}"
+                steps_by_chip[transfer.src].append(
+                    SendStep(
+                        name=f"{stage}.bcast.send_to_{transfer.dst}",
+                        dst=transfer.dst,
+                        num_bytes=transfer.num_bytes,
+                        tag=tag,
+                    )
+                )
+                if transfer.dst == transfer.src:
+                    continue
+                steps_by_chip[transfer.dst].append(
+                    RecvStep(
+                        name=f"{stage}.bcast.recv_from_{transfer.src}",
+                        src=transfer.src,
+                        num_bytes=transfer.num_bytes,
+                        tag=tag,
+                    )
+                )
+        return steps_by_chip

@@ -163,7 +163,11 @@ class DesignEvaluator:
     needs it) served exactly once; repeats return the cached
     :class:`Candidate`.  Together with the session's own content-hash
     memoisation this guarantees at most one simulator evaluation per
-    unique configuration regardless of how often a searcher revisits it.
+    unique configuration regardless of how often a searcher revisits it
+    — and when the session carries a persistent cache
+    (:mod:`repro.api.cache`, the ``repro tune`` default), points
+    evaluated by *any previous process* are answered from disk, so
+    repeated or resumed searches over the same space start warm.
     """
 
     def __init__(

@@ -18,9 +18,10 @@ class::
             ...
 
 The ``evaluate`` callable maps a point to a measured
-:class:`~repro.dse.engine.Candidate` and is memoised per unique point, so
-revisiting a configuration costs nothing; ``budget`` caps the number of
-``evaluate`` calls (repeats included).  All randomness must come from the
+:class:`~repro.dse.engine.Candidate` and is memoised per unique point
+(and, through the session's persistent cache, across processes — see
+:mod:`repro.api.cache`), so revisiting a configuration costs nothing;
+``budget`` caps the number of ``evaluate`` calls (repeats included).  All randomness must come from the
 passed :class:`random.Random`, which is what makes every shipped searcher
 bit-reproducible for equal seeds.
 

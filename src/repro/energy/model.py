@@ -72,6 +72,40 @@ class EnergyReport:
     total: EnergyBreakdown
     runtime_seconds: float
 
+    # ------------------------------------------------------------------
+    # Compact pickling
+    # ------------------------------------------------------------------
+    # One breakdown per chip is persisted for every cached evaluation;
+    # flattening them to a float row per chip keeps the pickle small, and
+    # the objects are only materialised when ``per_chip`` is read.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        per_chip = state.pop("per_chip", None)
+        if per_chip is not None:
+            state["_packed_per_chip"] = tuple(
+                (chip_id, b.compute, b.l2_l1, b.l3_l2, b.chip_to_chip)
+                for chip_id, b in per_chip.items()
+            )
+        return state
+
+    def __getattr__(self, name: str):
+        if name == "per_chip":
+            packed = self.__dict__.get("_packed_per_chip")
+            if packed is not None:
+                per_chip = {}
+                for chip_id, compute, l2_l1, l3_l2, chip_to_chip in packed:
+                    breakdown = EnergyBreakdown.__new__(EnergyBreakdown)
+                    breakdown.__dict__.update(
+                        compute=compute, l2_l1=l2_l1, l3_l2=l3_l2,
+                        chip_to_chip=chip_to_chip,
+                    )
+                    per_chip[chip_id] = breakdown
+                object.__setattr__(self, "per_chip", per_chip)
+                return per_chip
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
     @property
     def total_joules(self) -> float:
         """Total system energy in joules."""

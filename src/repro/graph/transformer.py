@@ -115,6 +115,13 @@ class TransformerConfig:
                 f"model {self.name!r}: vocab_size must be positive"
             )
 
+    def __getstate__(self) -> dict:
+        # The content-hash memo (repro.api.session) is per-process state
+        # and would bloat every cached evaluation.
+        state = dict(self.__dict__)
+        state.pop("_repro_canonical_memo", None)
+        return state
+
     # ------------------------------------------------------------------
     # Derived sizes
     # ------------------------------------------------------------------

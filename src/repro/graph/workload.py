@@ -43,6 +43,13 @@ class Workload:
         if self.name is None:
             object.__setattr__(self, "name", f"{self.config.name}/{self.mode.value}")
 
+    def __getstate__(self) -> dict:
+        # The content-hash memo (repro.api.session) is per-process state
+        # and would bloat every cached evaluation.
+        state = dict(self.__dict__)
+        state.pop("_repro_canonical_memo", None)
+        return state
+
     # ------------------------------------------------------------------
     # Shape queries
     # ------------------------------------------------------------------

@@ -48,6 +48,32 @@ class MultiChipPlatform:
         )
 
     # ------------------------------------------------------------------
+    # Compact pickling
+    # ------------------------------------------------------------------
+    # The per-chip instance tuple is derived state (``__post_init__``
+    # builds it from ``chip`` and ``num_chips``); dropping it from the
+    # pickle keeps persistent-cache entries and process-pool transfers
+    # small.  It is rebuilt on first access after unpickling.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("chips", None)
+        # The content-hash memo (repro.api.session) is per-process state.
+        state.pop("_repro_canonical_memo", None)
+        return state
+
+    def __getattr__(self, name: str):
+        if name == "chips":
+            chips = tuple(
+                ChipInstance(chip_id=i, model=self.chip)
+                for i in range(self.num_chips)
+            )
+            object.__setattr__(self, "chips", chips)
+            return chips
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
     @property

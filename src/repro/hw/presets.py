@@ -20,6 +20,7 @@ reproduction (documented in DESIGN.md and EXPERIMENTS.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Callable, Dict, List, Tuple
 
 from ..errors import ConfigurationError, UnknownPlatformPresetError
@@ -150,13 +151,20 @@ def mipi_link() -> ChipToChipLink:
     )
 
 
+@lru_cache(maxsize=None)
 def siracusa_platform(
     num_chips: int,
     *,
     group_size: int = SIRACUSA_GROUP_SIZE,
     l2_runtime_reserve_bytes: int = SIRACUSA_L2_RUNTIME_RESERVE_BYTES,
 ) -> MultiChipPlatform:
-    """A system of ``num_chips`` Siracusa chips joined by MIPI links."""
+    """A system of ``num_chips`` Siracusa chips joined by MIPI links.
+
+    Platforms are immutable, so equal arguments share one memoised
+    instance; that keeps the per-instance content-hash memo of
+    :mod:`repro.api.session` warm across every sweep and serving run of
+    the process.
+    """
     return MultiChipPlatform(
         chip=siracusa_chip(l2_runtime_reserve_bytes=l2_runtime_reserve_bytes),
         num_chips=num_chips,

@@ -10,9 +10,12 @@ consistent with the paper's steady-state numbers.
 Running the engine for every distinct prompt/context length would dominate
 the simulation, so lengths are snapped to a geometric grid (piecewise-
 constant interpolation, like :func:`repro.analysis.generation` uses for
-single replies) and the handful of grid evaluations are memoised twice:
-once here per grid point, and once in the session by content hash, which
-shares them across policies, seeds, and repeated ``serve`` calls.
+single replies) and the handful of grid evaluations are memoised three
+times over: once here per grid point, once in the session by content
+hash (shared across policies, seeds, and repeated ``serve`` calls), and
+— when the session carries a persistent cache (:mod:`repro.api.cache`,
+the CLI default) — once on disk, so a second serving study in a fresh
+process reuses the whole grid without running the engine at all.
 """
 
 from __future__ import annotations

@@ -1,6 +1,14 @@
-"""Event-driven multi-chip simulation (the GVSoC substitute)."""
+"""Multi-chip simulation (the GVSoC substitute).
+
+Two engines execute the same :class:`~repro.core.schedule.BlockProgram`
+semantics: the analytic fast path (:mod:`repro.sim.fastpath`, the
+default) and the generator-based event engine (:mod:`repro.sim.engine` +
+:mod:`repro.sim.simulator`, used for per-step traces and custom step
+types).  :func:`simulate_block` dispatches between them.
+"""
 
 from .engine import AllOf, Environment, Event, Process, Timeout
+from .fastpath import simulate_block_fast
 from .simulator import MultiChipSimulator, simulate_block
 from .trace import ChipTrace, SimulationResult, TraceEvent
 
@@ -15,4 +23,5 @@ __all__ = [
     "Timeout",
     "TraceEvent",
     "simulate_block",
+    "simulate_block_fast",
 ]

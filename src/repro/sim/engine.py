@@ -61,7 +61,10 @@ class Event:
         run loop's determinism.
         """
         if self.processed:
-            proxy = Event(self.env, name=f"{self.name}.late")
+            # The proxy reuses this event's name: building a derived
+            # f-string per late callback is measurable on the hot path
+            # and the name is only ever read while debugging.
+            proxy = Event(self.env, name=self.name)
             proxy._callbacks.append(callback)
             proxy.triggered = True
             proxy.value = self.value
@@ -125,7 +128,9 @@ class Process(Event):
     ) -> None:
         super().__init__(env, name=name)
         self._generator = generator
-        bootstrap = Event(env, name=f"{name}.start")
+        # The bootstrap shares the process name; a per-process f-string
+        # buys nothing (the name is only read while debugging).
+        bootstrap = Event(env, name=name)
         bootstrap.add_callback(self._resume)
         bootstrap.succeed()
 

@@ -22,8 +22,9 @@ counters used by the energy model.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from ..core.schedule import (
     BlockProgram,
@@ -215,7 +216,11 @@ class MultiChipSimulator:
         if role in message.arrivals:
             raise SimulationError(f"duplicate {role} for message {key}")
         message.arrivals[role] = env.now
-        completion = env.event(name=f"msg.{key}.{role}")
+        # Event names are only read by traces and error messages, so the
+        # f-string is skipped on the hot path.
+        completion = env.event(
+            name=f"msg.{key}.{role}" if self.record_events else "msg"
+        )
         message.events[role] = completion
 
         if len(message.arrivals) == 2:
@@ -240,11 +245,11 @@ class MultiChipSimulator:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def _fire_at(env: Environment, event: Event, when: float, value) -> None:
+    def _fire_at(self, env: Environment, event: Event, when: float, value) -> None:
         """Trigger ``event`` with ``value`` at absolute simulation time ``when``."""
         delay = max(0.0, when - env.now)
-        timer = env.timeout(delay, name=f"{event.name}.timer")
+        name = f"{event.name}.timer" if self.record_events else "timer"
+        timer = env.timeout(delay, name=name)
         timer.add_callback(lambda _timer: event.succeed(value))
 
     def _attribute(
@@ -261,6 +266,55 @@ class MultiChipSimulator:
             trace.add(category, cycles)
 
 
-def simulate_block(program: BlockProgram, record_events: bool = False) -> SimulationResult:
-    """Convenience wrapper: simulate one block program."""
+def simulate_block(
+    program: BlockProgram,
+    record_events: bool = False,
+    *,
+    engine: Optional[str] = None,
+) -> SimulationResult:
+    """Simulate one block program, choosing the fastest capable engine.
+
+    By default the analytic fast path in :mod:`repro.sim.fastpath`
+    executes the program; the event engine is used when per-step trace
+    events are requested (``record_events=True``) or when the program
+    contains a step shape the fast path does not support.  Both engines
+    produce bit-identical :class:`~repro.sim.trace.SimulationResult`
+    totals (enforced by the hypothesis equivalence suite).
+
+    Args:
+        program: The block program to execute.
+        record_events: Keep per-step trace events (event engine only;
+            combining it with ``engine="fast"`` is an error, while the
+            ``REPRO_SIM_ENGINE=fast`` preference quietly yields to the
+            event engine for traced runs).
+        engine: Force an engine: ``"fast"``, ``"event"``, or ``None`` to
+            honour the ``REPRO_SIM_ENGINE`` environment variable and fall
+            back to automatic dispatch.
+
+    Raises:
+        SimulationError: On deadlock, rendezvous mismatches, an unknown
+            ``engine`` name, or ``engine="fast"`` with ``record_events``.
+    """
+    if engine == "fast" and record_events:
+        raise SimulationError(
+            "per-step trace events need the event engine; drop "
+            "engine='fast' or record_events"
+        )
+    choice = (
+        engine
+        if engine is not None
+        else (os.environ.get("REPRO_SIM_ENGINE") or None)  # "" means unset
+    )
+    if choice not in (None, "fast", "event"):
+        raise SimulationError(
+            f"unknown simulation engine {choice!r}; use 'fast' or 'event'"
+        )
+    if choice != "event" and not record_events:
+        from .fastpath import UnsupportedProgramError, simulate_block_fast
+
+        try:
+            return simulate_block_fast(program)
+        except UnsupportedProgramError:
+            if choice == "fast":
+                raise
     return MultiChipSimulator(program=program, record_events=record_events).run()

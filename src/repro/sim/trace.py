@@ -112,6 +112,58 @@ class SimulationResult:
             raise SimulationError("simulation result must cover every chip")
 
     # ------------------------------------------------------------------
+    # Compact pickling
+    # ------------------------------------------------------------------
+    # One trace per chip is persisted for every cached evaluation, so
+    # the enum-keyed breakdown dicts are flattened to one value row per
+    # chip (in :data:`RuntimeCategory` order) and only materialised back
+    # into :class:`ChipTrace` objects when the traces are actually read;
+    # per-step events (when recorded) keep full fidelity.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        traces = state.pop("chip_traces", None)
+        if traces is not None:
+            state["_packed_chip_traces"] = tuple(
+                (
+                    trace.chip_id,
+                    tuple(
+                        trace.cycles[category] for category in RuntimeCategory
+                    ),
+                    trace.l3_l2_bytes,
+                    trace.l2_l1_bytes,
+                    trace.c2c_bytes_sent,
+                    trace.finish_cycle,
+                    trace.events,
+                )
+                for trace in traces.values()
+            )
+        return state
+
+    def __getattr__(self, name: str):
+        if name == "chip_traces":
+            packed = self.__dict__.get("_packed_chip_traces")
+            if packed is not None:
+                categories = tuple(RuntimeCategory)
+                traces = {}
+                for chip_id, values, l3_l2, l2_l1, c2c, finish, events in packed:
+                    trace = ChipTrace.__new__(ChipTrace)
+                    trace.__dict__.update(
+                        chip_id=chip_id,
+                        cycles=dict(zip(categories, values)),
+                        l3_l2_bytes=l3_l2,
+                        l2_l1_bytes=l2_l1,
+                        c2c_bytes_sent=c2c,
+                        finish_cycle=finish,
+                        events=events,
+                    )
+                    traces[chip_id] = trace
+                object.__setattr__(self, "chip_traces", traces)
+                return traces
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    # ------------------------------------------------------------------
     # Runtime views
     # ------------------------------------------------------------------
     @property

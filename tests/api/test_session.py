@@ -52,6 +52,18 @@ class TestRun:
 
 
 class TestMemoisation:
+    def test_mutated_session_configuration_is_honoured(self, workload):
+        from repro.core.placement import PrefetchAccounting
+
+        session = Session()
+        hidden = session.run(workload, chips=8)
+        session.prefetch_accounting = PrefetchAccounting.BLOCKING
+        blocking = session.run(workload, chips=8)
+        # The shared default-options instance must not freeze the
+        # session's configuration at first use.
+        assert blocking.block_cycles != hidden.block_cycles
+        assert session.cache_info().misses == 2
+
     def test_repeated_run_hits_cache_and_returns_same_object(
         self, session, workload
     ):
@@ -89,7 +101,7 @@ class TestMemoisation:
         session.run(workload, chips=8)
         session.cache_clear()
         info = session.cache_info()
-        assert info == (0, 0, 0)
+        assert info == (0, 0, 0, 0)
         session.run(workload, chips=8)
         assert session.cache_info().misses == 1
 

@@ -10,6 +10,20 @@ from repro.models.mobilebert import mobilebert
 from repro.models.tinyllama import tinyllama_42m, tinyllama_scaled
 
 
+@pytest.fixture(autouse=True)
+def _isolated_persistent_cache(tmp_path, monkeypatch):
+    """Keep the persistent evaluation cache hermetic per test.
+
+    CLI sessions persist evaluations under ``~/.cache/repro`` by
+    default; tests must neither read a developer's warm cache (which
+    would mask engine regressions) nor pollute it, so every test gets a
+    throwaway cache directory.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+
+
 @pytest.fixture
 def tinyllama():
     """The TinyLlama-42M configuration used throughout the paper."""

@@ -1,0 +1,342 @@
+"""Equivalence of the fast-path and event-engine simulators.
+
+The fast path (:mod:`repro.sim.fastpath`) must be a drop-in replacement
+for the event engine on every program the scheduler can emit — and on
+adversarial hand-built programs too.  These hypothesis suites check
+**bit-identical** totals (no tolerance): total cycles, per-chip runtime
+breakdowns, per-level traffic counters, and finish cycles, plus
+identical error behaviour (deadlocks must deadlock on both engines).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.partition import partition_block
+from repro.core.placement import MemoryPlan, PrefetchAccounting, WeightResidency
+from repro.core.schedule import (
+    BlockProgram,
+    ChipSchedule,
+    ComputeStep,
+    DmaChannelName,
+    DmaStep,
+    PrefetchJoinStep,
+    PrefetchStep,
+    RecvStep,
+    SendStep,
+    Step,
+)
+from repro.core.scheduler import BlockScheduler
+from repro.errors import SimulationError
+from repro.graph.transformer import InferenceMode, TransformerConfig
+from repro.graph.workload import Workload, autoregressive
+from repro.hw.presets import siracusa_platform
+from repro.models.tinyllama import tinyllama_42m
+from repro.sim.fastpath import UnsupportedProgramError, simulate_block_fast
+from repro.sim.simulator import MultiChipSimulator, simulate_block
+
+
+def assert_identical_results(first, second) -> None:
+    """Bit-identical totals, breakdowns, traffic, and finish cycles."""
+    assert first.total_cycles == second.total_cycles
+    assert set(first.chip_traces) == set(second.chip_traces)
+    for chip_id, trace in first.chip_traces.items():
+        other = second.chip_traces[chip_id]
+        assert trace.cycles == other.cycles
+        assert trace.l3_l2_bytes == other.l3_l2_bytes
+        assert trace.l2_l1_bytes == other.l2_l1_bytes
+        assert trace.c2c_bytes_sent == other.c2c_bytes_sent
+        assert trace.finish_cycle == other.finish_cycle
+    assert first.breakdown_average() == second.breakdown_average()
+    assert first.total_l3_l2_bytes == second.total_l3_l2_bytes
+    assert first.total_l2_l1_bytes == second.total_l2_l1_bytes
+    assert first.total_c2c_bytes == second.total_c2c_bytes
+
+
+# ----------------------------------------------------------------------
+# Scheduler-emitted programs (the shapes production code simulates)
+# ----------------------------------------------------------------------
+@st.composite
+def scheduled_programs(draw):
+    """A block program built by the real scheduler on a random workload."""
+    num_heads = draw(st.sampled_from([2, 4, 8, 16]))
+    config = TransformerConfig(
+        name="hypothesis-fastpath",
+        embed_dim=draw(st.sampled_from([128, 256, 512])),
+        ffn_dim=draw(st.sampled_from([256, 1024, 2048])),
+        num_heads=num_heads,
+        num_layers=draw(st.integers(min_value=1, max_value=8)),
+        vocab_size=1000,
+    )
+    mode = draw(st.sampled_from(list(InferenceMode)))
+    workload = Workload(
+        config=config, mode=mode, seq_len=draw(st.sampled_from([1, 16, 128, 300]))
+    )
+    num_chips = draw(st.sampled_from([1, 2, num_heads]))
+    accounting = draw(st.sampled_from(list(PrefetchAccounting)))
+    scheduler = BlockScheduler(
+        platform=siracusa_platform(num_chips), prefetch_accounting=accounting
+    )
+    return scheduler.build(workload)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=scheduled_programs())
+def test_fastpath_matches_event_engine_on_scheduled_programs(program):
+    event = MultiChipSimulator(program=program).run()
+    fast = simulate_block_fast(program)
+    assert_identical_results(event, fast)
+
+
+# ----------------------------------------------------------------------
+# Adversarial hand-built programs (random messaging topologies)
+# ----------------------------------------------------------------------
+def _make_program(schedules):
+    num_chips = len(schedules)
+    platform = siracusa_platform(num_chips)
+    workload = autoregressive(tinyllama_42m(), 128)
+    partition = partition_block(workload.config, min(num_chips, 8))
+    plans = {
+        chip_id: MemoryPlan(
+            chip_id=chip_id,
+            residency=WeightResidency.STREAMED,
+            l2_budget_bytes=1024,
+            required_bytes=512,
+            block_weight_bytes=4096,
+            l3_weight_bytes_per_block=4096,
+        )
+        for chip_id in schedules
+    }
+    return BlockProgram(
+        workload=workload,
+        platform=platform,
+        partition=partition,
+        memory_plans=plans,
+        schedules=schedules,
+    )
+
+
+@st.composite
+def synthetic_programs(draw):
+    """Random local steps plus randomly interleaved rendezvous pairs.
+
+    Message endpoints are inserted at arbitrary schedule positions, so
+    some generated programs deadlock — which is part of the property:
+    both engines must agree on success *and* on failure.
+    """
+    num_chips = draw(st.integers(min_value=2, max_value=5))
+    steps = {chip_id: [] for chip_id in range(num_chips)}
+
+    def local_step(index):
+        kind = draw(st.integers(min_value=0, max_value=4))
+        cycles = draw(st.floats(min_value=0.0, max_value=5000.0))
+        num_bytes = draw(st.integers(min_value=0, max_value=200_000))
+        if kind == 0:
+            return ComputeStep(
+                name=f"c{index}",
+                compute_cycles=cycles,
+                l2_l1_bytes=float(num_bytes),
+                overlap_dma=draw(st.booleans()),
+            )
+        if kind == 1:
+            return DmaStep(
+                name=f"d{index}",
+                channel=draw(st.sampled_from(list(DmaChannelName))),
+                num_bytes=float(num_bytes),
+                num_transfers=draw(st.integers(min_value=1, max_value=4)),
+            )
+        if kind == 2:
+            return PrefetchStep(name=f"p{index}", num_bytes=float(num_bytes))
+        if kind == 3:
+            return PrefetchJoinStep(name=f"j{index}")
+        return ComputeStep(name=f"z{index}", compute_cycles=0.0)
+
+    for chip_id in range(num_chips):
+        for index in range(draw(st.integers(min_value=0, max_value=5))):
+            steps[chip_id].append(local_step(f"{chip_id}.{index}"))
+
+    num_messages = draw(st.integers(min_value=0, max_value=8))
+    for message in range(num_messages):
+        src = draw(st.integers(min_value=0, max_value=num_chips - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=num_chips - 1).filter(
+                lambda chip: chip != src
+            )
+        )
+        payload = draw(st.integers(min_value=0, max_value=100_000))
+        tag = f"m{message}"
+        send = SendStep(name=f"s{message}", dst=dst, num_bytes=payload, tag=tag)
+        recv = RecvStep(name=f"r{message}", src=src, num_bytes=payload, tag=tag)
+        src_steps = steps[src]
+        dst_steps = steps[dst]
+        src_steps.insert(
+            draw(st.integers(min_value=0, max_value=len(src_steps))), send
+        )
+        dst_steps.insert(
+            draw(st.integers(min_value=0, max_value=len(dst_steps))), recv
+        )
+
+    schedules = {
+        chip_id: ChipSchedule(chip_id=chip_id, steps=tuple(chip_steps))
+        for chip_id, chip_steps in steps.items()
+    }
+    return _make_program(schedules)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=synthetic_programs())
+def test_fastpath_matches_event_engine_on_synthetic_programs(program):
+    try:
+        event = MultiChipSimulator(program=program).run()
+        event_error = None
+    except SimulationError as error:
+        event, event_error = None, str(error)
+    try:
+        fast = simulate_block_fast(program)
+        fast_error = None
+    except SimulationError as error:
+        fast, fast_error = None, str(error)
+
+    assert event_error == fast_error
+    if event is not None:
+        assert_identical_results(event, fast)
+
+
+# ----------------------------------------------------------------------
+# Dispatch behaviour of simulate_block
+# ----------------------------------------------------------------------
+class TestDispatch:
+    def test_default_dispatch_equals_forced_engines(self, eight_chip_platform):
+        program = BlockScheduler(platform=eight_chip_platform).build(
+            autoregressive(tinyllama_42m(), 128)
+        )
+        default = simulate_block(program)
+        fast = simulate_block(program, engine="fast")
+        event = simulate_block(program, engine="event")
+        assert_identical_results(default, fast)
+        assert_identical_results(default, event)
+
+    def test_environment_variable_forces_event_engine(
+        self, eight_chip_platform, monkeypatch
+    ):
+        program = BlockScheduler(platform=eight_chip_platform).build(
+            autoregressive(tinyllama_42m(), 128)
+        )
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "event")
+        event = simulate_block(program)
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "fast")
+        fast = simulate_block(program)
+        assert_identical_results(event, fast)
+
+    def test_unknown_engine_name_rejected(self, eight_chip_platform):
+        program = BlockScheduler(platform=eight_chip_platform).build(
+            autoregressive(tinyllama_42m(), 128)
+        )
+        with pytest.raises(SimulationError, match="unknown simulation engine"):
+            simulate_block(program, engine="warp")
+
+    def test_forced_fast_engine_conflicts_with_record_events(
+        self, eight_chip_platform
+    ):
+        program = BlockScheduler(platform=eight_chip_platform).build(
+            autoregressive(tinyllama_42m(), 128)
+        )
+        with pytest.raises(SimulationError, match="event engine"):
+            simulate_block(program, record_events=True, engine="fast")
+        # The environment variable is a preference, not a command: traced
+        # runs quietly use the event engine.
+        os_traced = simulate_block(program, record_events=True)
+        assert os_traced.chip_trace(0).events
+
+    def test_record_events_uses_event_engine_with_identical_totals(
+        self, four_chip_platform
+    ):
+        program = BlockScheduler(platform=four_chip_platform).build(
+            autoregressive(tinyllama_42m(), 128)
+        )
+        traced = simulate_block(program, record_events=True)
+        fast = simulate_block(program)
+        assert traced.chip_trace(0).events  # per-step spans were kept
+        assert not fast.chip_trace(0).events
+        assert_identical_results(traced, fast)
+
+    def test_unsupported_step_falls_back_to_event_engine(self):
+        class ExoticStep(Step):
+            pass
+
+        schedules = {
+            0: ChipSchedule(chip_id=0, steps=(ExoticStep(name="weird"),)),
+            1: ChipSchedule(chip_id=1, steps=()),
+        }
+        program = _make_program(schedules)
+        with pytest.raises(UnsupportedProgramError):
+            simulate_block_fast(program)
+        # The dispatcher falls back to the event engine, which reports
+        # the unknown step as a proper simulation error.
+        with pytest.raises(SimulationError, match="unknown step type"):
+            simulate_block(program)
+
+    def test_forced_fast_engine_surfaces_unsupported_steps(self):
+        class ExoticStep(Step):
+            pass
+
+        schedules = {
+            0: ChipSchedule(chip_id=0, steps=(ExoticStep(name="weird"),)),
+            1: ChipSchedule(chip_id=1, steps=()),
+        }
+        program = _make_program(schedules)
+        with pytest.raises(UnsupportedProgramError):
+            simulate_block(program, engine="fast")
+
+
+class TestProgramPickling:
+    """Compact pickling must not lose information."""
+
+    def test_scheduler_built_program_round_trips(self, eight_chip_platform):
+        import pickle
+
+        program = BlockScheduler(platform=eight_chip_platform).build(
+            autoregressive(tinyllama_42m(), 128)
+        )
+        clone = pickle.loads(pickle.dumps(program))
+        # Schedules were dropped from the pickle and rebuilt on access.
+        assert "schedules" not in clone.__dict__
+        for chip_id in program.chip_ids:
+            assert clone.schedule(chip_id) == program.schedule(chip_id)
+        assert clone.memory_plans == program.memory_plans
+        assert_identical_results(
+            simulate_block_fast(program), simulate_block_fast(clone)
+        )
+
+    def test_hand_built_program_keeps_schedules_verbatim(self):
+        import pickle
+
+        schedules = {
+            0: ChipSchedule(
+                chip_id=0,
+                steps=(ComputeStep(name="custom-kernel", compute_cycles=123.0),),
+            ),
+            1: ChipSchedule(chip_id=1, steps=()),
+        }
+        program = _make_program(schedules)
+        clone = pickle.loads(pickle.dumps(program))
+        # No canonical-schedule mark: the exact steps must survive, not
+        # be replaced by what the default scheduler would build.
+        assert "schedules" in clone.__dict__
+        assert clone.schedule(0).steps[0].name == "custom-kernel"
+        assert clone.schedules == program.schedules
+
+    def test_content_hash_memo_stays_out_of_pickles(self):
+        import pickle
+
+        from repro.api.session import content_hash
+
+        workload = autoregressive(tinyllama_42m(), 128)
+        platform = siracusa_platform(4)
+        content_hash(workload, platform)  # writes the per-instance memos
+        assert "_repro_canonical_memo" in workload.__dict__
+        for obj in (workload, workload.config, platform):
+            clone = pickle.loads(pickle.dumps(obj))
+            assert "_repro_canonical_memo" not in clone.__dict__
+            assert clone == obj
