@@ -110,10 +110,41 @@ def searcher_shootout() -> None:
     )
 
 
+def declarative_twin() -> None:
+    """The same grid study as data, plus a serving run on the winner.
+
+    The shipped "platform-tuning" study (examples/specs/platform_tuning.json,
+    `repro study run platform-tuning`) declares study 1 as a tune stage and
+    then serves traffic on the best design via a `platform_from` stage
+    reference — no Python required.
+    """
+    from repro.api import Study
+    from repro.spec import get_study
+
+    print("4) The declarative twin: `repro study run platform-tuning`")
+    result = Study(get_study("platform-tuning")).run()
+    tuned = result.stage("tune").result
+    imperative = SESSION.tune(
+        WORKLOAD,
+        SPACE,
+        searcher="grid",
+        budget=SPACE.size,
+        objectives=("latency", "hw_cost"),
+    )
+    agrees = {c.point for c in tuned.front} == {c.point for c in imperative.front}
+    served = result.stage("serve-best").result
+    print(f"   tune stage reproduces study 1's Pareto front: {agrees}")
+    print(
+        f"   serve-best stage ran on the tuned {served.num_chips}-chip "
+        f"design: p95 TTFT {served.metrics.ttft.p95 * 1e3:.1f} ms"
+    )
+
+
 def main() -> None:
     pareto_study()
     constrained_pick()
     searcher_shootout()
+    declarative_twin()
 
 
 if __name__ == "__main__":

@@ -75,6 +75,19 @@ def main() -> None:
     # of these strategies later returns the memoised results instantly.
     print("Strategy ablation on 8 chips (Table I style):")
     print(session.compare(workload, chips=8).render())
+    print()
+
+    # This whole script also ships as data: the "quickstart" study
+    # (examples/specs/quickstart.json, `repro study run quickstart`)
+    # declares the same three stages, and its artifacts match these
+    # imperative calls bit for bit.
+    from repro.api import Study
+    from repro.spec import get_study
+
+    study = Study(get_study("quickstart")).run()
+    declarative = study.stage("distributed").result
+    print("Declarative twin ('quickstart' study) agrees with the session "
+          f"calls: {declarative == distributed}")
 
 
 if __name__ == "__main__":

@@ -122,10 +122,45 @@ from .models import (
     tinyllama_scaled,
 )
 from .sim import MultiChipSimulator, SimulationResult, simulate_block
+from .spec import (
+    CompareSpec,
+    EvalSpec,
+    ModelSpec,
+    PlatformSpec,
+    ServingSpec,
+    SpaceSpec,
+    StageSpec,
+    StudySpec,
+    SweepSpec,
+    TraceSpec,
+    TuneSpec,
+    WorkloadSpec,
+    load_spec,
+)
+from .api.study import Study, StudyResult
 
-__version__ = "1.3.0"
+
+# The single source of truth for the package version: pyproject.toml
+# reads it back via `[tool.setuptools.dynamic]`, so installed metadata
+# and in-place (PYTHONPATH=src) checkouts can never disagree.
+__version__ = "1.4.0"
 
 __all__ = [
+    "CompareSpec",
+    "EvalSpec",
+    "ModelSpec",
+    "PlatformSpec",
+    "ServingSpec",
+    "SpaceSpec",
+    "StageSpec",
+    "Study",
+    "StudyResult",
+    "StudySpec",
+    "SweepSpec",
+    "TraceSpec",
+    "TuneSpec",
+    "WorkloadSpec",
+    "load_spec",
     "BlockPartition",
     "BlockProgram",
     "BlockReport",

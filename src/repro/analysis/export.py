@@ -157,16 +157,17 @@ def cache_info_to_dict(cache: "CacheInfo") -> Dict[str, int]:
     return dict(cache._asdict())
 
 
-def eval_sweep_to_json(
-    sweep: "EvalSweep", *, indent: int = 2, cache: "CacheInfo | None" = None
-) -> str:
-    """Serialise any strategy's chip-count sweep to a JSON document.
+def eval_sweep_to_dict(sweep: "EvalSweep") -> Dict[str, Any]:
+    """Flatten any strategy's chip-count sweep into primitives.
 
-    Pass the evaluating session's :meth:`~repro.api.Session.cache_info`
-    as ``cache`` to make memoisation reuse observable in the output.
+    This is the cache-free body of :func:`eval_sweep_to_json`, and the
+    per-stage artifact form the :class:`~repro.api.study.Study` runner
+    writes (cache statistics are deliberately absent: they depend on what
+    ran earlier in the session, so including them would break the
+    byte-determinism of study artifacts).
     """
     speedups = sweep.speedups()
-    document = {
+    return {
         "workload": sweep.workload.name,
         "strategy": sweep.strategy,
         "chip_counts": sweep.chip_counts,
@@ -175,19 +176,34 @@ def eval_sweep_to_json(
             for result in sweep.results
         ],
     }
+
+
+def eval_sweep_to_json(
+    sweep: "EvalSweep", *, indent: int = 2, cache: "CacheInfo | None" = None
+) -> str:
+    """Serialise any strategy's chip-count sweep to a JSON document.
+
+    Pass the evaluating session's :meth:`~repro.api.Session.cache_info`
+    as ``cache`` to make memoisation reuse observable in the output.
+    """
+    document = eval_sweep_to_dict(sweep)
     if cache is not None:
         document["cache"] = cache_info_to_dict(cache)
     return json.dumps(document, indent=indent, sort_keys=True)
 
 
-def tune_result_to_dict(result: "TuneResult") -> Dict[str, Any]:
+def tune_result_to_dict(
+    result: "TuneResult", *, include_cache: bool = True
+) -> Dict[str, Any]:
     """Flatten a :class:`~repro.dse.engine.TuneResult` into primitives.
 
     Candidates and the front appear in evaluation order; together with
     the deterministic searchers this makes the document byte-identical
-    across runs for equal seed/space/budget.
+    across runs for equal seed/space/budget.  ``include_cache=False``
+    drops the session cache statistics (which depend on evaluation
+    history, not on the tuning inputs) — the form study artifacts use.
     """
-    return {
+    document = {
         "workload": result.workload.name,
         "searcher": result.searcher,
         "seed": result.seed,
@@ -206,8 +222,10 @@ def tune_result_to_dict(result: "TuneResult") -> Dict[str, Any]:
         "evaluations_requested": result.evaluations_requested,
         "candidates": [candidate.as_dict() for candidate in result.candidates],
         "front": [candidate.as_dict() for candidate in result.front],
-        "cache": cache_info_to_dict(result.cache),
     }
+    if include_cache:
+        document["cache"] = cache_info_to_dict(result.cache)
+    return document
 
 
 def tune_result_to_json(result: "TuneResult", *, indent: int = 2) -> str:
@@ -215,9 +233,9 @@ def tune_result_to_json(result: "TuneResult", *, indent: int = 2) -> str:
     return json.dumps(tune_result_to_dict(result), indent=indent, sort_keys=True)
 
 
-def comparison_to_json(comparison: "Comparison", *, indent: int = 2) -> str:
-    """Serialise a strategy ablation to a JSON document."""
-    document = {
+def comparison_to_dict(comparison: "Comparison") -> Dict[str, Any]:
+    """Flatten a strategy ablation into primitives."""
+    return {
         "workload": comparison.workload.name,
         "num_chips": comparison.num_chips,
         "strategies": comparison.strategies,
@@ -225,7 +243,11 @@ def comparison_to_json(comparison: "Comparison", *, indent: int = 2) -> str:
             eval_result_to_dict(result) for result in comparison.results
         ],
     }
-    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def comparison_to_json(comparison: "Comparison", *, indent: int = 2) -> str:
+    """Serialise a strategy ablation to a JSON document."""
+    return json.dumps(comparison_to_dict(comparison), indent=indent, sort_keys=True)
 
 
 def sweep_to_csv(sweep: SweepResult) -> str:

@@ -35,6 +35,7 @@ from .registry import (
 )
 from .result import EvalResult
 from .strategies import BASELINE_STRATEGIES, PAPER_STRATEGY
+from .study import StageOutcome, Study, StudyResult
 from .session import (
     CacheInfo,
     Comparison,
@@ -58,6 +59,9 @@ __all__ = [
     "PAPER_STRATEGY",
     "PartitionStrategy",
     "Session",
+    "StageOutcome",
+    "Study",
+    "StudyResult",
     "content_hash",
     "default_cache_dir",
     "default_session",

@@ -504,12 +504,37 @@ class Session:
         canonical_name = get_strategy(strategy).name
         return content_hash(canonical_name, workload, platform, options)
 
+    @staticmethod
+    def _as_spec(value, spec_type, *, defaults_only: bool) -> Optional[object]:
+        """``value`` as a runnable spec of ``spec_type``, if it is one.
+
+        Each evaluating method accepts either today's imperative
+        arguments or one spec object in the leading position; mixing the
+        two is rejected so a spec stays the complete description of the
+        call.
+        """
+        from ..spec.specs import SpecBase
+
+        if not isinstance(value, SpecBase):
+            return None
+        if not isinstance(value, spec_type):
+            raise AnalysisError(
+                f"expected a {spec_type.__name__} (or imperative arguments), "
+                f"got a {type(value).__name__}"
+            )
+        if not defaults_only:
+            raise AnalysisError(
+                f"a {spec_type.__name__} is a complete description of the "
+                "call; pass either the spec or keyword arguments, not both"
+            )
+        return value
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def run(
         self,
-        workload: Workload,
+        workload: Union[Workload, "object"],
         strategy: str = PAPER_STRATEGY,
         *,
         chips: Optional[int] = None,
@@ -518,10 +543,33 @@ class Session:
     ) -> EvalResult:
         """Evaluate one workload under one registered strategy.
 
+        The first argument may also be a :class:`repro.spec.EvalSpec`,
+        which fully describes the call (workload, platform preset,
+        strategy) and executes through the same memoised path.
+
         Results are memoised by content hash of (strategy, workload,
         platform, options): repeated calls with equal inputs return the
         cached :class:`EvalResult` object without re-simulating.
         """
+        # The isinstance gate keeps spec detection off the hot path:
+        # serving and DSE call run() thousands of times with a Workload.
+        if not isinstance(workload, Workload):
+            from ..spec.specs import EvalSpec
+
+            spec = self._as_spec(
+                workload,
+                EvalSpec,
+                defaults_only=(
+                    strategy == PAPER_STRATEGY
+                    and chips is None
+                    and platform is None
+                    and not record_events
+                ),
+            )
+            if spec is not None:
+                from ..spec.runner import execute
+
+                return execute(self, spec)
         resolved = self.resolve_platform(chips, platform)
         options = self.options(record_events=record_events)
         impl = get_strategy(strategy)
@@ -547,16 +595,19 @@ class Session:
 
     def sweep(
         self,
-        workload: Workload,
-        chips: Sequence[int],
+        workload: Union[Workload, "object"],
+        chips: Sequence[int] = (),
         *,
         strategy: str = PAPER_STRATEGY,
         parallel: Optional[int] = None,
     ) -> EvalSweep:
         """Evaluate ``workload`` across several chip counts.
 
+        The first argument may also be a :class:`repro.spec.SweepSpec`
+        (with ``chips`` omitted), which fully describes the sweep.
+
         Args:
-            workload: The workload to sweep.
+            workload: The workload to sweep (or a sweep spec).
             chips: Chip counts, in presentation order.
             strategy: Any registered strategy name.
             parallel: Optional process-pool width; uncached points are
@@ -564,6 +615,20 @@ class Session:
                 Sessions with custom kernel or energy models stay serial
                 (the models may not survive pickling).
         """
+        if not isinstance(workload, Workload):
+            from ..spec.specs import SweepSpec
+
+            spec = self._as_spec(
+                workload,
+                SweepSpec,
+                defaults_only=(
+                    not chips and strategy == PAPER_STRATEGY and parallel is None
+                ),
+            )
+            if spec is not None:
+                from ..spec.runner import execute
+
+                return execute(self, spec)
         if not chips:
             raise AnalysisError("chip_counts must not be empty")
         # Validate the chip counts before resolving the strategy so a bad
@@ -595,10 +660,29 @@ class Session:
     ) -> Comparison:
         """Evaluate several strategies on the same workload and platform.
 
+        The first argument may also be a :class:`repro.spec.CompareSpec`,
+        which fully describes the ablation.
+
         The default strategy list reproduces the seed's Table I ablation
         order: single chip, weight-replicated sequence parallelism,
         pipeline parallelism, then the paper's tensor-parallel scheme.
         """
+        if not isinstance(workload, Workload):
+            from ..spec.specs import CompareSpec
+
+            spec = self._as_spec(
+                workload,
+                CompareSpec,
+                defaults_only=(
+                    chips is None
+                    and platform is None
+                    and tuple(strategies) == tuple(BASELINE_STRATEGIES)
+                ),
+            )
+            if spec is not None:
+                from ..spec.runner import execute
+
+                return execute(self, spec)
         if not strategies:
             raise AnalysisError("compare needs at least one strategy")
         resolved = self.resolve_platform(chips, platform)
@@ -614,7 +698,7 @@ class Session:
     def serve(
         self,
         config,
-        trace,
+        trace=None,
         *,
         policy: str = "fifo",
         strategy: str = PAPER_STRATEGY,
@@ -625,6 +709,9 @@ class Session:
         slo_targets: Optional[Sequence[float]] = None,
     ):
         """Simulate request-level serving of ``config`` under a traffic trace.
+
+        The first argument may also be a :class:`repro.spec.ServingSpec`
+        (with ``trace`` omitted), which fully describes the simulation.
 
         Materialises the trace deterministically from ``seed``, serves it
         with the named scheduling policy on a
@@ -647,6 +734,32 @@ class Session:
             slo_targets: TTFT targets of the SLO-attainment curve
                 (defaults to the serving package's standard grid).
         """
+        if not isinstance(config, TransformerConfig):
+            from ..spec.specs import ServingSpec
+
+            spec = self._as_spec(
+                config,
+                ServingSpec,
+                defaults_only=(
+                    trace is None
+                    and policy == "fifo"
+                    and strategy == PAPER_STRATEGY
+                    and chips is None
+                    and platform is None
+                    and seed == 0
+                    and max_context == 1024
+                    and slo_targets is None
+                ),
+            )
+            if spec is not None:
+                from ..spec.runner import execute
+
+                return execute(self, spec)
+        if trace is None:
+            raise AnalysisError(
+                "serve needs a traffic trace (or a ServingSpec as the "
+                "single argument)"
+            )
         from ..serving.costs import RequestCostModel
         from ..serving.metrics import (
             DEFAULT_SLO_TTFT_TARGETS_S,
@@ -700,7 +813,7 @@ class Session:
 
     def tune(
         self,
-        workload: Workload,
+        workload: Union[Workload, "object"],
         space=None,
         *,
         searcher: str = "random",
@@ -711,6 +824,9 @@ class Session:
         serving=None,
     ):
         """Search a platform/partition design space for ``workload``.
+
+        The first argument may also be a :class:`repro.spec.TuneSpec`,
+        which fully describes the search (space included).
 
         Drives a registered search algorithm over a
         :class:`~repro.dse.space.SearchSpace` (the standard platform
@@ -738,6 +854,26 @@ class Session:
                 for serving-level objectives (``slo``,
                 ``energy_per_request``).
         """
+        if not isinstance(workload, Workload):
+            from ..spec.specs import TuneSpec
+
+            spec = self._as_spec(
+                workload,
+                TuneSpec,
+                defaults_only=(
+                    space is None
+                    and searcher == "random"
+                    and budget == 24
+                    and seed == 0
+                    and tuple(objectives) == ("latency", "energy")
+                    and not tuple(constraints)
+                    and serving is None
+                ),
+            )
+            if spec is not None:
+                from ..spec.runner import execute
+
+                return execute(self, spec)
         from ..dse.engine import run_tune
 
         return run_tune(

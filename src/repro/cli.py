@@ -18,7 +18,9 @@ without writing any Python:
   multi-objective search, Pareto front),
 * ``experiments`` — regenerate the paper's figures and tables,
 * ``verify``      — numerically verify the partitioning scheme's exactness,
-* ``cache``       — inspect or clear the persistent evaluation cache.
+* ``cache``       — inspect or clear the persistent evaluation cache,
+* ``study``       — run, validate, or scaffold declarative study specs,
+* ``studies``     — list the shipped (and registered) example studies.
 
 Every evaluating command runs through :class:`repro.api.Session`, so any
 strategy added with :func:`repro.api.register_strategy` (or scheduling
@@ -29,6 +31,14 @@ command line.  ``evaluate``, ``sweep``, ``compare``, ``serve``, and
 ``tune`` all take ``--json`` to emit one shared machine-readable format
 instead of the human tables; the Session-driven JSON documents include
 the session's cache statistics so memoisation reuse is observable.
+
+The same five commands (plus ``experiments``, for the studies it maps to)
+take ``--emit-spec``, which prints the invocation as a replayable
+:mod:`repro.spec` JSON document instead of running it; ``repro study run``
+replays such a document — or a whole multi-stage study file — bit for
+bit.  Invalid input of any kind (bad flags aside, which argparse reports
+itself) exits with status 2 and a one-line ``error: ...`` on stderr
+rather than a traceback.
 
 Every evaluating command also shares the persistent cross-process
 evaluation cache (:mod:`repro.api.cache`): results land on disk under
@@ -42,6 +52,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .analysis.export import (
@@ -56,28 +68,39 @@ from .api.registry import get_strategy, list_strategies
 from .api.session import EvalSweep, Session
 from .api.strategies import BASELINE_STRATEGIES, PAPER_STRATEGY
 from .core.placement import PrefetchAccounting
-from .errors import AnalysisError
+from .errors import AnalysisError, ReproError
 from .graph.transformer import InferenceMode
-from .graph.workload import Workload
 from .models.registry import get_model, list_models
+from .spec import (
+    CompareSpec,
+    EvalSpec,
+    ModelSpec,
+    PlatformSpec,
+    ServingSpec,
+    SweepSpec,
+    TraceSpec,
+    TuneSpec,
+    WorkloadSpec,
+)
 from .units import format_bytes, format_energy, format_time
-
-#: Default sequence lengths per inference mode (the paper's setup).
-_DEFAULT_SEQ_LEN = {
-    InferenceMode.AUTOREGRESSIVE: 128,
-    InferenceMode.PROMPT: 16,
-    InferenceMode.ENCODER: 268,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Distributed Transformer inference on low-power MCUs "
             "(DATE 2025 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
     )
     _add_cache_arguments(parser, suppress=False)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -372,6 +395,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_argument(tune)
 
+    studies = subparsers.add_parser(
+        "studies", help="list the registered example studies"
+    )
+    del studies  # listing-only: no further arguments
+
+    study = subparsers.add_parser(
+        "study",
+        help="run, validate, or scaffold declarative study specs",
+        description=(
+            "run: execute a study spec (a JSON file or a registered study "
+            "name; single-command specs emitted by --emit-spec are wrapped "
+            "into a one-stage study) and print a summary. "
+            "validate: check one or more spec files without running them. "
+            "init: print (or write) a starter study template."
+        ),
+    )
+    study.add_argument(
+        "action",
+        choices=["run", "validate", "init"],
+        help="what to do with the spec(s)",
+    )
+    study.add_argument(
+        "target",
+        nargs="*",
+        help=(
+            "spec file path(s); `run` also accepts a registered study name "
+            "(see `repro studies`)"
+        ),
+    )
+    study.add_argument(
+        "--output-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write per-stage artifacts plus the study.json manifest to DIR",
+    )
+    study.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="for `init`: write the template here instead of stdout",
+    )
+    _add_json_argument(study)
+
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's figures and tables"
     )
@@ -410,8 +478,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     # The cache flags are accepted both before the subcommand (the global
     # position) and after it, where most users type them.
-    for evaluating in (evaluate, sweep, compare, serve, tune, experiments, cache):
+    for evaluating in (
+        evaluate, sweep, compare, serve, tune, experiments, cache, study,
+    ):
         _add_cache_arguments(evaluating, suppress=True)
+
+    # Every spec-expressible command can print its invocation as a
+    # replayable spec document instead of running it.
+    for emitting in (evaluate, sweep, compare, serve, tune, experiments):
+        emitting.add_argument(
+            "--emit-spec",
+            action="store_true",
+            help=(
+                "print this invocation as a replayable repro.spec JSON "
+                "document (see `repro study run`) instead of executing it"
+            ),
+        )
 
     return parser
 
@@ -489,13 +571,6 @@ def _add_cache_arguments(
     )
 
 
-def _workload_from_args(args: argparse.Namespace) -> Workload:
-    config = get_model(args.model)
-    mode = InferenceMode(args.mode)
-    seq_len = args.seq_len if args.seq_len is not None else _DEFAULT_SEQ_LEN[mode]
-    return Workload(config=config, mode=mode, seq_len=seq_len)
-
-
 def _session_from_args(args: argparse.Namespace) -> Session:
     """A session honouring the prefetch and persistent-cache flags.
 
@@ -512,6 +587,125 @@ def _session_from_args(args: argparse.Namespace) -> Session:
         prefetch_accounting=prefetch,
         cache_dir=getattr(args, "cache_dir", None),
         persistent=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Invocation -> spec capture (--emit-spec and the execution path)
+# ----------------------------------------------------------------------
+def _workload_spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec(
+        model=ModelSpec(name=args.model),
+        mode=args.mode,
+        seq_len=args.seq_len,
+    )
+
+
+def _evaluate_spec_from_args(args: argparse.Namespace) -> EvalSpec:
+    return EvalSpec(
+        workload=_workload_spec_from_args(args),
+        strategy=args.strategy,
+        platform=PlatformSpec(chips=args.chips),
+        prefetch=args.prefetch,
+    )
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    return SweepSpec(
+        workload=_workload_spec_from_args(args),
+        chips=tuple(args.chips),
+        strategy=args.strategy,
+        parallel=args.parallel,
+        prefetch=args.prefetch,
+    )
+
+
+def _compare_spec_from_args(args: argparse.Namespace) -> CompareSpec:
+    return CompareSpec(
+        workload=_workload_spec_from_args(args),
+        strategies=tuple(args.strategies),
+        platform=PlatformSpec(chips=args.chips),
+        prefetch=args.prefetch,
+    )
+
+
+def _trace_spec_from_args(args: argparse.Namespace) -> TraceSpec:
+    if args.replay is not None:
+        if args.seed is not None:
+            raise AnalysisError(
+                "--seed has no effect with --replay (the trace is replayed "
+                "verbatim); drop one of the two flags"
+            )
+        return TraceSpec(source="replay", path=args.replay)
+    return TraceSpec(
+        source=args.trace,
+        rate_rps=args.arrival_rate,
+        duration_s=args.duration,
+        burst_rate_rps=args.burst_rate,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        mean_think_s=args.think_time,
+        prompt_mean=args.prompt_mean,
+        output_mean=args.output_mean,
+        prompt_max=args.prompt_max,
+        output_max=args.output_max,
+        priority_levels=args.priority_levels,
+    )
+
+
+def _serve_spec_from_args(args: argparse.Namespace) -> ServingSpec:
+    return ServingSpec(
+        model=ModelSpec(name=args.model),
+        trace=_trace_spec_from_args(args),
+        policy=args.policy,
+        strategy=args.strategy,
+        platform=PlatformSpec(chips=args.chips),
+        seed=args.seed if args.seed is not None else 0,
+        slo_targets=tuple(args.slo_ttft) if args.slo_ttft is not None else None,
+    )
+
+
+def _tune_spec_from_args(args: argparse.Namespace) -> TuneSpec:
+    from .spec import AxisSpec, SpaceSpec
+
+    chips = tuple(args.chips) if args.chips else (1, 2, 4, 8)
+    link = (
+        tuple(args.link_gbps) if args.link_gbps
+        else (0.125, 0.25, 0.5, 1.0, 2.0)
+    )
+    l2 = tuple(args.l2_kib) if args.l2_kib else (1024, 2048, 4096)
+    freq = tuple(args.freq_mhz) if args.freq_mhz else (300.0, 500.0)
+    strategies = tuple(args.strategies) if args.strategies else ("paper",)
+    space = SpaceSpec(
+        axes=(
+            AxisSpec(axis="choice", name="chips", choices=chips),
+            AxisSpec(
+                axis="float",
+                name="link_gbps",
+                low=min(link),
+                high=max(link),
+                levels=link,
+            ),
+            AxisSpec(axis="choice", name="l2_kib", choices=l2),
+            AxisSpec(
+                axis="float",
+                name="freq_mhz",
+                low=min(freq),
+                high=max(freq),
+                levels=freq,
+            ),
+            AxisSpec(axis="choice", name="strategy", choices=strategies),
+        )
+    )
+    return TuneSpec(
+        workload=_workload_spec_from_args(args),
+        space=space,
+        searcher=args.searcher,
+        budget=args.budget,
+        seed=args.seed,
+        objectives=tuple(args.objectives),
+        constraints=tuple(args.constraint),
+        prefetch=args.prefetch,
     )
 
 
@@ -583,9 +777,11 @@ def _command_searchers() -> List[str]:
 
 
 def _command_evaluate(args: argparse.Namespace) -> List[str]:
-    workload = _workload_from_args(args)
+    spec = _evaluate_spec_from_args(args)
+    if args.emit_spec:
+        return [spec.to_json().rstrip("\n")]
     session = _session_from_args(args)
-    result = session.run(workload, args.strategy, chips=args.chips)
+    result = session.run(spec)
     if args.json:
         return [json.dumps(eval_result_to_dict(result), indent=2, sort_keys=True)]
     lines = [
@@ -638,7 +834,9 @@ def _strategy_sweep_table(sweep: EvalSweep) -> str:
 
 
 def _command_sweep(args: argparse.Namespace) -> List[str]:
-    workload = _workload_from_args(args)
+    spec = _sweep_spec_from_args(args)
+    if args.emit_spec:
+        return [spec.to_json().rstrip("\n")]
     session = _session_from_args(args)
     if args.json and args.output and not args.output.lower().endswith(".json"):
         # Pure argument validation: fail before the (possibly long) sweep.
@@ -646,9 +844,8 @@ def _command_sweep(args: argparse.Namespace) -> List[str]:
             f"--json writes a JSON document; use a .json path "
             f"(got {args.output!r}) or drop --json for the CSV exporter"
         )
-    sweep = session.sweep(
-        workload, args.chips, strategy=args.strategy, parallel=args.parallel
-    )
+    workload = spec.workload.build()
+    sweep = session.sweep(spec)
     if args.json:
         lines = [eval_sweep_to_json(sweep, cache=session.cache_info())]
         if args.output:
@@ -677,18 +874,18 @@ def _command_sweep(args: argparse.Namespace) -> List[str]:
 
 
 def _command_compare(args: argparse.Namespace) -> List[str]:
-    workload = _workload_from_args(args)
+    spec = _compare_spec_from_args(args)
+    if args.emit_spec:
+        return [spec.to_json().rstrip("\n")]
     session = _session_from_args(args)
-    comparison = session.compare(
-        workload, chips=args.chips, strategies=args.strategies
-    )
+    comparison = session.compare(spec)
     if args.json:
         return [comparison_to_json(comparison)]
     best = comparison.best()
     return [
         (
             f"Strategy comparison on {comparison.num_chips} chips, "
-            f"workload {workload.name}"
+            f"workload {comparison.workload.name}"
         ),
         comparison.render(),
         (
@@ -699,68 +896,13 @@ def _command_compare(args: argparse.Namespace) -> List[str]:
 
 
 def _command_serve(args: argparse.Namespace) -> List[str]:
-    from .serving import (
-        BurstyTrace,
-        ClosedLoopTrace,
-        LengthModel,
-        PoissonTrace,
-        load_trace,
-        save_trace,
-    )
+    from .serving import save_trace
 
-    config = get_model(args.model)
-    lengths = LengthModel(
-        prompt_mean=args.prompt_mean,
-        output_mean=args.output_mean,
-        prompt_max=args.prompt_max,
-        output_max=args.output_max,
-    )
-    if args.replay is not None:
-        if args.seed is not None:
-            raise AnalysisError(
-                "--seed has no effect with --replay (the trace is replayed "
-                "verbatim); drop one of the two flags"
-            )
-        trace = load_trace(args.replay)
-    elif args.trace == "bursty":
-        burst_rate = (
-            args.burst_rate
-            if args.burst_rate is not None
-            else 4.0 * args.arrival_rate
-        )
-        trace = BurstyTrace(
-            base_rate_rps=args.arrival_rate,
-            burst_rate_rps=burst_rate,
-            duration_s=args.duration,
-            lengths=lengths,
-            priority_levels=args.priority_levels,
-        )
-    elif args.trace == "closed":
-        trace = ClosedLoopTrace(
-            clients=args.clients,
-            requests_per_client=args.requests_per_client,
-            mean_think_s=args.think_time,
-            lengths=lengths,
-            priority_levels=args.priority_levels,
-        )
-    else:
-        trace = PoissonTrace(
-            rate_rps=args.arrival_rate,
-            duration_s=args.duration,
-            lengths=lengths,
-            priority_levels=args.priority_levels,
-        )
-
+    spec = _serve_spec_from_args(args)
+    if args.emit_spec:
+        return [spec.to_json().rstrip("\n")]
     session = _session_from_args(args)
-    report = session.serve(
-        config,
-        trace,
-        policy=args.policy,
-        strategy=args.strategy,
-        chips=args.chips,
-        seed=args.seed if args.seed is not None else 0,
-        slo_targets=args.slo_ttft,
-    )
+    report = session.serve(spec)
     if args.save_trace is not None:
         save_trace(
             [record.request for record in report.result.records],
@@ -774,48 +916,46 @@ def _command_serve(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def _space_from_args(args: argparse.Namespace):
-    """Build the tune command's search space from the axis-override flags."""
-    from .dse import ChoiceAxis, FloatAxis, SearchSpace
-
-    chips = tuple(args.chips) if args.chips else (1, 2, 4, 8)
-    link = (
-        tuple(args.link_gbps) if args.link_gbps
-        else (0.125, 0.25, 0.5, 1.0, 2.0)
-    )
-    l2 = tuple(args.l2_kib) if args.l2_kib else (1024, 2048, 4096)
-    freq = tuple(args.freq_mhz) if args.freq_mhz else (300.0, 500.0)
-    strategies = tuple(args.strategies) if args.strategies else ("paper",)
-    return SearchSpace(
-        axes=(
-            ChoiceAxis("chips", chips),
-            FloatAxis("link_gbps", min(link), max(link), levels=link),
-            ChoiceAxis("l2_kib", l2),
-            FloatAxis("freq_mhz", min(freq), max(freq), levels=freq),
-            ChoiceAxis("strategy", strategies),
-        )
-    )
-
-
 def _command_tune(args: argparse.Namespace) -> List[str]:
-    workload = _workload_from_args(args)
+    spec = _tune_spec_from_args(args)
+    if args.emit_spec:
+        return [spec.to_json().rstrip("\n")]
     session = _session_from_args(args)
-    result = session.tune(
-        workload,
-        _space_from_args(args),
-        searcher=args.searcher,
-        budget=args.budget,
-        seed=args.seed,
-        objectives=tuple(args.objectives),
-        constraints=tuple(args.constraint),
-    )
+    result = session.tune(spec)
     if args.json:
         return [tune_result_to_json(result)]
     return [result.render()]
 
 
+#: ``experiments --only`` values that have a faithful shipped study.
+_EXPERIMENT_STUDIES = {
+    "fig4": "fig4",
+    "fig6": "fig6",
+    "table1": "table1",
+    "serving": "serving-capacity",
+}
+
+
 def _command_experiments(args: argparse.Namespace) -> List[str]:
     from .api.session import set_default_session
+
+    if getattr(args, "emit_spec", False):
+        from .spec import get_study
+
+        study_name = _EXPERIMENT_STUDIES.get(args.only)
+        if study_name is None:
+            expressible = ", ".join(sorted(_EXPERIMENT_STUDIES))
+            if args.only == "all":
+                raise AnalysisError(
+                    "--emit-spec needs a single experiment; pass --only "
+                    f"with one of: {expressible}"
+                )
+            raise AnalysisError(
+                f"experiment {args.only!r} has no declarative study "
+                "equivalent (it aggregates derived analytics); spec-"
+                f"expressible experiments: {expressible}"
+            )
+        return [get_study(study_name).to_json().rstrip("\n")]
 
     # The harnesses evaluate through the shared default session; install
     # one honouring the cache flags so figure regeneration also reuses
@@ -887,6 +1027,136 @@ def _command_cache(args: argparse.Namespace) -> List[str]:
     return lines
 
 
+#: The `repro study init` starter template, emitted verbatim.
+_STUDY_TEMPLATE = {
+    "schema": 1,
+    "kind": "study",
+    "name": "my-study",
+    "description": "Evaluate one block, then sweep chip counts.",
+    "stages": [
+        {
+            "kind": "stage",
+            "name": "evaluate-8",
+            "spec": {
+                "kind": "evaluate",
+                "workload": {
+                    "kind": "workload",
+                    "model": {"kind": "model", "name": "tinyllama-42m"},
+                    "mode": "autoregressive",
+                    "seq_len": 128,
+                },
+                "strategy": "paper",
+                "platform": {"kind": "platform", "chips": 8},
+            },
+        },
+        {
+            "kind": "stage",
+            "name": "sweep",
+            "spec": {"kind": "sweep", "chips": [1, 2, 4, 8]},
+        },
+    ],
+}
+
+
+def _load_study_target(target: str):
+    """Resolve a `study run` target: spec file path or registered name.
+
+    Single-command specs (as emitted by ``--emit-spec``) are wrapped into
+    a one-stage study so any captured invocation replays directly.
+    """
+    from .spec import (
+        RUNNABLE_KINDS,
+        StageSpec,
+        StudySpec,
+        get_study,
+        list_studies,
+        load_spec,
+    )
+
+    if not Path(target).exists():
+        if target in list_studies():
+            return get_study(target)
+        if not target.endswith(".json") and "/" not in target:
+            # Clearly meant as a registry name, not a path: say what the
+            # registry actually holds instead of "no such file".
+            raise AnalysisError(
+                f"no registered study (and no spec file) named {target!r}; "
+                "registered studies: " + ", ".join(list_studies())
+            )
+    spec = load_spec(target)
+    if isinstance(spec, StudySpec):
+        return spec
+    if type(spec) in RUNNABLE_KINDS.values():
+        return StudySpec(
+            name="adhoc",
+            description=f"single {spec.kind} spec from {target}",
+            stages=(StageSpec(name=spec.kind, spec=spec),),
+        )
+    raise AnalysisError(
+        f"{target} holds a {spec.kind!r} spec, which is not runnable on "
+        "its own; `repro study run` takes a study or a single evaluating "
+        "command's spec"
+    )
+
+
+def _command_study(args: argparse.Namespace) -> List[str]:
+    from .api.study import Study
+    from .spec import load_spec
+
+    if args.action == "init":
+        text = json.dumps(_STUDY_TEMPLATE, indent=2, sort_keys=True) + "\n"
+        if args.output is not None:
+            Path(args.output).write_text(text, encoding="utf-8")
+            return [f"wrote template {args.output}"]
+        return [text.rstrip("\n")]
+
+    if args.action == "validate":
+        if not args.target:
+            raise AnalysisError("study validate needs at least one spec file")
+        lines = []
+        for target in args.target:
+            spec = load_spec(target)
+            validate = getattr(spec, "validate", None)
+            if validate is None:
+                raise AnalysisError(
+                    f"{target}: a {spec.kind!r} spec has no validator"
+                )
+            validate(path=target)
+            detail = (
+                f"{len(spec.stages)} stage(s)"
+                if hasattr(spec, "stages")
+                else spec.kind
+            )
+            lines.append(f"ok: {target} ({detail})")
+        return lines
+
+    # action == "run"
+    if len(args.target) != 1:
+        raise AnalysisError(
+            "study run takes exactly one spec file or registered study name"
+        )
+    study_spec = _load_study_target(args.target[0])
+    runner = Study(study_spec, session=_session_from_args(args))
+    result = runner.run(args.output_dir)
+    if args.json:
+        return [json.dumps(result.to_document(), indent=2, sort_keys=True)]
+    lines = [result.render()]
+    if args.output_dir is not None:
+        lines.append(f"wrote {len(result.stages) + 1} file(s) to {args.output_dir}")
+    return lines
+
+
+def _command_studies() -> List[str]:
+    from .spec import get_study, list_studies, study_description
+
+    lines = []
+    for name in list_studies():
+        spec = get_study(name)
+        lines.append(f"{name:<20} {len(spec.stages):>3} stage(s)  "
+                     f"{study_description(name)}")
+    return lines
+
+
 def _command_verify(args: argparse.Namespace) -> List[str]:
     # Imported lazily: the numerical check is the only CLI path that
     # needs numpy, and every other subcommand must work without it.
@@ -904,40 +1174,72 @@ def _command_verify(args: argparse.Namespace) -> List[str]:
     ]
 
 
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> List[str]:
+    if args.command == "models":
+        return _command_models()
+    if args.command == "strategies":
+        return _command_strategies()
+    if args.command == "policies":
+        return _command_policies()
+    if args.command == "platforms":
+        return _command_platforms()
+    if args.command == "searchers":
+        return _command_searchers()
+    if args.command == "studies":
+        return _command_studies()
+    if args.command == "study":
+        return _command_study(args)
+    if args.command == "tune":
+        return _command_tune(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "evaluate":
+        return _command_evaluate(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "experiments":
+        return _command_experiments(args)
+    if args.command == "verify":
+        return _command_verify(args)
+    if args.command == "cache":
+        return _command_cache(args)
+    # pragma: no cover - argparse enforces the choices
+    parser.error(f"unknown command {args.command!r}")
+    raise AssertionError("unreachable")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro`` command-line interface."""
+    """Entry point of the ``repro`` command-line interface.
+
+    Invalid input of any kind — unknown registry names, malformed spec
+    documents, unreadable files, bad value combinations — exits with
+    status 2 and a single ``error: ...`` line on stderr, matching the
+    exit status argparse itself uses for unparseable flags.  Tracebacks
+    are reserved for genuine bugs.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "models":
-        lines = _command_models()
-    elif args.command == "strategies":
-        lines = _command_strategies()
-    elif args.command == "policies":
-        lines = _command_policies()
-    elif args.command == "platforms":
-        lines = _command_platforms()
-    elif args.command == "searchers":
-        lines = _command_searchers()
-    elif args.command == "tune":
-        lines = _command_tune(args)
-    elif args.command == "serve":
-        lines = _command_serve(args)
-    elif args.command == "evaluate":
-        lines = _command_evaluate(args)
-    elif args.command == "sweep":
-        lines = _command_sweep(args)
-    elif args.command == "compare":
-        lines = _command_compare(args)
-    elif args.command == "experiments":
-        lines = _command_experiments(args)
-    elif args.command == "verify":
-        lines = _command_verify(args)
-    elif args.command == "cache":
-        lines = _command_cache(args)
-    else:  # pragma: no cover - argparse enforces the choices
-        parser.error(f"unknown command {args.command!r}")
+    try:
+        lines = _dispatch(args, parser)
+    except ReproError as error:
+        message = " ".join(str(error).split())  # one line, however raised
+        print(f"error: {message}", file=sys.stderr)
         return 2
-    print("\n".join(lines))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        print("\n".join(lines))
+    except BrokenPipeError:
+        # The consumer (e.g. `repro studies | head`) closed the pipe;
+        # redirect stdout to devnull so the interpreter's final flush
+        # cannot raise again, and exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     return 0
 
 

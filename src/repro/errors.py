@@ -45,6 +45,15 @@ class AnalysisError(ReproError):
     """An analysis or experiment was asked to combine incompatible results."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative spec document (:mod:`repro.spec`) is invalid.
+
+    The message always starts with the JSON path of the offending field
+    (``stages[2].spec.workload.seq_len: ...``) so that a user editing a
+    study file can find the problem without reading a traceback.
+    """
+
+
 class UnknownStrategyError(ConfigurationError):
     """A partitioning strategy name is not present in the registry.
 

@@ -1,0 +1,75 @@
+"""Declarative spec layer: every experiment as data.
+
+This package turns each of the library's verbs into a typed, frozen,
+JSON-serialisable spec — :class:`EvalSpec`, :class:`SweepSpec`,
+:class:`CompareSpec`, :class:`ServingSpec`, :class:`TuneSpec` — plus the
+leaf specs they compose (:class:`ModelSpec`, :class:`WorkloadSpec`,
+:class:`PlatformSpec`, :class:`TraceSpec`, :class:`SpaceSpec`, ...), and
+:class:`StudySpec`, a named pipeline of stages with cross-stage
+references.  A spec can be saved, diffed, shared, validated
+(:meth:`~repro.spec.specs.StudySpec.validate`, with precise document
+paths), and replayed bit-for-bit:
+
+* pass a spec straight to :class:`repro.api.Session`
+  (``session.run(EvalSpec(...))``),
+* run a whole pipeline with :class:`repro.api.Study` or
+  ``repro study run <spec.json>``,
+* capture any CLI invocation as a spec with ``--emit-spec``.
+
+See ``docs/SPECS.md`` for the schema reference and
+:mod:`repro.spec.studies` for the shipped example studies.
+"""
+
+from .base import SPEC_SCHEMA_VERSION, SpecBase
+from .specs import (
+    AxisSpec,
+    CompareSpec,
+    DEFAULT_SEQ_LEN,
+    EvalSpec,
+    ModelSpec,
+    PlatformSpec,
+    RUNNABLE_KINDS,
+    RunnableSpec,
+    ScenarioSpec,
+    ServingSpec,
+    SpaceSpec,
+    StageSpec,
+    StudySpec,
+    SweepSpec,
+    TraceSpec,
+    TuneSpec,
+    WorkloadSpec,
+    load_spec,
+    loads,
+    spec_from_dict,
+)
+from .studies import get_study, list_studies, register_study, study_description
+
+__all__ = [
+    "AxisSpec",
+    "CompareSpec",
+    "DEFAULT_SEQ_LEN",
+    "EvalSpec",
+    "ModelSpec",
+    "PlatformSpec",
+    "RUNNABLE_KINDS",
+    "RunnableSpec",
+    "SPEC_SCHEMA_VERSION",
+    "ScenarioSpec",
+    "ServingSpec",
+    "SpaceSpec",
+    "SpecBase",
+    "StageSpec",
+    "StudySpec",
+    "SweepSpec",
+    "TraceSpec",
+    "TuneSpec",
+    "WorkloadSpec",
+    "get_study",
+    "list_studies",
+    "load_spec",
+    "loads",
+    "register_study",
+    "spec_from_dict",
+    "study_description",
+]

@@ -1,0 +1,284 @@
+"""Spec-layer foundation: schema version, serialisation, typed decoding.
+
+Every spec in :mod:`repro.spec` is a frozen dataclass deriving from
+:class:`SpecBase`.  The base class provides the generic half of the
+serialisation contract:
+
+* :meth:`SpecBase.to_dict` — a canonical, JSON-ready mapping: the spec's
+  ``kind`` tag plus every field whose value differs from the field's
+  default (so documents stay small and diffs stay meaningful);
+* :meth:`SpecBase.to_json` — the canonical document text: sorted keys,
+  two-space indent, a ``schema`` version tag, and a trailing newline —
+  byte-deterministic for equal specs.
+
+Decoding is hand-written per spec class (the types are the contract), but
+all of it goes through the :class:`Fields` reader below, which tracks the
+JSON path of every access so a validation failure reports *where* the
+document is wrong (``stages[2].spec.workload.seq_len: expected a positive
+integer``), and rejects unknown fields so typos cannot silently become
+defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import MISSING, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SpecError
+
+__all__ = [
+    "Fields",
+    "SPEC_SCHEMA_VERSION",
+    "SpecBase",
+    "check_schema",
+    "spec_error",
+]
+
+#: Version of the spec document schema.  Bump on any incompatible change
+#: to a spec's fields; :func:`check_schema` rejects documents written by a
+#: different version with a precise error instead of misparsing them.
+SPEC_SCHEMA_VERSION = 1
+
+
+def spec_error(path: str, message: str) -> SpecError:
+    """A :class:`SpecError` whose message leads with the JSON path."""
+    return SpecError(f"{path}: {message}")
+
+
+def check_schema(data: Mapping[str, Any], path: str) -> None:
+    """Validate an (optional) ``schema`` tag against this library's version."""
+    version = data.get("schema")
+    if version is None:
+        return
+    if version != SPEC_SCHEMA_VERSION:
+        raise spec_error(
+            f"{path}.schema",
+            f"unsupported spec schema version {version!r}; this library "
+            f"reads version {SPEC_SCHEMA_VERSION}",
+        )
+
+
+def _encode(value: Any) -> Any:
+    """Recursively encode a field value into JSON-ready primitives."""
+    if isinstance(value, SpecBase):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_encode(item) for item in value]
+    return value
+
+
+class SpecBase:
+    """Shared serialisation behaviour of every spec dataclass.
+
+    Subclasses set a ``kind`` class attribute (the dispatch tag of the
+    serialised form) and implement ``from_dict(data, path)``; the generic
+    encoder here derives :meth:`to_dict` from the dataclass fields.
+    """
+
+    kind: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical mapping form: the kind tag plus non-default fields."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        for field in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, field.name)
+            if field.default is not MISSING and value == field.default:
+                continue
+            if (
+                field.default_factory is not MISSING  # type: ignore[misc]
+                and value == field.default_factory()  # type: ignore[misc]
+            ):
+                continue
+            data[field.name] = _encode(value)
+        return data
+
+    def to_json(self) -> str:
+        """Canonical document text (schema tag, sorted keys, trailing newline)."""
+        document = {"schema": SPEC_SCHEMA_VERSION, **self.to_dict()}
+        return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+class Fields:
+    """Typed, path-tracking reader over one spec mapping.
+
+    Every accessor removes the field it read; :meth:`finish` then rejects
+    whatever remains, so an unknown (or misspelled) field is an error with
+    the exact document path rather than a silently applied default.
+    """
+
+    #: Sentinel distinguishing "no default" from "default None".
+    REQUIRED = object()
+
+    def __init__(self, data: Any, path: str, kind: str) -> None:
+        if not isinstance(data, Mapping):
+            raise spec_error(
+                path, f"expected a {kind!r} mapping, got {type(data).__name__}"
+            )
+        check_schema(data, path)
+        declared = data.get("kind")
+        if declared is not None and declared != kind:
+            raise spec_error(
+                f"{path}.kind", f"expected kind {kind!r}, got {declared!r}"
+            )
+        self._data = {
+            key: value
+            for key, value in data.items()
+            if key not in ("kind", "schema")
+        }
+        self.path = path
+        self.kind = kind
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def child_path(self, key: str) -> str:
+        return f"{self.path}.{key}"
+
+    def take(self, key: str, default: Any = REQUIRED) -> Any:
+        if key in self._data:
+            return self._data.pop(key)
+        if default is Fields.REQUIRED:
+            raise spec_error(
+                self.path, f"missing required field {key!r} of a {self.kind} spec"
+            )
+        return default
+
+    def has(self, key: str) -> bool:
+        return key in self._data
+
+    def finish(self) -> None:
+        """Reject any fields no accessor consumed."""
+        if self._data:
+            unknown = ", ".join(sorted(self._data))
+            raise spec_error(
+                self.path,
+                f"unknown field(s) {unknown} for a {self.kind} spec",
+            )
+
+    # ------------------------------------------------------------------
+    # Typed accessors
+    # ------------------------------------------------------------------
+    def str_(self, key: str, default: Any = REQUIRED) -> Any:
+        value = self.take(key, default)
+        if value is not default and not isinstance(value, str):
+            raise spec_error(
+                self.child_path(key), f"expected a string, got {value!r}"
+            )
+        return value
+
+    def opt_str(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        value = self.take(key, default)
+        if value is not None and not isinstance(value, str):
+            raise spec_error(
+                self.child_path(key), f"expected a string or null, got {value!r}"
+            )
+        return value
+
+    def bool_(self, key: str, default: Any = REQUIRED) -> Any:
+        value = self.take(key, default)
+        if value is not default and not isinstance(value, bool):
+            raise spec_error(
+                self.child_path(key), f"expected a boolean, got {value!r}"
+            )
+        return value
+
+    def int_(self, key: str, default: Any = REQUIRED) -> Any:
+        value = self.take(key, default)
+        if value is default:
+            return value
+        return self._as_int(self.child_path(key), value)
+
+    def opt_int(self, key: str, default: Optional[int] = None) -> Optional[int]:
+        value = self.take(key, default)
+        if value is None:
+            return None
+        return self._as_int(self.child_path(key), value)
+
+    def float_(self, key: str, default: Any = REQUIRED) -> Any:
+        value = self.take(key, default)
+        if value is default:
+            return value
+        return self._as_float(self.child_path(key), value)
+
+    def opt_float(
+        self, key: str, default: Optional[float] = None
+    ) -> Optional[float]:
+        value = self.take(key, default)
+        if value is None:
+            return None
+        return self._as_float(self.child_path(key), value)
+
+    def int_tuple(self, key: str, default: Any = REQUIRED) -> Any:
+        values = self._seq(key, default)
+        if not isinstance(values, (list, tuple)):
+            return values
+        return tuple(
+            self._as_int(f"{self.child_path(key)}[{index}]", value)
+            for index, value in enumerate(values)
+        )
+
+    def float_tuple(self, key: str, default: Any = REQUIRED) -> Any:
+        values = self._seq(key, default)
+        if not isinstance(values, (list, tuple)):
+            return values
+        return tuple(
+            self._as_float(f"{self.child_path(key)}[{index}]", value)
+            for index, value in enumerate(values)
+        )
+
+    def str_tuple(self, key: str, default: Any = REQUIRED) -> Any:
+        values = self._seq(key, default)
+        if not isinstance(values, (list, tuple)):
+            return values
+        for index, value in enumerate(values):
+            if not isinstance(value, str):
+                raise spec_error(
+                    f"{self.child_path(key)}[{index}]",
+                    f"expected a string, got {value!r}",
+                )
+        return tuple(values)
+
+    def value_tuple(self, key: str, default: Any = REQUIRED) -> Any:
+        """A tuple of JSON scalars (bool/int/float/str), type preserved."""
+        values = self._seq(key, default)
+        if not isinstance(values, (list, tuple)):
+            return values
+        for index, value in enumerate(values):
+            if not isinstance(value, (bool, int, float, str)):
+                raise spec_error(
+                    f"{self.child_path(key)}[{index}]",
+                    f"expected a scalar value, got {value!r}",
+                )
+        return tuple(values)
+
+    def seq(self, key: str, default: Any = REQUIRED) -> Any:
+        """A raw sequence (items decoded by the caller)."""
+        return self._seq(key, default)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _seq(self, key: str, default: Any) -> Any:
+        value = self.take(key, default)
+        if value is default or value is None:
+            return value
+        if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+            raise spec_error(
+                self.child_path(key), f"expected a list, got {value!r}"
+            )
+        return list(value)
+
+    @staticmethod
+    def _as_int(path: str, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            raise spec_error(path, f"expected an integer, got {value!r}")
+        return value
+
+    @staticmethod
+    def _as_float(path: str, value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise spec_error(path, f"expected a number, got {value!r}")
+        return float(value)

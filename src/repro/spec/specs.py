@@ -1,0 +1,1137 @@
+"""Typed, frozen, serialisable experiment specs.
+
+Every verb of the library — ``Session.run/sweep/compare/serve/tune`` —
+has a spec dataclass here that captures one invocation *as data*:
+
+* :class:`ModelSpec`, :class:`WorkloadSpec`, :class:`PlatformSpec` name
+  registry entries (models, platform presets) plus their parameters;
+* :class:`EvalSpec`, :class:`SweepSpec`, :class:`CompareSpec`,
+  :class:`ServingSpec`, :class:`TuneSpec` are the five *runnable* specs —
+  each knows how to resolve its names through the live registries and
+  execute itself on a :class:`~repro.api.Session`
+  (see :mod:`repro.spec.runner`);
+* :class:`StudySpec` composes any number of named runnable stages into a
+  pipeline, where later stages may reference earlier ones
+  (``platform_from`` a tune stage, ``chips_from`` a sweep stage).
+
+All specs round-trip losslessly through ``to_dict()`` / ``from_dict()``
+and JSON (:meth:`~repro.spec.base.SpecBase.to_json`, :func:`loads`,
+:func:`load_spec`), carry a schema version, and validate with precise
+document paths — see :mod:`repro.spec.base` for the machinery and
+``docs/SPECS.md`` for the schema reference.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, Union
+
+from ..core.placement import PrefetchAccounting
+from ..errors import ReproError, SpecError
+from ..graph.transformer import InferenceMode, TransformerConfig
+from ..graph.workload import Workload
+from ..hw.platform import MultiChipPlatform
+from .base import Fields, SpecBase, spec_error
+
+__all__ = [
+    "AxisSpec",
+    "CompareSpec",
+    "DEFAULT_SEQ_LEN",
+    "EvalSpec",
+    "ModelSpec",
+    "PlatformSpec",
+    "RUNNABLE_KINDS",
+    "RunnableSpec",
+    "ScenarioSpec",
+    "ServingSpec",
+    "SpaceSpec",
+    "StageSpec",
+    "StudySpec",
+    "SweepSpec",
+    "TraceSpec",
+    "TuneSpec",
+    "WorkloadSpec",
+    "load_spec",
+    "loads",
+    "spec_from_dict",
+]
+
+#: Default sequence lengths per inference mode (the paper's setup); shared
+#: with the CLI so ``--emit-spec`` and the flags agree by construction.
+DEFAULT_SEQ_LEN = {
+    InferenceMode.AUTOREGRESSIVE: 128,
+    InferenceMode.PROMPT: 16,
+    InferenceMode.ENCODER: 268,
+}
+
+#: Registered spec classes by kind tag (filled by ``_register``).
+_KINDS: Dict[str, Type[SpecBase]] = {}
+
+
+def _register(cls):
+    _KINDS[cls.kind] = cls
+    return cls
+
+
+def _wrap(path: str, error: ReproError) -> SpecError:
+    """Attach a document path to a registry/validation error."""
+    return spec_error(path, str(error))
+
+
+# ----------------------------------------------------------------------
+# Leaf specs: model, workload, platform
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class ModelSpec(SpecBase):
+    """A registered model configuration, by name."""
+
+    kind = "model"
+
+    name: str = "tinyllama-42m"
+
+    def validate(self, path: str = "$") -> None:
+        try:
+            self.build()
+        except ReproError as error:
+            raise _wrap(f"{path}.name", error) from None
+
+    def build(self) -> TransformerConfig:
+        """Resolve the name through the model registry."""
+        from ..models.registry import get_model
+
+        return get_model(self.name)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "ModelSpec":
+        if isinstance(data, str):  # shorthand: a bare registry name
+            return cls(name=data)
+        reader = Fields(data, path, cls.kind)
+        spec = cls(name=reader.str_("name", "tinyllama-42m"))
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class WorkloadSpec(SpecBase):
+    """A model plus inference mode and sequence length."""
+
+    kind = "workload"
+
+    model: ModelSpec = ModelSpec()
+    mode: str = "autoregressive"
+    seq_len: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in {m.value for m in InferenceMode}:
+            raise SpecError(
+                f"unknown inference mode {self.mode!r}; choose from "
+                + ", ".join(m.value for m in InferenceMode)
+            )
+        if self.seq_len is not None and self.seq_len <= 0:
+            raise SpecError(
+                f"seq_len must be positive, got {self.seq_len}"
+            )
+
+    def validate(self, path: str = "$") -> None:
+        self.model.validate(f"{path}.model")
+        try:
+            self.build()
+        except ReproError as error:
+            raise _wrap(path, error) from None
+
+    def build(self) -> Workload:
+        """Build the concrete workload (paper default seq_len per mode)."""
+        mode = InferenceMode(self.mode)
+        seq_len = (
+            self.seq_len if self.seq_len is not None else DEFAULT_SEQ_LEN[mode]
+        )
+        return Workload(
+            config=self.model.build(), mode=mode, seq_len=seq_len, name=self.label
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "WorkloadSpec":
+        reader = Fields(data, path, cls.kind)
+        model = reader.take("model", None)
+        try:
+            spec = cls(
+                model=(
+                    ModelSpec.from_dict(model, reader.child_path("model"))
+                    if model is not None
+                    else ModelSpec()
+                ),
+                mode=reader.str_("mode", "autoregressive"),
+                seq_len=reader.opt_int("seq_len"),
+                label=reader.opt_str("label"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class PlatformSpec(SpecBase):
+    """A registered hardware preset, optionally pinned to a chip count."""
+
+    kind = "platform"
+
+    preset: str = "siracusa-mipi"
+    chips: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.chips is not None and self.chips <= 0:
+            raise SpecError(f"chips must be positive, got {self.chips}")
+
+    def validate(self, path: str = "$") -> None:
+        from ..hw.presets import get_platform_preset
+
+        try:
+            get_platform_preset(self.preset)
+        except ReproError as error:
+            raise _wrap(f"{path}.preset", error) from None
+
+    def build(self, chips: Optional[int] = None) -> MultiChipPlatform:
+        """Materialise the preset (the preset's default chips if unpinned)."""
+        from ..hw.presets import get_platform_preset
+
+        count = chips if chips is not None else self.chips
+        return get_platform_preset(self.preset).build(count)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "PlatformSpec":
+        if isinstance(data, str):  # shorthand: a bare preset name
+            return cls(preset=data)
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                preset=reader.str_("preset", "siracusa-mipi"),
+                chips=reader.opt_int("chips"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+def _rescope(error: SpecError, path: str) -> SpecError:
+    """Prefix a post-init SpecError with the document path, once."""
+    message = str(error)
+    if message.startswith(f"{path}.") or message.startswith(f"{path}:"):
+        return error
+    return spec_error(path, message)
+
+
+def _prefetch_value(value: str) -> str:
+    choices = {policy.value for policy in PrefetchAccounting}
+    if value not in choices:
+        raise SpecError(
+            f"unknown prefetch accounting {value!r}; choose from "
+            + ", ".join(sorted(choices))
+        )
+    return value
+
+
+def _check_strategy(name: str, path: str) -> None:
+    from ..api.registry import get_strategy
+
+    try:
+        get_strategy(name)
+    except ReproError as error:
+        raise _wrap(path, error) from None
+
+
+# ----------------------------------------------------------------------
+# Runnable specs
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class EvalSpec(SpecBase):
+    """One ``Session.run`` invocation as data.
+
+    ``platform_from`` names an earlier *tune* stage of the enclosing
+    study; the evaluation then runs on that stage's best feasible design
+    (platform *and* strategy) instead of :attr:`platform`/:attr:`strategy`.
+    """
+
+    kind = "evaluate"
+
+    workload: WorkloadSpec = WorkloadSpec()
+    strategy: str = "paper"
+    platform: PlatformSpec = PlatformSpec()
+    platform_from: Optional[str] = None
+    prefetch: str = "hidden"
+
+    def __post_init__(self) -> None:
+        _prefetch_value(self.prefetch)
+
+    def validate(self, path: str = "$") -> None:
+        self.workload.validate(f"{path}.workload")
+        self.platform.validate(f"{path}.platform")
+        _check_strategy(self.strategy, f"{path}.strategy")
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "EvalSpec":
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                workload=_sub_workload(reader),
+                strategy=reader.str_("strategy", "paper"),
+                platform=_sub_platform(reader),
+                platform_from=reader.opt_str("platform_from"),
+                prefetch=reader.str_("prefetch", "hidden"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class SweepSpec(SpecBase):
+    """One ``Session.sweep`` invocation as data (chip-count sweep)."""
+
+    kind = "sweep"
+
+    workload: WorkloadSpec = WorkloadSpec()
+    chips: Tuple[int, ...] = (1, 2, 4, 8)
+    strategy: str = "paper"
+    platform: PlatformSpec = PlatformSpec()
+    parallel: Optional[int] = None
+    prefetch: str = "hidden"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "chips", tuple(self.chips))
+        if not self.chips:
+            raise SpecError("chips must name at least one chip count")
+        for count in self.chips:
+            if count <= 0:
+                raise SpecError(f"invalid chip count {count}")
+        if self.platform.chips is not None:
+            raise SpecError(
+                "a sweep's platform must not pin chips; the swept counts "
+                "come from the spec's own 'chips' field"
+            )
+        if self.parallel is not None and self.parallel <= 0:
+            raise SpecError(f"parallel must be positive, got {self.parallel}")
+        _prefetch_value(self.prefetch)
+
+    def validate(self, path: str = "$") -> None:
+        self.workload.validate(f"{path}.workload")
+        self.platform.validate(f"{path}.platform")
+        _check_strategy(self.strategy, f"{path}.strategy")
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "SweepSpec":
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                workload=_sub_workload(reader),
+                chips=reader.int_tuple("chips", (1, 2, 4, 8)),
+                strategy=reader.str_("strategy", "paper"),
+                platform=_sub_platform(reader),
+                parallel=reader.opt_int("parallel"),
+                prefetch=reader.str_("prefetch", "hidden"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class CompareSpec(SpecBase):
+    """One ``Session.compare`` invocation as data (strategy ablation)."""
+
+    kind = "compare"
+
+    workload: WorkloadSpec = WorkloadSpec()
+    strategies: Tuple[str, ...] = (
+        "single_chip",
+        "weight_replicated",
+        "pipeline_parallel",
+        "tensor_parallel",
+    )
+    platform: PlatformSpec = PlatformSpec()
+    platform_from: Optional[str] = None
+    prefetch: str = "hidden"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strategies", tuple(self.strategies))
+        if not self.strategies:
+            raise SpecError("strategies must name at least one strategy")
+        _prefetch_value(self.prefetch)
+
+    def validate(self, path: str = "$") -> None:
+        self.workload.validate(f"{path}.workload")
+        self.platform.validate(f"{path}.platform")
+        for index, name in enumerate(self.strategies):
+            _check_strategy(name, f"{path}.strategies[{index}]")
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "CompareSpec":
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                workload=_sub_workload(reader),
+                strategies=reader.str_tuple(
+                    "strategies",
+                    (
+                        "single_chip",
+                        "weight_replicated",
+                        "pipeline_parallel",
+                        "tensor_parallel",
+                    ),
+                ),
+                platform=_sub_platform(reader),
+                platform_from=reader.opt_str("platform_from"),
+                prefetch=reader.str_("prefetch", "hidden"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class TraceSpec(SpecBase):
+    """A declarative traffic trace (the serving generators' parameters)."""
+
+    kind = "trace"
+
+    source: str = "poisson"
+    rate_rps: float = 2.0
+    duration_s: float = 300.0
+    burst_rate_rps: Optional[float] = None
+    mean_base_s: float = 20.0
+    mean_burst_s: float = 5.0
+    clients: int = 8
+    requests_per_client: int = 16
+    mean_think_s: float = 1.0
+    prompt_mean: float = 64.0
+    output_mean: float = 32.0
+    sigma: float = 0.5
+    prompt_min: int = 1
+    prompt_max: int = 256
+    output_min: int = 1
+    output_max: int = 128
+    priority_levels: int = 1
+    path: Optional[str] = None
+
+    _SOURCES = ("poisson", "bursty", "closed", "replay")
+
+    def __post_init__(self) -> None:
+        if self.source not in self._SOURCES:
+            raise SpecError(
+                f"unknown trace source {self.source!r}; choose from "
+                + ", ".join(self._SOURCES)
+            )
+        if self.source == "replay" and not self.path:
+            raise SpecError("a replay trace needs a 'path' to the recorded JSON")
+        if self.source != "replay" and self.path is not None:
+            raise SpecError("'path' only applies to the replay source")
+
+    def validate(self, path: str = "$") -> None:
+        if self.source == "replay":
+            return  # the file is read at build time
+        try:
+            self._lengths()
+            self.build()
+        except ReproError as error:
+            raise _wrap(path, error) from None
+
+    def _lengths(self):
+        from ..serving.traces import LengthModel
+
+        return LengthModel(
+            prompt_mean=self.prompt_mean,
+            output_mean=self.output_mean,
+            sigma=self.sigma,
+            prompt_min=self.prompt_min,
+            prompt_max=self.prompt_max,
+            output_min=self.output_min,
+            output_max=self.output_max,
+        )
+
+    def build(self):
+        """Build the concrete :class:`~repro.serving.traces.TrafficTrace`."""
+        from ..serving.traces import (
+            BurstyTrace,
+            ClosedLoopTrace,
+            PoissonTrace,
+            load_trace,
+        )
+
+        if self.source == "replay":
+            assert self.path is not None
+            return load_trace(self.path)
+        lengths = self._lengths()
+        if self.source == "bursty":
+            burst = (
+                self.burst_rate_rps
+                if self.burst_rate_rps is not None
+                else 4.0 * self.rate_rps
+            )
+            return BurstyTrace(
+                base_rate_rps=self.rate_rps,
+                burst_rate_rps=burst,
+                duration_s=self.duration_s,
+                mean_base_s=self.mean_base_s,
+                mean_burst_s=self.mean_burst_s,
+                lengths=lengths,
+                priority_levels=self.priority_levels,
+            )
+        if self.source == "closed":
+            return ClosedLoopTrace(
+                clients=self.clients,
+                requests_per_client=self.requests_per_client,
+                mean_think_s=self.mean_think_s,
+                lengths=lengths,
+                priority_levels=self.priority_levels,
+            )
+        return PoissonTrace(
+            rate_rps=self.rate_rps,
+            duration_s=self.duration_s,
+            lengths=lengths,
+            priority_levels=self.priority_levels,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "TraceSpec":
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                source=reader.str_("source", "poisson"),
+                rate_rps=reader.float_("rate_rps", 2.0),
+                duration_s=reader.float_("duration_s", 300.0),
+                burst_rate_rps=reader.opt_float("burst_rate_rps"),
+                mean_base_s=reader.float_("mean_base_s", 20.0),
+                mean_burst_s=reader.float_("mean_burst_s", 5.0),
+                clients=reader.int_("clients", 8),
+                requests_per_client=reader.int_("requests_per_client", 16),
+                mean_think_s=reader.float_("mean_think_s", 1.0),
+                prompt_mean=reader.float_("prompt_mean", 64.0),
+                output_mean=reader.float_("output_mean", 32.0),
+                sigma=reader.float_("sigma", 0.5),
+                prompt_min=reader.int_("prompt_min", 1),
+                prompt_max=reader.int_("prompt_max", 256),
+                output_min=reader.int_("output_min", 1),
+                output_max=reader.int_("output_max", 128),
+                priority_levels=reader.int_("priority_levels", 1),
+                path=reader.opt_str("path"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class ServingSpec(SpecBase):
+    """One ``Session.serve`` invocation as data.
+
+    ``platform_from`` names an earlier tune stage; the simulation then
+    runs on that stage's best feasible design (platform and strategy).
+    """
+
+    kind = "serve"
+
+    model: ModelSpec = ModelSpec()
+    trace: TraceSpec = TraceSpec()
+    policy: str = "fifo"
+    strategy: str = "paper"
+    platform: PlatformSpec = PlatformSpec()
+    platform_from: Optional[str] = None
+    seed: int = 0
+    max_context: int = 1024
+    slo_targets: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.slo_targets is not None:
+            object.__setattr__(self, "slo_targets", tuple(self.slo_targets))
+        if self.max_context <= 0:
+            raise SpecError(
+                f"max_context must be positive, got {self.max_context}"
+            )
+
+    def validate(self, path: str = "$") -> None:
+        from ..serving.policies import get_policy
+
+        self.model.validate(f"{path}.model")
+        self.trace.validate(f"{path}.trace")
+        self.platform.validate(f"{path}.platform")
+        _check_strategy(self.strategy, f"{path}.strategy")
+        try:
+            get_policy(self.policy)
+        except ReproError as error:
+            raise _wrap(f"{path}.policy", error) from None
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "ServingSpec":
+        reader = Fields(data, path, cls.kind)
+        model = reader.take("model", None)
+        trace = reader.take("trace", None)
+        try:
+            spec = cls(
+                model=(
+                    ModelSpec.from_dict(model, reader.child_path("model"))
+                    if model is not None
+                    else ModelSpec()
+                ),
+                trace=(
+                    TraceSpec.from_dict(trace, reader.child_path("trace"))
+                    if trace is not None
+                    else TraceSpec()
+                ),
+                policy=reader.str_("policy", "fifo"),
+                strategy=reader.str_("strategy", "paper"),
+                platform=_sub_platform(reader),
+                platform_from=reader.opt_str("platform_from"),
+                seed=reader.int_("seed", 0),
+                max_context=reader.int_("max_context", 1024),
+                slo_targets=reader.float_tuple("slo_targets", None),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+# ----------------------------------------------------------------------
+# DSE specs
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class AxisSpec(SpecBase):
+    """One search-space axis: categorical choice, int grid, or float range."""
+
+    kind = "axis"
+
+    axis: str = "choice"
+    name: str = ""
+    choices: Optional[Tuple[Union[bool, int, float, str], ...]] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    step: int = 1
+    levels: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("an axis needs a non-empty name")
+        if self.axis == "choice":
+            if self.choices is None:
+                raise SpecError(
+                    f"choice axis {self.name!r} needs a 'choices' list"
+                )
+            object.__setattr__(self, "choices", tuple(self.choices))
+            if (
+                self.low is not None
+                or self.high is not None
+                or self.levels is not None
+            ):
+                raise SpecError(
+                    f"choice axis {self.name!r} takes only 'choices'"
+                )
+        elif self.axis == "int":
+            if self.low is None or self.high is None:
+                raise SpecError(f"int axis {self.name!r} needs 'low' and 'high'")
+            object.__setattr__(self, "low", int(self.low))
+            object.__setattr__(self, "high", int(self.high))
+            if self.choices is not None or self.levels is not None:
+                raise SpecError(
+                    f"int axis {self.name!r} takes 'low'/'high'/'step' only"
+                )
+        elif self.axis == "float":
+            if self.low is None or self.high is None:
+                raise SpecError(
+                    f"float axis {self.name!r} needs 'low' and 'high'"
+                )
+            object.__setattr__(self, "low", float(self.low))
+            object.__setattr__(self, "high", float(self.high))
+            if self.levels is not None:
+                object.__setattr__(
+                    self, "levels", tuple(float(level) for level in self.levels)
+                )
+            if self.choices is not None:
+                raise SpecError(
+                    f"float axis {self.name!r} takes 'low'/'high'/'levels' only"
+                )
+        else:
+            raise SpecError(
+                f"unknown axis type {self.axis!r}; choose choice, int, or float"
+            )
+
+    def validate(self, path: str = "$") -> None:
+        try:
+            self.build()
+        except ReproError as error:
+            raise _wrap(path, error) from None
+
+    def build(self):
+        """Build the concrete :mod:`repro.dse.space` axis."""
+        from ..dse.space import ChoiceAxis, FloatAxis, IntAxis
+
+        if self.axis == "choice":
+            assert self.choices is not None
+            return ChoiceAxis(self.name, self.choices)
+        if self.axis == "int":
+            return IntAxis(
+                self.name, int(self.low), int(self.high), step=self.step  # type: ignore[arg-type]
+            )
+        assert self.low is not None and self.high is not None
+        return FloatAxis(self.name, self.low, self.high, levels=self.levels)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "AxisSpec":
+        reader = Fields(data, path, cls.kind)
+        axis = reader.str_("axis", "choice")
+        try:
+            spec = cls(
+                axis=axis,
+                name=reader.str_("name", ""),
+                choices=reader.value_tuple("choices", None),
+                low=(
+                    reader.opt_int("low")
+                    if axis == "int"
+                    else reader.opt_float("low")
+                ),
+                high=(
+                    reader.opt_int("high")
+                    if axis == "int"
+                    else reader.opt_float("high")
+                ),
+                step=reader.int_("step", 1),
+                levels=reader.float_tuple("levels", None),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class SpaceSpec(SpecBase):
+    """An ordered set of axes — the serialisable form of a search space."""
+
+    kind = "space"
+
+    axes: Tuple[AxisSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        if not self.axes:
+            raise SpecError("a space needs at least one axis")
+
+    def validate(self, path: str = "$") -> None:
+        try:
+            self.build()
+        except ReproError as error:
+            raise _wrap(path, error) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.dse.space.SearchSpace`."""
+        from ..dse.space import SearchSpace
+
+        return SearchSpace(axes=tuple(axis.build() for axis in self.axes))
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "SpaceSpec":
+        reader = Fields(data, path, cls.kind)
+        raw_axes = reader.seq("axes")
+        axes = tuple(
+            AxisSpec.from_dict(item, f"{reader.child_path('axes')}[{index}]")
+            for index, item in enumerate(raw_axes)
+        )
+        try:
+            spec = cls(axes=axes)
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class ScenarioSpec(SpecBase):
+    """The fixed serving scenario behind serving-level tune objectives."""
+
+    kind = "serving_scenario"
+
+    rate_rps: float = 2.0
+    duration_s: float = 20.0
+    policy: str = "fifo"
+    seed: int = 0
+    ttft_slo_s: float = 1.0
+    max_context: int = 1024
+
+    def validate(self, path: str = "$") -> None:
+        from ..serving.policies import get_policy
+
+        try:
+            get_policy(self.policy)
+        except ReproError as error:
+            raise _wrap(f"{path}.policy", error) from None
+        try:
+            self.build()
+        except ReproError as error:
+            raise _wrap(path, error) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.dse.engine.ServingScenario`."""
+        from ..dse.engine import ServingScenario
+
+        return ServingScenario(
+            rate_rps=self.rate_rps,
+            duration_s=self.duration_s,
+            policy=self.policy,
+            seed=self.seed,
+            ttft_slo_s=self.ttft_slo_s,
+            max_context=self.max_context,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "ScenarioSpec":
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                rate_rps=reader.float_("rate_rps", 2.0),
+                duration_s=reader.float_("duration_s", 20.0),
+                policy=reader.str_("policy", "fifo"),
+                seed=reader.int_("seed", 0),
+                ttft_slo_s=reader.float_("ttft_slo_s", 1.0),
+                max_context=reader.int_("max_context", 1024),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class TuneSpec(SpecBase):
+    """One ``Session.tune`` invocation as data.
+
+    ``chips_from`` names an earlier *sweep* stage of the enclosing study;
+    the search space's ``chips`` axis is then pinned to the fastest chip
+    count that sweep measured.
+    """
+
+    kind = "tune"
+
+    workload: WorkloadSpec = WorkloadSpec()
+    space: Optional[SpaceSpec] = None
+    searcher: str = "random"
+    budget: int = 24
+    seed: int = 0
+    objectives: Tuple[str, ...] = ("latency", "energy")
+    constraints: Tuple[str, ...] = ()
+    serving: Optional[ScenarioSpec] = None
+    chips_from: Optional[str] = None
+    prefetch: str = "hidden"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "objectives", tuple(self.objectives))
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        if self.budget <= 0:
+            raise SpecError(f"budget must be positive, got {self.budget}")
+        if not self.objectives:
+            raise SpecError("tune needs at least one objective")
+        _prefetch_value(self.prefetch)
+
+    def validate(self, path: str = "$") -> None:
+        from ..dse.objectives import get_objective
+        from ..dse.pareto import parse_constraint
+        from ..dse.searchers import get_searcher
+
+        self.workload.validate(f"{path}.workload")
+        if self.space is not None:
+            self.space.validate(f"{path}.space")
+        if self.serving is not None:
+            self.serving.validate(f"{path}.serving")
+        try:
+            get_searcher(self.searcher)
+        except ReproError as error:
+            raise _wrap(f"{path}.searcher", error) from None
+        for index, name in enumerate(self.objectives):
+            try:
+                get_objective(name)
+            except ReproError as error:
+                raise _wrap(f"{path}.objectives[{index}]", error) from None
+        for index, expr in enumerate(self.constraints):
+            try:
+                constraint = parse_constraint(expr)
+                get_objective(constraint.objective)
+            except ReproError as error:
+                raise _wrap(f"{path}.constraints[{index}]", error) from None
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "TuneSpec":
+        reader = Fields(data, path, cls.kind)
+        space = reader.take("space", None)
+        serving = reader.take("serving", None)
+        try:
+            spec = cls(
+                workload=_sub_workload(reader),
+                space=(
+                    SpaceSpec.from_dict(space, reader.child_path("space"))
+                    if space is not None
+                    else None
+                ),
+                searcher=reader.str_("searcher", "random"),
+                budget=reader.int_("budget", 24),
+                seed=reader.int_("seed", 0),
+                objectives=reader.str_tuple("objectives", ("latency", "energy")),
+                constraints=reader.str_tuple("constraints", ()),
+                serving=(
+                    ScenarioSpec.from_dict(serving, reader.child_path("serving"))
+                    if serving is not None
+                    else None
+                ),
+                chips_from=reader.opt_str("chips_from"),
+                prefetch=reader.str_("prefetch", "hidden"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+#: The five spec kinds a study stage (or ``Session`` method) can execute.
+RunnableSpec = Union[EvalSpec, SweepSpec, CompareSpec, ServingSpec, TuneSpec]
+
+#: Kind tag -> runnable spec class.
+RUNNABLE_KINDS: Dict[str, Type[SpecBase]] = {
+    EvalSpec.kind: EvalSpec,
+    SweepSpec.kind: SweepSpec,
+    CompareSpec.kind: CompareSpec,
+    ServingSpec.kind: ServingSpec,
+    TuneSpec.kind: TuneSpec,
+}
+
+#: Which stage kind each reference field must point at.
+_REFERENCES = (
+    ("platform_from", "tune"),
+    ("chips_from", "sweep"),
+)
+
+_STAGE_NAME = re.compile(r"^[a-z0-9][a-z0-9_\-]*$")
+
+
+# ----------------------------------------------------------------------
+# Studies
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class StageSpec(SpecBase):
+    """One named stage of a study: a runnable spec plus its artifact name.
+
+    Both fields are required (no defaults), so the serialised form always
+    carries them — a stage without a spec is meaningless.
+    """
+
+    kind = "stage"
+
+    name: str
+    spec: RunnableSpec
+
+    def __post_init__(self) -> None:
+        if not _STAGE_NAME.match(self.name):
+            raise SpecError(
+                f"invalid stage name {self.name!r}; use lowercase letters, "
+                "digits, '-' and '_' (the name becomes the artifact filename)"
+            )
+        if self.name == "study":
+            raise SpecError(
+                "stage name 'study' is reserved: its artifact would collide "
+                "with the study.json manifest"
+            )
+        if type(self.spec) not in RUNNABLE_KINDS.values():
+            raise SpecError(
+                f"stage {self.name!r} holds a non-runnable spec "
+                f"{type(self.spec).__name__}; runnable kinds: "
+                + ", ".join(sorted(RUNNABLE_KINDS))
+            )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "StageSpec":
+        reader = Fields(data, path, cls.kind)
+        name = reader.str_("name")
+        raw = reader.take("spec")
+        spec_path = reader.child_path("spec")
+        if not isinstance(raw, Mapping):
+            raise spec_error(spec_path, f"expected a spec mapping, got {raw!r}")
+        declared = raw.get("kind")
+        if declared not in RUNNABLE_KINDS:
+            raise spec_error(
+                f"{spec_path}.kind",
+                f"stage specs must be one of "
+                f"{', '.join(sorted(RUNNABLE_KINDS))}; got {declared!r}",
+            )
+        inner = RUNNABLE_KINDS[declared].from_dict(raw, spec_path)  # type: ignore[attr-defined]
+        try:
+            spec = cls(name=name, spec=inner)  # type: ignore[arg-type]
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class StudySpec(SpecBase):
+    """A named pipeline of runnable stages — a whole experiment as data.
+
+    Stages execute in order through one shared session; later stages may
+    reference earlier ones by name (``platform_from`` a tune stage,
+    ``chips_from`` a sweep stage).  :meth:`validate` checks every
+    registry name and reference without running anything — the contract
+    behind ``repro study validate``.
+    """
+
+    kind = "study"
+
+    name: str = ""
+    description: str = ""
+    stages: Tuple[StageSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if not _STAGE_NAME.match(self.name):
+            raise SpecError(
+                f"invalid study name {self.name!r}; use lowercase letters, "
+                "digits, '-' and '_'"
+            )
+        if not self.stages:
+            raise SpecError("a study needs at least one stage")
+        seen = set()
+        for stage in self.stages:
+            if stage.name in seen:
+                raise SpecError(f"duplicate stage name {stage.name!r}")
+            seen.add(stage.name)
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        """Stage names, in execution order."""
+        return tuple(stage.name for stage in self.stages)
+
+    def stage(self, name: str) -> StageSpec:
+        """Look one stage up by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise SpecError(
+            f"study {self.name!r} has no stage {name!r}; stages: "
+            + ", ".join(self.stage_names)
+        )
+
+    def validate(self, path: str = "$") -> None:
+        """Resolve every name and reference without executing anything."""
+        completed: Dict[str, str] = {}
+        for index, stage in enumerate(self.stages):
+            stage_path = f"{path}.stages[{index}]"
+            stage.spec.validate(f"{stage_path}.spec")  # type: ignore[union-attr]
+            for ref_field, wanted_kind in _REFERENCES:
+                target = getattr(stage.spec, ref_field, None)
+                if target is None:
+                    continue
+                ref_path = f"{stage_path}.spec.{ref_field}"
+                if target not in completed:
+                    raise spec_error(
+                        ref_path,
+                        f"references stage {target!r}, which is not an "
+                        "earlier stage of this study",
+                    )
+                if completed[target] != wanted_kind:
+                    raise spec_error(
+                        ref_path,
+                        f"references stage {target!r} of kind "
+                        f"{completed[target]!r}; {ref_field} needs a "
+                        f"{wanted_kind} stage",
+                    )
+            completed[stage.name] = stage.spec.kind
+        return None
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "StudySpec":
+        reader = Fields(data, path, cls.kind)
+        name = reader.str_("name", "")
+        description = reader.str_("description", "")
+        raw_stages = reader.seq("stages")
+        stages = tuple(
+            StageSpec.from_dict(item, f"{reader.child_path('stages')}[{index}]")
+            for index, item in enumerate(raw_stages)
+        )
+        try:
+            spec = cls(name=name, description=description, stages=stages)
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+# ----------------------------------------------------------------------
+# Shared decode helpers / top-level entry points
+# ----------------------------------------------------------------------
+def _sub_workload(reader: Fields) -> WorkloadSpec:
+    value = reader.take("workload", None)
+    if value is None:
+        return WorkloadSpec()
+    return WorkloadSpec.from_dict(value, reader.child_path("workload"))
+
+
+def _sub_platform(reader: Fields) -> PlatformSpec:
+    value = reader.take("platform", None)
+    if value is None:
+        return PlatformSpec()
+    return PlatformSpec.from_dict(value, reader.child_path("platform"))
+
+
+def spec_from_dict(data: Any, path: str = "$") -> SpecBase:
+    """Decode any spec mapping by its ``kind`` tag."""
+    if not isinstance(data, Mapping):
+        raise spec_error(path, f"expected a spec mapping, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind is None:
+        raise spec_error(path, "missing the 'kind' tag")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise spec_error(
+            f"{path}.kind",
+            f"unknown spec kind {kind!r}; known kinds: "
+            + ", ".join(sorted(_KINDS)),
+        )
+    return cls.from_dict(data, path)  # type: ignore[attr-defined]
+
+
+def loads(text: str, path: str = "$") -> SpecBase:
+    """Parse a JSON document into the spec it describes."""
+    import json as _json
+
+    try:
+        data = _json.loads(text)
+    except ValueError as error:
+        raise spec_error(path, f"invalid JSON: {error}") from None
+    return spec_from_dict(data, path)
+
+
+def load_spec(path: Union[str, "object"]) -> SpecBase:
+    """Read one spec document from a JSON file."""
+    from pathlib import Path
+
+    file_path = Path(str(path))
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise SpecError(f"cannot read spec file {file_path}: {error}") from None
+    return loads(text, path=str(file_path))

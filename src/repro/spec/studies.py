@@ -1,0 +1,371 @@
+"""Shipped example studies.
+
+Each entry re-expresses one of the library's canned experiments — the
+figure harnesses of :mod:`repro.experiments` and the walk-through
+``examples/`` scripts — as a :class:`~repro.spec.StudySpec`, proving the
+declarative layer subsumes them.  ``repro studies`` lists the registry;
+``repro study run <name>`` executes an entry by name, and the serialised
+forms are committed under ``examples/specs/`` (kept in sync by the test
+suite).
+
+Like the strategy/policy/searcher registries, this one is open: register
+your own study factory with :func:`register_study` and it becomes
+runnable from the CLI by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .specs import (
+    AxisSpec,
+    CompareSpec,
+    EvalSpec,
+    ModelSpec,
+    PlatformSpec,
+    ServingSpec,
+    SpaceSpec,
+    StageSpec,
+    StudySpec,
+    SweepSpec,
+    TraceSpec,
+    TuneSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["get_study", "list_studies", "register_study", "study_description"]
+
+#: Study name -> (description, StudySpec factory).
+_STUDIES: Dict[str, "tuple[str, Callable[[], StudySpec]]"] = {}
+
+
+def register_study(
+    name: str, description: str, factory: Callable[[], StudySpec]
+) -> None:
+    """Register a study factory under ``name``.
+
+    Raises:
+        ConfigurationError: If the name is already registered.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("study name must be non-empty")
+    if key in _STUDIES:
+        raise ConfigurationError(f"study {name!r} is already registered")
+    _STUDIES[key] = (description, factory)
+
+
+def get_study(name: str) -> StudySpec:
+    """Build the study spec registered under ``name``.
+
+    Raises:
+        ConfigurationError: If no study with that name is registered.
+    """
+    key = name.strip().lower()
+    if key not in _STUDIES:
+        known = ", ".join(sorted(_STUDIES)) or "<none>"
+        raise ConfigurationError(
+            f"unknown study {name!r}; registered studies: {known}"
+        )
+    return _STUDIES[key][1]()
+
+
+def study_description(name: str) -> str:
+    """The one-line description of a registered study."""
+    key = name.strip().lower()
+    if key not in _STUDIES:
+        known = ", ".join(sorted(_STUDIES)) or "<none>"
+        raise ConfigurationError(
+            f"unknown study {name!r}; registered studies: {known}"
+        )
+    return _STUDIES[key][0]
+
+
+def list_studies() -> List[str]:
+    """Sorted names of all registered studies."""
+    return sorted(_STUDIES)
+
+
+# ----------------------------------------------------------------------
+# The shipped entries
+# ----------------------------------------------------------------------
+def _quickstart() -> StudySpec:
+    """examples/quickstart.py as data: 1-chip vs 8-chip, then Table I."""
+    workload = WorkloadSpec()  # tinyllama-42m, autoregressive, S=128
+    return StudySpec(
+        name="quickstart",
+        description=(
+            "Single-chip vs 8-chip TinyLlama block, then the Table I "
+            "strategy ablation (the quickstart example as data)"
+        ),
+        stages=(
+            StageSpec(
+                name="single-chip",
+                spec=EvalSpec(workload=workload, platform=PlatformSpec(chips=1)),
+            ),
+            StageSpec(
+                name="distributed",
+                spec=EvalSpec(workload=workload, platform=PlatformSpec(chips=8)),
+            ),
+            StageSpec(
+                name="ablation",
+                spec=CompareSpec(workload=workload, platform=PlatformSpec(chips=8)),
+            ),
+        ),
+    )
+
+
+def _fig4() -> StudySpec:
+    """The three chip-count sweeps behind the paper's Fig. 4."""
+    return StudySpec(
+        name="fig4",
+        description=(
+            "The paper's Fig. 4 sweeps: TinyLlama autoregressive + prompt "
+            "and MobileBERT encoder across chip counts"
+        ),
+        stages=(
+            StageSpec(
+                name="tinyllama-autoregressive",
+                spec=SweepSpec(
+                    workload=WorkloadSpec(mode="autoregressive", seq_len=128),
+                    chips=(1, 2, 4, 8),
+                ),
+            ),
+            StageSpec(
+                name="tinyllama-prompt",
+                spec=SweepSpec(
+                    workload=WorkloadSpec(mode="prompt", seq_len=16),
+                    chips=(1, 2, 4, 8),
+                ),
+            ),
+            StageSpec(
+                name="mobilebert",
+                spec=SweepSpec(
+                    workload=WorkloadSpec(
+                        model=ModelSpec(name="mobilebert"),
+                        mode="encoder",
+                        seq_len=268,
+                    ),
+                    chips=(1, 2, 4),
+                ),
+            ),
+        ),
+    )
+
+
+def _fig6() -> StudySpec:
+    """The scaled-up (64-head) TinyLlama scalability sweeps of Fig. 6."""
+    scaled = ModelSpec(name="tinyllama-42m-64h")
+    chips = (1, 2, 4, 8, 16, 32, 64)
+    return StudySpec(
+        name="fig6",
+        description=(
+            "The paper's Fig. 6 scalability study: 64-head TinyLlama, "
+            "1-64 chips, both inference modes"
+        ),
+        stages=(
+            StageSpec(
+                name="autoregressive",
+                spec=SweepSpec(
+                    workload=WorkloadSpec(
+                        model=scaled, mode="autoregressive", seq_len=128
+                    ),
+                    chips=chips,
+                ),
+            ),
+            StageSpec(
+                name="prompt",
+                spec=SweepSpec(
+                    workload=WorkloadSpec(model=scaled, mode="prompt", seq_len=16),
+                    chips=chips,
+                ),
+            ),
+        ),
+    )
+
+
+def _table1() -> StudySpec:
+    """The Table I baseline ablation on the paper's 8-chip platform."""
+    return StudySpec(
+        name="table1",
+        description=(
+            "The paper's Table I ablation: the four baselines on 8 chips"
+        ),
+        stages=(
+            StageSpec(
+                name="ablation",
+                spec=CompareSpec(
+                    workload=WorkloadSpec(mode="autoregressive", seq_len=128),
+                    platform=PlatformSpec(chips=8),
+                ),
+            ),
+        ),
+    )
+
+
+def _serving_capacity() -> StudySpec:
+    """The capacity-vs-SLO serving matrix of ``repro experiments --only serving``."""
+    stages = []
+    for rate in (1.0, 2.0, 3.0, 4.0, 5.0):
+        for policy in ("fifo", "shortest_prompt", "continuous"):
+            stages.append(
+                StageSpec(
+                    name=f"rate{rate:g}-{policy}".replace("_", "-"),
+                    spec=ServingSpec(
+                        trace=TraceSpec(rate_rps=rate, duration_s=60.0),
+                        policy=policy,
+                        platform=PlatformSpec(chips=8),
+                        seed=0,
+                        slo_targets=(1.0,),
+                    ),
+                )
+            )
+    return StudySpec(
+        name="serving-capacity",
+        description=(
+            "Capacity vs SLO: Poisson load 1-5 req/s under three "
+            "scheduling policies on the 8-chip platform"
+        ),
+        stages=tuple(stages),
+    )
+
+
+def _platform_tuning() -> StudySpec:
+    """examples/platform_tuning.py as data: grid search, then serve the winner."""
+    space = SpaceSpec(
+        axes=(
+            AxisSpec(axis="choice", name="chips", choices=(1, 2, 4, 8)),
+            AxisSpec(
+                axis="float",
+                name="link_gbps",
+                low=0.25,
+                high=1.0,
+                levels=(0.25, 0.5, 1.0),
+            ),
+            AxisSpec(axis="choice", name="l2_kib", choices=(1024, 2048, 4096)),
+            AxisSpec(axis="choice", name="strategy", choices=("paper",)),
+        )
+    )
+    return StudySpec(
+        name="platform-tuning",
+        description=(
+            "Exhaustive latency/hardware-cost trade-off over a 36-design "
+            "space, then a serving run on the fastest feasible design"
+        ),
+        stages=(
+            StageSpec(
+                name="tune",
+                spec=TuneSpec(
+                    space=space,
+                    searcher="grid",
+                    budget=36,
+                    objectives=("latency", "hw_cost"),
+                ),
+            ),
+            StageSpec(
+                name="serve-best",
+                spec=ServingSpec(
+                    trace=TraceSpec(rate_rps=2.0, duration_s=60.0),
+                    platform_from="tune",
+                    seed=0,
+                ),
+            ),
+        ),
+    )
+
+
+def _paper_pipeline() -> StudySpec:
+    """The full pipeline: sweep -> compare -> tune (pinned) -> serve (tuned)."""
+    workload = WorkloadSpec(mode="autoregressive", seq_len=128)
+    space = SpaceSpec(
+        axes=(
+            AxisSpec(axis="choice", name="chips", choices=(1, 2, 4, 8)),
+            AxisSpec(
+                axis="float",
+                name="link_gbps",
+                low=0.25,
+                high=2.0,
+                levels=(0.25, 0.5, 1.0, 2.0),
+            ),
+            AxisSpec(axis="choice", name="l2_kib", choices=(1024, 2048)),
+            AxisSpec(axis="choice", name="strategy", choices=("paper",)),
+        )
+    )
+    return StudySpec(
+        name="paper-pipeline",
+        description=(
+            "Sweep chip counts, ablate strategies, tune the platform at "
+            "the fastest chip count, then serve traffic on the tuned "
+            "design — one replayable pipeline"
+        ),
+        stages=(
+            StageSpec(
+                name="sweep",
+                spec=SweepSpec(workload=workload, chips=(1, 2, 4, 8)),
+            ),
+            StageSpec(
+                name="compare",
+                spec=CompareSpec(
+                    workload=workload, platform=PlatformSpec(chips=8)
+                ),
+            ),
+            StageSpec(
+                name="tune",
+                spec=TuneSpec(
+                    workload=workload,
+                    space=space,
+                    searcher="random",
+                    budget=12,
+                    seed=0,
+                    objectives=("latency", "hw_cost"),
+                    chips_from="sweep",
+                ),
+            ),
+            StageSpec(
+                name="serve",
+                spec=ServingSpec(
+                    trace=TraceSpec(rate_rps=2.0, duration_s=30.0),
+                    platform_from="tune",
+                    seed=0,
+                ),
+            ),
+        ),
+    )
+
+
+register_study(
+    "quickstart",
+    "1-chip vs 8-chip block evaluation plus the Table I ablation",
+    _quickstart,
+)
+register_study(
+    "fig4",
+    "The paper's Fig. 4 chip-count sweeps (three workloads)",
+    _fig4,
+)
+register_study(
+    "fig6",
+    "The paper's Fig. 6 scalability sweeps (64-head TinyLlama, 1-64 chips)",
+    _fig6,
+)
+register_study(
+    "table1",
+    "The paper's Table I strategy ablation on 8 chips",
+    _table1,
+)
+register_study(
+    "serving-capacity",
+    "Capacity vs SLO: load x scheduling-policy serving matrix",
+    _serving_capacity,
+)
+register_study(
+    "platform-tuning",
+    "Latency/cost design-space grid plus serving the best design",
+    _platform_tuning,
+)
+register_study(
+    "paper-pipeline",
+    "Sweep + compare + tune + serve as one replayable pipeline",
+    _paper_pipeline,
+)

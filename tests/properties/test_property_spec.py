@@ -1,0 +1,294 @@
+"""Property-based tests of the declarative spec layer.
+
+The contract under test: *any* well-formed spec survives
+``to_dict -> json -> from_dict`` losslessly, and its ``build()`` resolves
+through the live registries into the objects the imperative API consumes.
+No simulator runs here — ``build()`` constructs workloads, platforms,
+traces, and spaces, never evaluates them — so the properties stay fast
+and purely combinatorial.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.space import SearchSpace
+from repro.graph.workload import Workload
+from repro.hw.platform import MultiChipPlatform
+from repro.serving.traces import TrafficTrace
+from repro.spec import (
+    AxisSpec,
+    CompareSpec,
+    EvalSpec,
+    ModelSpec,
+    PlatformSpec,
+    ScenarioSpec,
+    ServingSpec,
+    SpaceSpec,
+    StageSpec,
+    StudySpec,
+    SweepSpec,
+    TraceSpec,
+    TuneSpec,
+    WorkloadSpec,
+    loads,
+    spec_from_dict,
+)
+
+MODELS = ("tinyllama-42m", "tinyllama-42m-64h", "mobilebert")
+PRESETS = ("siracusa-mipi", "siracusa-fast-link", "siracusa-big-l2")
+STRATEGIES = (
+    "paper", "single_chip", "weight_replicated", "pipeline_parallel",
+    "tensor_parallel",
+)
+PREFETCH = ("hidden", "blocking", "overlap")
+
+
+# ----------------------------------------------------------------------
+# Spec strategies
+# ----------------------------------------------------------------------
+def workload_specs():
+    # MobileBERT is encoder-only in this library's registry defaults; any
+    # model accepts any mode here because build() only shapes the
+    # workload, it never simulates it.
+    return st.builds(
+        WorkloadSpec,
+        model=st.builds(ModelSpec, name=st.sampled_from(MODELS)),
+        mode=st.sampled_from(["autoregressive", "prompt", "encoder"]),
+        seq_len=st.one_of(st.none(), st.integers(min_value=1, max_value=512)),
+        label=st.one_of(st.none(), st.sampled_from(["a", "probe", "x1"])),
+    )
+
+
+def platform_specs():
+    return st.builds(
+        PlatformSpec,
+        preset=st.sampled_from(PRESETS),
+        chips=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    )
+
+
+def eval_specs():
+    return st.builds(
+        EvalSpec,
+        workload=workload_specs(),
+        strategy=st.sampled_from(STRATEGIES),
+        platform=platform_specs(),
+        prefetch=st.sampled_from(PREFETCH),
+    )
+
+
+def sweep_specs():
+    return st.builds(
+        SweepSpec,
+        workload=workload_specs(),
+        chips=st.lists(
+            st.integers(min_value=1, max_value=16),
+            min_size=1, max_size=4, unique=True,
+        ).map(tuple),
+        strategy=st.sampled_from(STRATEGIES),
+        platform=st.builds(PlatformSpec, preset=st.sampled_from(PRESETS)),
+        parallel=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    )
+
+
+def compare_specs():
+    return st.builds(
+        CompareSpec,
+        workload=workload_specs(),
+        strategies=st.lists(
+            st.sampled_from(STRATEGIES), min_size=1, max_size=4, unique=True
+        ).map(tuple),
+        platform=platform_specs(),
+    )
+
+
+def trace_specs():
+    return st.one_of(
+        st.builds(
+            TraceSpec,
+            source=st.just("poisson"),
+            rate_rps=st.floats(min_value=0.1, max_value=16.0),
+            duration_s=st.floats(min_value=1.0, max_value=120.0),
+            priority_levels=st.integers(min_value=1, max_value=3),
+        ),
+        st.builds(
+            TraceSpec,
+            source=st.just("bursty"),
+            rate_rps=st.floats(min_value=0.1, max_value=4.0),
+            burst_rate_rps=st.one_of(
+                st.none(), st.floats(min_value=16.0, max_value=64.0)
+            ),
+            duration_s=st.floats(min_value=1.0, max_value=60.0),
+        ),
+        st.builds(
+            TraceSpec,
+            source=st.just("closed"),
+            clients=st.integers(min_value=1, max_value=8),
+            requests_per_client=st.integers(min_value=1, max_value=8),
+            mean_think_s=st.floats(min_value=0.1, max_value=4.0),
+        ),
+    )
+
+
+def serving_specs():
+    return st.builds(
+        ServingSpec,
+        model=st.builds(ModelSpec, name=st.sampled_from(MODELS)),
+        trace=trace_specs(),
+        policy=st.sampled_from(["fifo", "shortest_prompt", "continuous"]),
+        strategy=st.sampled_from(STRATEGIES),
+        platform=platform_specs(),
+        seed=st.integers(min_value=0, max_value=1000),
+        max_context=st.integers(min_value=64, max_value=4096),
+        slo_targets=st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(min_value=0.01, max_value=10.0),
+                min_size=1, max_size=3, unique=True,
+            ).map(tuple),
+        ),
+    )
+
+
+def axis_specs():
+    return st.one_of(
+        st.builds(
+            AxisSpec,
+            axis=st.just("choice"),
+            name=st.just("chips"),
+            choices=st.lists(
+                st.integers(min_value=1, max_value=16),
+                min_size=1, max_size=4, unique=True,
+            ).map(tuple),
+        ),
+        st.builds(
+            AxisSpec,
+            axis=st.just("int"),
+            name=st.just("cores"),
+            low=st.integers(min_value=1, max_value=4),
+            high=st.integers(min_value=8, max_value=16),
+            step=st.integers(min_value=1, max_value=3),
+        ),
+        st.builds(
+            AxisSpec,
+            axis=st.just("float"),
+            name=st.just("link_gbps"),
+            low=st.just(0.125),
+            high=st.just(2.0),
+            levels=st.one_of(
+                st.none(), st.just((0.125, 0.5, 2.0)), st.just((0.25, 1.0))
+            ),
+        ),
+    )
+
+
+def tune_specs():
+    return st.builds(
+        TuneSpec,
+        workload=workload_specs(),
+        space=st.one_of(
+            st.none(),
+            st.builds(
+                SpaceSpec,
+                axes=st.lists(
+                    axis_specs(), min_size=1, max_size=3,
+                    unique_by=lambda axis: axis.name,
+                ).map(tuple),
+            ),
+        ),
+        searcher=st.sampled_from(["random", "grid", "anneal", "evolution"]),
+        budget=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=1000),
+        objectives=st.lists(
+            st.sampled_from(["latency", "energy", "hw_cost"]),
+            min_size=1, max_size=3, unique=True,
+        ).map(tuple),
+        constraints=st.one_of(
+            st.just(()), st.just(("latency<=0.01",)),
+            st.just(("latency<=0.01", "hw_cost<=100")),
+        ),
+        serving=st.one_of(
+            st.none(),
+            st.builds(
+                ScenarioSpec,
+                rate_rps=st.floats(min_value=0.5, max_value=4.0),
+                duration_s=st.floats(min_value=1.0, max_value=30.0),
+                seed=st.integers(min_value=0, max_value=10),
+            ),
+        ),
+    )
+
+
+def runnable_specs():
+    return st.one_of(
+        eval_specs(), sweep_specs(), compare_specs(), serving_specs(),
+        tune_specs(),
+    )
+
+
+def study_specs():
+    return st.builds(
+        StudySpec,
+        name=st.sampled_from(["s1", "probe-study", "a_b"]),
+        description=st.sampled_from(["", "generated"]),
+        stages=st.lists(
+            st.builds(
+                StageSpec,
+                name=st.sampled_from(["one", "two", "three", "four"]),
+                spec=runnable_specs(),
+            ),
+            min_size=1, max_size=3,
+            unique_by=lambda stage: stage.name,
+        ).map(tuple),
+    )
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(spec=st.one_of(runnable_specs(), study_specs()))
+def test_to_dict_json_from_dict_build_roundtrip(spec):
+    """Any generated spec survives to_dict -> json -> from_dict -> build."""
+    text = json.dumps(spec.to_dict(), sort_keys=True)
+    parsed = spec_from_dict(json.loads(text))
+    assert parsed == spec
+    # ... and the names all resolve through the live registries.
+    parsed.validate()
+    _build_everything(parsed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=st.one_of(runnable_specs(), study_specs()))
+def test_to_json_document_is_canonical(spec):
+    """The document form round-trips and re-serialises byte-identically."""
+    document = spec.to_json()
+    parsed = loads(document)
+    assert parsed == spec
+    assert parsed.to_json() == document
+
+
+def _build_everything(spec) -> None:
+    """Build every buildable object a spec references (no simulation)."""
+    if isinstance(spec, StudySpec):
+        for stage in spec.stages:
+            _build_everything(stage.spec)
+        return
+    workload = getattr(spec, "workload", None)
+    if workload is not None:
+        assert isinstance(workload.build(), Workload)
+    platform = getattr(spec, "platform", None)
+    if platform is not None:
+        assert isinstance(platform.build(), MultiChipPlatform)
+    trace = getattr(spec, "trace", None)
+    if trace is not None:
+        assert isinstance(trace.build(), TrafficTrace)
+    space = getattr(spec, "space", None)
+    if space is not None:
+        assert isinstance(space.build(), SearchSpace)
+    serving = getattr(spec, "serving", None)
+    if serving is not None:
+        serving.build()

@@ -9,6 +9,17 @@ import pytest
 from repro.cli import build_parser, main
 
 
+def expect_cli_error(capsys, argv, *needles):
+    """Assert the uniform CLI failure contract: exit 2, one `error:` line."""
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert len(err.strip().splitlines()) == 1
+    for needle in needles:
+        assert needle in err
+    return err
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
@@ -92,10 +103,14 @@ class TestStrategyCommands:
         assert "pipeline_parallel" in output
         assert "L3 traffic" in output
 
-    def test_evaluate_unknown_strategy_errors(self):
-        with pytest.raises(Exception) as excinfo:
-            main(["evaluate", "--strategy", "bogus"])
-        assert "bogus" in str(excinfo.value)
+    def test_evaluate_unknown_strategy_errors(self, capsys):
+        # Invalid input must exit 2 with a one-line `error: ...` on
+        # stderr, not a traceback.
+        assert main(["evaluate", "--strategy", "bogus"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "bogus" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
 
     def test_sweep_with_any_strategy(self, capsys):
         assert main(
@@ -162,12 +177,13 @@ class TestJsonOutput:
         document = json.loads(capsys.readouterr().out)
         assert len(document["results"]) == 4
 
-    def test_sweep_json_rejects_non_json_output_path(self, tmp_path):
-        from repro.errors import AnalysisError
-
-        with pytest.raises(AnalysisError):
-            main(["sweep", "--chips", "1", "8", "--json",
-                  "--output", str(tmp_path / "sweep.csv")])
+    def test_sweep_json_rejects_non_json_output_path(self, tmp_path, capsys):
+        expect_cli_error(
+            capsys,
+            ["sweep", "--chips", "1", "8", "--json",
+             "--output", str(tmp_path / "sweep.csv")],
+            ".json",
+        )
 
 
 class TestDiscoveryCommands:
@@ -233,15 +249,11 @@ class TestTuneCommand:
             "hw_cost", "latency",
         ]
 
-    def test_tune_unknown_searcher_errors(self):
-        with pytest.raises(Exception) as excinfo:
-            main(self.TUNE + ["--searcher", "bogus"])
-        assert "bogus" in str(excinfo.value)
+    def test_tune_unknown_searcher_errors(self, capsys):
+        expect_cli_error(capsys, self.TUNE + ["--searcher", "bogus"], "bogus")
 
-    def test_tune_unknown_objective_errors(self):
-        with pytest.raises(Exception) as excinfo:
-            main(self.TUNE + ["--objectives", "karma"])
-        assert "karma" in str(excinfo.value)
+    def test_tune_unknown_objective_errors(self, capsys):
+        expect_cli_error(capsys, self.TUNE + ["--objectives", "karma"], "karma")
 
 
 class TestCacheVisibility:
@@ -321,14 +333,15 @@ class TestServeCommand:
         replayed = json.loads(capsys.readouterr().out)
         assert replayed["metrics"] == first["metrics"]
 
-    def test_serve_replay_rejects_a_conflicting_seed(self, tmp_path):
-        from repro.errors import AnalysisError
-
+    def test_serve_replay_rejects_a_conflicting_seed(self, tmp_path, capsys):
         trace_path = tmp_path / "trace.json"
         assert main(self.SERVE + ["--save-trace", str(trace_path)]) == 0
-        with pytest.raises(AnalysisError) as excinfo:
-            main(["serve", "--replay", str(trace_path), "--seed", "7"])
-        assert "--replay" in str(excinfo.value)
+        capsys.readouterr()  # drop the successful run's output
+        expect_cli_error(
+            capsys,
+            ["serve", "--replay", str(trace_path), "--seed", "7"],
+            "--replay",
+        )
 
     def test_serve_custom_slo_targets(self, capsys):
         assert main(self.SERVE + ["--slo-ttft", "0.25", "--json"]) == 0
@@ -336,7 +349,134 @@ class TestServeCommand:
         assert [point["ttft_target_s"]
                 for point in document["metrics"]["slo_curve"]] == [0.25]
 
-    def test_serve_unknown_policy_errors(self):
-        with pytest.raises(Exception) as excinfo:
-            main(self.SERVE[:-2] + ["--policy", "bogus"])
-        assert "bogus" in str(excinfo.value)
+    def test_serve_unknown_policy_errors(self, capsys):
+        expect_cli_error(capsys, self.SERVE[:-2] + ["--policy", "bogus"], "bogus")
+
+
+class TestVersion:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+class TestEmitSpec:
+    def test_evaluate_emit_spec_is_a_replayable_document(self, capsys):
+        from repro.spec import loads
+
+        assert main(["evaluate", "--chips", "4", "--strategy", "single_chip",
+                     "--emit-spec"]) == 0
+        spec = loads(capsys.readouterr().out)
+        assert spec.kind == "evaluate"
+        assert spec.platform.chips == 4
+        assert spec.strategy == "single_chip"
+
+    def test_every_evaluating_command_emits_its_kind(self, capsys):
+        from repro.spec import loads
+
+        for argv, kind in (
+            (["evaluate"], "evaluate"),
+            (["sweep", "--chips", "1", "2"], "sweep"),
+            (["compare"], "compare"),
+            (["serve"], "serve"),
+            (["tune", "--budget", "5"], "tune"),
+        ):
+            assert main(argv + ["--emit-spec"]) == 0
+            assert loads(capsys.readouterr().out).kind == kind
+
+    def test_emitted_spec_replays_to_the_same_result(self, capsys, tmp_path):
+        spec_path = tmp_path / "sweep.json"
+        assert main(["sweep", "--chips", "1", "2", "--emit-spec"]) == 0
+        spec_path.write_text(capsys.readouterr().out)
+        assert main(["--no-cache", "sweep", "--chips", "1", "2",
+                     "--json"]) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert main(["--no-cache", "study", "run", str(spec_path),
+                     "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        payload = replayed["stages"][0]["payload"]
+        direct.pop("cache")
+        assert payload == direct
+
+    def test_experiments_emit_spec_maps_to_the_shipped_study(self, capsys):
+        from repro.spec import get_study, loads
+
+        assert main(["experiments", "--only", "fig4", "--emit-spec"]) == 0
+        assert loads(capsys.readouterr().out) == get_study("fig4")
+
+    def test_experiments_emit_spec_unmapped_errors(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["experiments", "--only", "headline", "--emit-spec"],
+            "headline",
+        )
+
+
+class TestStudyCommands:
+    def test_studies_lists_the_shipped_registry(self, capsys):
+        assert main(["studies"]) == 0
+        output = capsys.readouterr().out
+        for name in ("quickstart", "fig4", "table1", "paper-pipeline"):
+            assert name in output
+
+    def test_study_run_registered_name(self, capsys):
+        assert main(["study", "run", "quickstart"]) == 0
+        output = capsys.readouterr().out
+        assert "Study 'quickstart'" in output
+        assert "single-chip" in output
+        assert "ablation" in output
+
+    def test_study_run_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main(["study", "run", "quickstart",
+                     "--output-dir", str(out_dir)]) == 0
+        names = sorted(path.name for path in out_dir.iterdir())
+        assert names == ["ablation.json", "distributed.json",
+                         "single-chip.json", "study.json"]
+        manifest = json.loads((out_dir / "study.json").read_text())
+        assert manifest["kind"] == "study_manifest"
+
+    def test_study_run_spec_file(self, capsys, tmp_path):
+        from repro.spec import get_study
+
+        spec_path = tmp_path / "study.json"
+        spec_path.write_text(get_study("table1").to_json())
+        assert main(["study", "run", str(spec_path)]) == 0
+        assert "tensor_parallel" in capsys.readouterr().out
+
+    def test_study_validate_accepts_good_and_rejects_bad(self, capsys, tmp_path):
+        from repro.spec import get_study
+
+        good = tmp_path / "good.json"
+        good.write_text(get_study("table1").to_json())
+        assert main(["study", "validate", str(good)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "study", "name": "x", "stages": [{"name": '
+                       '"a", "spec": {"kind": "evaluate", "strategy": 42}}]}')
+        expect_cli_error(capsys, ["study", "validate", str(bad)], "strategy")
+
+    def test_study_validate_without_files_errors(self, capsys):
+        expect_cli_error(capsys, ["study", "validate"], "at least one")
+
+    def test_study_init_emits_a_valid_template(self, capsys, tmp_path):
+        from repro.spec import loads
+
+        assert main(["study", "init"]) == 0
+        template = loads(capsys.readouterr().out)
+        template.validate()
+        out_path = tmp_path / "template.json"
+        assert main(["study", "init", "--output", str(out_path)]) == 0
+        loads(out_path.read_text()).validate()
+
+    def test_study_run_missing_file_errors(self, capsys):
+        expect_cli_error(capsys, ["study", "run", "no-such.json"], "no-such")
+
+    def test_study_run_malformed_json_errors(self, capsys, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        expect_cli_error(capsys, ["study", "run", str(broken)], "invalid JSON")
