@@ -5,6 +5,8 @@ from .export import (
     comparison_to_json,
     eval_result_to_dict,
     eval_sweep_to_json,
+    fleet_report_to_dict,
+    fleet_report_to_json,
     report_to_dict,
     sweep_to_csv,
     sweep_to_json,
@@ -47,6 +49,8 @@ __all__ = [
     "energy_runtime_table",
     "evaluate_block",
     "evaluate_generation",
+    "fleet_report_to_dict",
+    "fleet_report_to_json",
     "format_table",
     "is_super_linear",
     "parallel_efficiency",

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle with repro.api
     from ..api.result import EvalResult
     from ..api.session import CacheInfo, Comparison, EvalSweep
     from ..dse.engine import TuneResult
+    from ..fleet.metrics import FleetReport
 
 #: Column order of the sweep CSV export.
 SWEEP_CSV_COLUMNS = (
@@ -231,6 +232,28 @@ def tune_result_to_dict(
 def tune_result_to_json(result: "TuneResult", *, indent: int = 2) -> str:
     """Serialise a tuning run to a JSON document (``repro tune --json``)."""
     return json.dumps(tune_result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def fleet_report_to_dict(
+    report: "FleetReport", *, cache: "CacheInfo | None" = None
+) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.fleet.FleetReport` into primitives.
+
+    The cache-free form (``cache=None``) is what study artifacts use;
+    fleet TTFT/TPOT/SLO/utilisation summaries, per-replica statistics,
+    the windowed timeline, and the autoscaling event log all live under
+    the ``metrics`` key.
+    """
+    return report.to_dict(cache=cache)
+
+
+def fleet_report_to_json(
+    report: "FleetReport", *, indent: int = 2, cache: "CacheInfo | None" = None
+) -> str:
+    """Serialise a fleet run to a JSON document (``repro fleet --json``)."""
+    return json.dumps(
+        fleet_report_to_dict(report, cache=cache), indent=indent, sort_keys=True
+    )
 
 
 def comparison_to_dict(comparison: "Comparison") -> Dict[str, Any]:

@@ -811,6 +811,196 @@ class Session:
             metrics=metrics,
         )
 
+    def serve_fleet(
+        self,
+        config,
+        trace=None,
+        *,
+        platforms: Optional[Sequence] = None,
+        router: str = "round_robin",
+        policy: str = "fifo",
+        strategy: str = PAPER_STRATEGY,
+        classes: Sequence = (),
+        autoscaler=None,
+        platform: Optional[MultiChipPlatform] = None,
+        seed: int = 0,
+        max_context: int = 1024,
+        slo_targets: Optional[Sequence[float]] = None,
+        record_threshold: Optional[int] = None,
+        timeline_window_s: float = 60.0,
+    ):
+        """Simulate a fleet of heterogeneous platforms serving one trace.
+
+        The first argument may also be a :class:`repro.spec.FleetSpec`
+        (with ``trace`` omitted), which fully describes the simulation
+        and produces the byte-identical report.
+
+        Every fleet platform is a replica of a registered hardware preset
+        backed by this session's memoised block evaluations (replicas of
+        the same preset and chip count share one
+        :class:`~repro.serving.costs.RequestCostModel`); arrivals pass
+        multi-tenant admission control, are dispatched by the named
+        routing policy, and each replica schedules its own queue with the
+        named per-replica scheduling policy.  Metrics aggregate in
+        bounded memory, so day-long million-request traces are fine.
+
+        Args:
+            config: The served :class:`~repro.graph.transformer.TransformerConfig`.
+            trace: Any open-loop :class:`~repro.serving.traces.TrafficTrace`
+                (traces with a ``stream`` method are consumed lazily).
+            platforms: Fleet entries — :class:`~repro.fleet.FleetPlatform`
+                objects or ``preset[:chips][xN][@role]`` strings; defaults
+                to a single replica of the default preset.
+            router: Registered router name (see ``repro routers``) or a
+                fresh :class:`~repro.fleet.RoutingPolicy` instance.
+            policy: Per-replica scheduling policy name (or instance).
+            strategy: Registered partitioning strategy producing costs.
+            classes: Multi-tenant :class:`~repro.fleet.SLOClass` list; a
+                request's ``priority`` field selects its class.
+            autoscaler: Optional :class:`~repro.fleet.AutoscalerConfig`
+                enabling reactive replica scaling.
+            platform: Explicit platform every replica (and autoscaled
+                replica) runs instead of its preset — how a study's
+                ``platform_from`` reference lands here.  Replica counts
+                and roles of the ``platforms`` entries still apply;
+                replicas are reported with the preset name ``"tuned"``.
+            seed: Trace seed; equal seeds give byte-identical reports.
+            max_context: Serving window of every replica's cost model.
+            slo_targets: TTFT targets of the fleet SLO-attainment curve.
+            record_threshold: Completions beyond which latency
+                percentiles switch to the streaming histogram (bounded
+                memory); defaults to
+                :data:`repro.fleet.DEFAULT_RECORD_THRESHOLD`.
+            timeline_window_s: Aggregation window of the fleet timeline.
+        """
+        if not isinstance(config, TransformerConfig):
+            from ..spec.specs import FleetSpec
+
+            spec = self._as_spec(
+                config,
+                FleetSpec,
+                defaults_only=(
+                    trace is None
+                    and platforms is None
+                    and router == "round_robin"
+                    and policy == "fifo"
+                    and strategy == PAPER_STRATEGY
+                    and not tuple(classes)
+                    and autoscaler is None
+                    and platform is None
+                    and seed == 0
+                    and max_context == 1024
+                    and slo_targets is None
+                    and record_threshold is None
+                    and timeline_window_s == 60.0
+                ),
+            )
+            if spec is not None:
+                from ..spec.runner import execute
+
+                return execute(self, spec)
+        if trace is None:
+            raise AnalysisError(
+                "serve_fleet needs a traffic trace (or a FleetSpec as the "
+                "single argument)"
+            )
+        from ..fleet import (
+            DEFAULT_RECORD_THRESHOLD,
+            AdmissionController,
+            FleetPlatform,
+            FleetReport,
+            FleetSimulator,
+            ReplicaTemplate,
+            iter_requests,
+        )
+        from ..hw.presets import get_platform_preset
+        from ..serving.costs import RequestCostModel
+        from ..serving.metrics import DEFAULT_SLO_TTFT_TARGETS_S
+
+        entries = []
+        for entry in platforms if platforms is not None else (FleetPlatform(),):
+            if isinstance(entry, str):
+                entry = FleetPlatform.parse(entry)
+            entries.append(entry)
+        if not entries:
+            raise AnalysisError("a fleet needs at least one platform entry")
+
+        cost_models: Dict[Tuple[str, int], RequestCostModel] = {}
+
+        def costs_for(preset_name: str, chips: Optional[int]):
+            if platform is not None:
+                # Every replica runs the explicit (e.g. tuned) platform.
+                key = ("tuned", platform.num_chips)
+                model = cost_models.get(key)
+                if model is None:
+                    model = RequestCostModel(
+                        self,
+                        config,
+                        platform=platform,
+                        strategy=strategy,
+                        max_context=max_context,
+                    )
+                    cost_models[key] = model
+                return "tuned", platform.num_chips, model
+            preset = get_platform_preset(preset_name)
+            count = chips if chips is not None else preset.default_chips
+            key = (preset.name, count)
+            model = cost_models.get(key)
+            if model is None:
+                model = RequestCostModel(
+                    self,
+                    config,
+                    platform=preset.build(count),
+                    strategy=strategy,
+                    max_context=max_context,
+                )
+                cost_models[key] = model
+            return preset.name, count, model
+
+        templates = []
+        for entry in entries:
+            name, count, model = costs_for(entry.preset, entry.chips)
+            template = ReplicaTemplate(
+                preset=name, chips=count, role=entry.role, costs=model
+            )
+            templates.extend([template] * entry.replicas)
+
+        scale_template = None
+        if autoscaler is not None:
+            name, count, model = costs_for(autoscaler.preset, autoscaler.chips)
+            scale_template = ReplicaTemplate(
+                preset=name, chips=count, role="any", costs=model
+            )
+
+        simulator = FleetSimulator(
+            templates,
+            router=router,
+            policy=policy,
+            admission=AdmissionController(classes),
+            autoscaler=autoscaler,
+            scale_template=scale_template,
+            slo_targets=(
+                slo_targets
+                if slo_targets is not None
+                else DEFAULT_SLO_TTFT_TARGETS_S
+            ),
+            record_threshold=(
+                record_threshold
+                if record_threshold is not None
+                else DEFAULT_RECORD_THRESHOLD
+            ),
+            timeline_window_s=timeline_window_s,
+        )
+        result = simulator.run(iter_requests(trace, seed))
+        return FleetReport(
+            model=config.name,
+            strategy=get_strategy(strategy).name,
+            router=result.router,
+            policy=result.policy,
+            seed=seed,
+            result=result,
+        )
+
     def tune(
         self,
         workload: Union[Workload, "object"],

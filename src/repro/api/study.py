@@ -1,7 +1,7 @@
 """The Study runner: execute a :class:`~repro.spec.StudySpec` end to end.
 
 A *study* is a pipeline of named stages — any mix of evaluate, sweep,
-compare, serve, and tune specs — executed in order through **one shared
+compare, serve, fleet, and tune specs — executed in order through **one shared
 session**, so a block evaluation performed by the sweep stage is a cache
 hit for the compare, serve, and tune stages that follow.  Later stages may
 reference earlier ones (``platform_from`` a tune stage, ``chips_from`` a
@@ -55,6 +55,8 @@ def _stage_payload(kind: str, result: Any) -> Dict[str, Any]:
     if kind == "compare":
         return comparison_to_dict(result)
     if kind == "serve":
+        return result.to_dict()
+    if kind == "fleet":
         return result.to_dict()
     if kind == "tune":
         return tune_result_to_dict(result, include_cache=False)
@@ -183,6 +185,12 @@ def _headline(outcome: StageOutcome) -> str:
         return (
             f"{result.metrics.requests} requests, policy {result.policy}: "
             f"p95 TTFT {result.metrics.ttft.p95 * 1e3:.1f} ms"
+        )
+    if outcome.kind == "fleet":
+        return (
+            f"{result.result.completed} requests on "
+            f"{len(result.result.replicas)} replica(s), router "
+            f"{result.router}: p99 TTFT {result.result.ttft.p99 * 1e3:.1f} ms"
         )
     if outcome.kind == "tune":
         return (

@@ -6,6 +6,7 @@ without writing any Python:
 * ``models``      — list the registered model configurations,
 * ``strategies``  — list the registered partitioning strategies,
 * ``policies``    — list the registered serving scheduler policies,
+* ``routers``     — list the registered fleet routing policies,
 * ``platforms``   — list the registered hardware platform presets,
 * ``searchers``   — list the registered DSE search algorithms/objectives,
 * ``evaluate``    — evaluate one Transformer block on a chip count,
@@ -14,6 +15,8 @@ without writing any Python:
 * ``compare``     — strategy ablation (Table-I style) on one chip count,
 * ``serve``       — request-level serving simulation (traffic trace,
   queueing policy, tail-latency/SLO analytics),
+* ``fleet``       — fleet-level serving across heterogeneous platform
+  replicas (routing, admission control, autoscaling),
 * ``tune``        — design-space exploration (searchable platform space,
   multi-objective search, Pareto front),
 * ``experiments`` — regenerate the paper's figures and tables,
@@ -24,15 +27,17 @@ without writing any Python:
 
 Every evaluating command runs through :class:`repro.api.Session`, so any
 strategy added with :func:`repro.api.register_strategy` (or scheduling
-policy added with :func:`repro.serving.register_policy`, search algorithm
+policy added with :func:`repro.serving.register_policy`, fleet router
+added with :func:`repro.fleet.register_router`, search algorithm
 added with :func:`repro.dse.register_searcher`, objective added with
 :func:`repro.dse.register_objective`) is immediately usable from the
-command line.  ``evaluate``, ``sweep``, ``compare``, ``serve``, and
-``tune`` all take ``--json`` to emit one shared machine-readable format
-instead of the human tables; the Session-driven JSON documents include
-the session's cache statistics so memoisation reuse is observable.
+command line.  ``evaluate``, ``sweep``, ``compare``, ``serve``,
+``fleet``, and ``tune`` all take ``--json`` to emit one shared
+machine-readable format instead of the human tables; the Session-driven
+JSON documents include the session's cache statistics so memoisation
+reuse is observable.
 
-The same five commands (plus ``experiments``, for the studies it maps to)
+The same six commands (plus ``experiments``, for the studies it maps to)
 take ``--emit-spec``, which prints the invocation as a replayable
 :mod:`repro.spec` JSON document instead of running it; ``repro study run``
 replays such a document — or a whole multi-stage study file — bit for
@@ -60,6 +65,7 @@ from .analysis.export import (
     comparison_to_json,
     eval_result_to_dict,
     eval_sweep_to_json,
+    fleet_report_to_json,
     tune_result_to_json,
     write_sweep,
 )
@@ -72,10 +78,14 @@ from .errors import AnalysisError, ReproError
 from .graph.transformer import InferenceMode
 from .models.registry import get_model, list_models
 from .spec import (
+    AutoscalerSpec,
     CompareSpec,
     EvalSpec,
+    FleetPlatformSpec,
+    FleetSpec,
     ModelSpec,
     PlatformSpec,
+    SLOClassSpec,
     ServingSpec,
     SweepSpec,
     TraceSpec,
@@ -113,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser(
         "policies", help="list registered serving scheduler policies"
+    )
+
+    subparsers.add_parser(
+        "routers", help="list registered fleet routing policies"
     )
 
     subparsers.add_parser(
@@ -312,6 +326,248 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_argument(serve)
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="fleet-level serving across heterogeneous platform replicas",
+        description=(
+            "Simulate a fleet of serving platforms behind a routing policy: "
+            "heterogeneous replica pools (repeat --platform), multi-tenant "
+            "admission control (repeat --class), and an optional reactive "
+            "autoscaler (--autoscale)."
+        ),
+    )
+    fleet.add_argument(
+        "--model",
+        default="tinyllama-42m",
+        help="registered model name (see `repro models`)",
+    )
+    fleet.add_argument(
+        "--platform",
+        action="append",
+        default=None,
+        metavar="PRESET[:CHIPS][xN][@ROLE]",
+        help=(
+            "one platform entry: preset name, optional chip count, replica "
+            "count, and role (any/prefill/decode), e.g. "
+            "siracusa-mipi:8x2@prefill; repeatable (default: siracusa-mipi)"
+        ),
+    )
+    fleet.add_argument(
+        "--router",
+        default="round_robin",
+        metavar="NAME",
+        help=(
+            "registered routing policy (default: round_robin; "
+            "see `repro routers`)"
+        ),
+    )
+    fleet.add_argument(
+        "--policy",
+        default="fifo",
+        metavar="NAME",
+        help=(
+            "per-replica scheduling policy (default: fifo; "
+            "see `repro policies`)"
+        ),
+    )
+    _add_strategy_argument(fleet)
+    fleet.add_argument(
+        "--trace",
+        choices=["poisson", "bursty", "diurnal"],
+        default="poisson",
+        help=(
+            "open-loop traffic generator (default: poisson; diurnal adds a "
+            "day-long sinusoidal rate with optional spikes)"
+        ),
+    )
+    fleet.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=2.0,
+        metavar="RPS",
+        help="mean arrival rate in requests/s (default: 2)",
+    )
+    fleet.add_argument(
+        "--burst-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="burst-state arrival rate for --trace bursty (default: 4x base)",
+    )
+    fleet.add_argument(
+        "--duration",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="arrival horizon in seconds (default: 300)",
+    )
+    fleet.add_argument(
+        "--amplitude",
+        type=float,
+        default=0.6,
+        help="diurnal rate-swing amplitude in [0, 1] (default: 0.6)",
+    )
+    fleet.add_argument(
+        "--period",
+        type=float,
+        default=86_400.0,
+        metavar="S",
+        help="diurnal period in seconds (default: 86400, one day)",
+    )
+    fleet.add_argument(
+        "--phase",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="diurnal phase shift in seconds (default: 0)",
+    )
+    fleet.add_argument(
+        "--spike-start",
+        type=float,
+        action="append",
+        default=[],
+        metavar="S",
+        help="start one diurnal spike burst at this time (repeatable)",
+    )
+    fleet.add_argument(
+        "--spike-duration",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="duration of each spike burst in seconds (default: 600)",
+    )
+    fleet.add_argument(
+        "--spike-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="extra arrival rate inside a spike (default: 2x base rate)",
+    )
+    fleet.add_argument(
+        "--prompt-mean",
+        type=float,
+        default=64.0,
+        help="mean prompt length in tokens (default: 64)",
+    )
+    fleet.add_argument(
+        "--output-mean",
+        type=float,
+        default=32.0,
+        help="mean reply length in tokens (default: 32)",
+    )
+    fleet.add_argument(
+        "--prompt-max",
+        type=int,
+        default=256,
+        help="largest sampled prompt length (default: 256)",
+    )
+    fleet.add_argument(
+        "--output-max",
+        type=int,
+        default=128,
+        help="largest sampled reply length (default: 128)",
+    )
+    fleet.add_argument(
+        "--priority-levels",
+        type=int,
+        default=1,
+        help="uniform priority classes assigned by the trace (default: 1)",
+    )
+    fleet.add_argument(
+        "--class",
+        dest="slo_class",
+        action="append",
+        default=[],
+        metavar="NAME[:RATE[:BURST[:SLO]]]",
+        help=(
+            "one multi-tenant SLO class: name, optional sustained admission "
+            "rate in req/s, token-bucket burst, and TTFT target in seconds, "
+            "e.g. interactive:2:4:0.5; repeatable — a request's priority "
+            "field indexes the class list in the given order"
+        ),
+    )
+    fleet.add_argument(
+        "--autoscale",
+        nargs="?",
+        const="siracusa-mipi",
+        default=None,
+        metavar="PRESET[:CHIPS]",
+        help=(
+            "enable the reactive autoscaler; added replicas use this "
+            "platform preset (default preset: siracusa-mipi)"
+        ),
+    )
+    fleet.add_argument(
+        "--autoscale-max",
+        type=int,
+        default=4,
+        metavar="N",
+        help="most replicas the autoscaler may add (default: 4)",
+    )
+    fleet.add_argument(
+        "--autoscale-interval",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="seconds between autoscaler checks (default: 60)",
+    )
+    fleet.add_argument(
+        "--autoscale-slo",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "TTFT target the autoscaler defends (scale up when windowed "
+            "attainment drops below 95%%)"
+        ),
+    )
+    fleet.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "trace seed; equal seeds give byte-identical output "
+            "(default: 0; meaningless with --replay)"
+        ),
+    )
+    fleet.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "replay a recorded JSON trace verbatim instead of generating "
+            "one (the generator flags and --seed do not apply)"
+        ),
+    )
+    fleet.add_argument(
+        "--max-context",
+        type=int,
+        default=1024,
+        metavar="TOKENS",
+        help="serving context window of every replica (default: 1024)",
+    )
+    fleet.add_argument(
+        "--slo-ttft",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="S",
+        help="TTFT targets of the SLO-attainment curve (default: standard grid)",
+    )
+    fleet.add_argument(
+        "--record-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "switch from exact to streaming (histogram) latency percentiles "
+            "above this many requests (default: 100000)"
+        ),
+    )
+    _add_json_argument(fleet)
+
     tune = subparsers.add_parser(
         "tune",
         help="design-space exploration (multi-objective platform search)",
@@ -479,13 +735,16 @@ def build_parser() -> argparse.ArgumentParser:
     # The cache flags are accepted both before the subcommand (the global
     # position) and after it, where most users type them.
     for evaluating in (
-        evaluate, sweep, compare, serve, tune, experiments, cache, study,
+        evaluate, sweep, compare, serve, fleet, tune, experiments, cache,
+        study,
     ):
         _add_cache_arguments(evaluating, suppress=True)
 
     # Every spec-expressible command can print its invocation as a
     # replayable spec document instead of running it.
-    for emitting in (evaluate, sweep, compare, serve, tune, experiments):
+    for emitting in (
+        evaluate, sweep, compare, serve, fleet, tune, experiments,
+    ):
         emitting.add_argument(
             "--emit-spec",
             action="store_true",
@@ -665,6 +924,116 @@ def _serve_spec_from_args(args: argparse.Namespace) -> ServingSpec:
     )
 
 
+def _parse_slo_class(text: str, index: int) -> SLOClassSpec:
+    """One ``--class NAME[:RATE[:BURST[:SLO]]]`` value as a spec.
+
+    The class's scheduling priority is its position in the ``--class``
+    list, matching how a request's ``priority`` field selects its class.
+    """
+    parts = text.split(":")
+    name = parts[0]
+    if not name or len(parts) > 4:
+        raise AnalysisError(
+            f"cannot parse SLO class {text!r}; expected "
+            "NAME[:RATE_RPS[:BURST[:TTFT_SLO_S]]], e.g. interactive:2:4:0.5"
+        )
+    try:
+        rate = float(parts[1]) if len(parts) > 1 and parts[1] else None
+        burst = int(parts[2]) if len(parts) > 2 and parts[2] else 1
+        slo = float(parts[3]) if len(parts) > 3 and parts[3] else None
+    except ValueError:
+        raise AnalysisError(
+            f"cannot parse SLO class {text!r}; expected "
+            "NAME[:RATE_RPS[:BURST[:TTFT_SLO_S]]], e.g. interactive:2:4:0.5"
+        ) from None
+    return SLOClassSpec(
+        name=name, rate_rps=rate, burst=burst, priority=index, ttft_slo_s=slo
+    )
+
+
+def _autoscaler_spec_from_args(
+    args: argparse.Namespace,
+) -> Optional[AutoscalerSpec]:
+    if args.autoscale is None:
+        return None
+    preset, _, chips_text = args.autoscale.partition(":")
+    try:
+        chips = int(chips_text) if chips_text else None
+    except ValueError:
+        raise AnalysisError(
+            f"cannot parse --autoscale {args.autoscale!r}; expected "
+            "PRESET[:CHIPS], e.g. siracusa-mipi:4"
+        ) from None
+    return AutoscalerSpec(
+        preset=preset,
+        chips=chips,
+        max_extra=args.autoscale_max,
+        check_interval_s=args.autoscale_interval,
+        ttft_slo_s=args.autoscale_slo,
+    )
+
+
+def _fleet_spec_from_args(args: argparse.Namespace) -> FleetSpec:
+    if args.replay is not None:
+        if args.seed is not None:
+            raise AnalysisError(
+                "--seed has no effect with --replay (the trace is replayed "
+                "verbatim); drop one of the two flags"
+            )
+        trace = TraceSpec(source="replay", path=args.replay)
+    else:
+        trace = TraceSpec(
+            source=args.trace,
+            rate_rps=args.arrival_rate,
+            duration_s=args.duration,
+            burst_rate_rps=args.burst_rate,
+            amplitude=args.amplitude,
+            period_s=args.period,
+            phase_s=args.phase,
+            spike_starts_s=tuple(args.spike_start),
+            spike_duration_s=args.spike_duration,
+            spike_rate_rps=args.spike_rate,
+            prompt_mean=args.prompt_mean,
+            output_mean=args.output_mean,
+            prompt_max=args.prompt_max,
+            output_max=args.output_max,
+            priority_levels=args.priority_levels,
+        )
+    from .fleet import FleetPlatform
+
+    entries = args.platform if args.platform else ["siracusa-mipi"]
+    platforms = []
+    for entry in entries:
+        # Parse the shorthand directly: a CLI flag error should not carry
+        # the spec-document path that FleetPlatformSpec.from_dict prefixes.
+        parsed = FleetPlatform.parse(entry)
+        platforms.append(
+            FleetPlatformSpec(
+                preset=parsed.preset,
+                chips=parsed.chips,
+                replicas=parsed.replicas,
+                role=parsed.role,
+            )
+        )
+    return FleetSpec(
+        model=ModelSpec(name=args.model),
+        trace=trace,
+        platforms=tuple(platforms),
+        router=args.router,
+        policy=args.policy,
+        strategy=args.strategy,
+        classes=tuple(
+            _parse_slo_class(text, index)
+            for index, text in enumerate(args.slo_class)
+        ),
+        autoscaler=_autoscaler_spec_from_args(args),
+        seed=args.seed if args.seed is not None else 0,
+        max_context=args.max_context,
+        slo_targets=tuple(args.slo_ttft) if args.slo_ttft is not None else None,
+        record_threshold=args.record_threshold,
+    )
+
+
 def _tune_spec_from_args(args: argparse.Namespace) -> TuneSpec:
     from .spec import AxisSpec, SpaceSpec
 
@@ -737,6 +1106,15 @@ def _command_policies() -> List[str]:
     for name in list_policies():
         policy = get_policy(name)
         lines.append(f"{name:<20} {policy.label}")
+    return lines
+
+
+def _command_routers() -> List[str]:
+    from .fleet import list_routers, router_label
+
+    lines = []
+    for name in list_routers():
+        lines.append(f"{name:<20} {router_label(name)}")
     return lines
 
 
@@ -914,6 +1292,17 @@ def _command_serve(args: argparse.Namespace) -> List[str]:
     if args.save_trace is not None:
         lines.append(f"wrote trace {args.save_trace}")
     return lines
+
+
+def _command_fleet(args: argparse.Namespace) -> List[str]:
+    spec = _fleet_spec_from_args(args)
+    if args.emit_spec:
+        return [spec.to_json().rstrip("\n")]
+    session = _session_from_args(args)
+    report = session.serve_fleet(spec)
+    if args.json:
+        return [fleet_report_to_json(report, cache=session.cache_info())]
+    return [report.render()]
 
 
 def _command_tune(args: argparse.Namespace) -> List[str]:
@@ -1181,6 +1570,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> List
         return _command_strategies()
     if args.command == "policies":
         return _command_policies()
+    if args.command == "routers":
+        return _command_routers()
     if args.command == "platforms":
         return _command_platforms()
     if args.command == "searchers":
@@ -1193,6 +1584,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> List
         return _command_tune(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "fleet":
+        return _command_fleet(args)
     if args.command == "evaluate":
         return _command_evaluate(args)
     if args.command == "sweep":

@@ -70,6 +70,14 @@ class UnknownPolicyError(ConfigurationError):
     """
 
 
+class UnknownRouterError(ConfigurationError):
+    """A fleet routing-policy name is not present in the router registry.
+
+    The message lists the registered names so that callers (and CLI users)
+    can see what is available without importing the registry module.
+    """
+
+
 class UnknownSearcherError(ConfigurationError):
     """A search-algorithm name is not present in the DSE registry.
 

@@ -1,0 +1,71 @@
+"""Fleet-level serving simulation: routing, admission, autoscaling.
+
+This package composes N heterogeneous platform replicas — each one a
+subsimulator backed by the per-platform serving machinery of
+:mod:`repro.serving` — behind a pluggable routing policy, multi-tenant
+admission control, and a reactive autoscaler.  Entry points:
+
+- :meth:`repro.api.Session.serve_fleet` — imperative API
+- ``FleetSpec`` in :mod:`repro.spec` — declarative, Study-composable
+- ``repro fleet`` / ``repro routers`` — command line
+"""
+
+from .admission import AdmissionController, ClassStats, SLOClass
+from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from .metrics import (
+    DEFAULT_RECORD_THRESHOLD,
+    FleetReport,
+    FleetResult,
+    ReplicaStats,
+    StreamingSummary,
+)
+from .routers import (
+    LeastLoadedRouter,
+    PrefillDecodeRouter,
+    ReplicaState,
+    RoundRobinRouter,
+    RoutingPolicy,
+    SessionAffinityRouter,
+    get_router,
+    list_routers,
+    register_router,
+    router_label,
+    unregister_router,
+)
+from .simulator import (
+    REPLICA_ROLES,
+    FleetPlatform,
+    FleetSimulator,
+    ReplicaTemplate,
+    iter_requests,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClassStats",
+    "DEFAULT_RECORD_THRESHOLD",
+    "FleetPlatform",
+    "FleetReport",
+    "FleetResult",
+    "FleetSimulator",
+    "LeastLoadedRouter",
+    "PrefillDecodeRouter",
+    "REPLICA_ROLES",
+    "ReplicaState",
+    "ReplicaStats",
+    "ReplicaTemplate",
+    "RoundRobinRouter",
+    "RoutingPolicy",
+    "ScaleEvent",
+    "SessionAffinityRouter",
+    "SLOClass",
+    "StreamingSummary",
+    "get_router",
+    "iter_requests",
+    "list_routers",
+    "register_router",
+    "router_label",
+    "unregister_router",
+]

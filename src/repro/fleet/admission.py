@@ -1,0 +1,170 @@
+"""Multi-tenant admission control with per-class rate limits.
+
+A fleet serves several *SLO classes* (tenants, traffic tiers): each class
+carries a scheduling priority, an optional sustained admission-rate limit
+with a burst allowance, and an optional per-class TTFT target reported in
+the fleet metrics.  The :class:`AdmissionController` maps every arriving
+request to its class (the request's ``priority`` field indexes the class
+list, clamped to the last entry) and runs one deterministic token bucket
+per limited class: a request is admitted if its class has a token left
+and rejected otherwise — rejected requests never reach the router.
+
+Everything is virtual-time arithmetic on the arrival stream, so admission
+decisions are exactly reproducible for equal traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..serving.request import Request
+
+__all__ = ["AdmissionController", "ClassStats", "SLOClass"]
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One tenant class of the fleet's admission policy.
+
+    Attributes:
+        name: Class name (reported per class in the fleet metrics).
+        rate_rps: Sustained admission-rate limit in requests per second;
+            ``None`` admits everything.
+        burst: Token-bucket capacity — how many requests the class may
+            admit back-to-back before the sustained limit bites.
+        priority: Scheduling priority stamped onto admitted requests of
+            this class (larger wins under the ``priority`` policy).
+        ttft_slo_s: Optional per-class TTFT target; attainment against it
+            is reported in the per-class fleet metrics.
+    """
+
+    name: str = "default"
+    rate_rps: Optional[float] = None
+    burst: int = 1
+    priority: int = 0
+    ttft_slo_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an SLO class needs a non-empty name")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ConfigurationError(
+                f"class {self.name!r}: rate_rps must be positive"
+            )
+        if self.burst < 1:
+            raise ConfigurationError(
+                f"class {self.name!r}: burst must be at least 1"
+            )
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ConfigurationError(
+                f"class {self.name!r}: ttft_slo_s must be positive"
+            )
+
+
+@dataclass
+class ClassStats:
+    """Mutable per-class counters the controller and engine accumulate."""
+
+    slo_class: SLOClass
+    arrived: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    slo_met: int = 0
+    tokens: float = field(default=0.0)
+    refill_s: float = field(default=0.0)
+
+    def attainment(self) -> Optional[float]:
+        """Fraction of completions meeting the class TTFT target."""
+        if self.slo_class.ttft_slo_s is None or self.completed == 0:
+            return None
+        return self.slo_met / self.completed
+
+
+class AdmissionController:
+    """Deterministic token-bucket admission over a fixed class list.
+
+    Args:
+        classes: The fleet's SLO classes in priority-index order; an
+            arriving request's ``priority`` field selects
+            ``classes[min(priority, len(classes) - 1)]``.  Defaults to a
+            single unlimited class, so a fleet without tenants admits
+            everything.
+    """
+
+    def __init__(self, classes: Sequence[SLOClass] = ()) -> None:
+        chosen: Tuple[SLOClass, ...] = tuple(classes) or (SLOClass(),)
+        names = [cls.name for cls in chosen]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                "SLO class names must be unique, got " + ", ".join(names)
+            )
+        self.classes = chosen
+        self._stats: List[ClassStats] = [
+            ClassStats(slo_class=cls, tokens=float(cls.burst))
+            for cls in chosen
+        ]
+
+    def class_index(self, request: Request) -> int:
+        """The class an arriving request belongs to."""
+        return min(request.priority, len(self.classes) - 1)
+
+    def admit(self, request: Request) -> Tuple[bool, SLOClass]:
+        """Decide one arrival; returns ``(admitted, its class)``."""
+        index = self.class_index(request)
+        stats = self._stats[index]
+        slo_class = stats.slo_class
+        stats.arrived += 1
+        if slo_class.rate_rps is None:
+            stats.admitted += 1
+            return True, slo_class
+        elapsed = request.arrival_s - stats.refill_s
+        stats.tokens = min(
+            float(slo_class.burst), stats.tokens + elapsed * slo_class.rate_rps
+        )
+        stats.refill_s = request.arrival_s
+        if stats.tokens >= 1.0:
+            stats.tokens -= 1.0
+            stats.admitted += 1
+            return True, slo_class
+        stats.rejected += 1
+        return False, slo_class
+
+    def complete(self, class_index: int, ttft_s: float) -> None:
+        """Record one completion (per-class TTFT attainment)."""
+        stats = self._stats[class_index]
+        stats.completed += 1
+        target = stats.slo_class.ttft_slo_s
+        if target is None or ttft_s <= target:
+            stats.slo_met += 1
+
+    @property
+    def stats(self) -> Tuple[ClassStats, ...]:
+        """Per-class counters, in class order."""
+        return tuple(self._stats)
+
+    def index_of(self, slo_class: SLOClass) -> int:
+        """Position of ``slo_class`` in the class list."""
+        return self.classes.index(slo_class)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """JSON-ready per-class summary, in class order."""
+        rows: List[Dict[str, object]] = []
+        for stats in self._stats:
+            cls = stats.slo_class
+            row: Dict[str, object] = {
+                "name": cls.name,
+                "priority": cls.priority,
+                "rate_rps": cls.rate_rps,
+                "arrived": stats.arrived,
+                "admitted": stats.admitted,
+                "rejected": stats.rejected,
+                "completed": stats.completed,
+            }
+            if cls.ttft_slo_s is not None:
+                row["ttft_slo_s"] = cls.ttft_slo_s
+                row["slo_attainment"] = stats.attainment()
+            rows.append(row)
+        return rows

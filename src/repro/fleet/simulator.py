@@ -1,0 +1,633 @@
+"""Fleet-level discrete-event simulator over per-replica subsimulators.
+
+The single-platform :class:`~repro.serving.simulator.ServingSimulator`
+advances one engine's virtual time internally; the fleet engine inverts
+that structure: every platform replica is a *subsimulator* (its own
+admitted-request set, scheduling policy, and non-preemptive service
+grants, with phase costs from a Session-memoised
+:class:`~repro.serving.costs.RequestCostModel`), and one fleet-level
+event loop advances all of them together.  The heap holds four event
+kinds — grant completions, autoscaler ticks, timeline windows, and the
+*next* trace arrival (arrivals are pulled lazily from an iterator, so a
+day-long million-request trace never materialises in memory) — and ties
+break on a deterministic sequence number, which together with seeded
+traces and stateless-per-run routers makes equal-input fleet runs
+byte-identical.
+
+On arrival a request passes admission control
+(:mod:`repro.fleet.admission`), is dispatched by the routing policy
+(:mod:`repro.fleet.routers`) to one in-service replica, and then lives
+entirely on that replica until its last token.  Completions stream into
+the bounded-memory accumulators of :mod:`repro.fleet.metrics`; no
+per-request record list is kept.  A reactive autoscaler
+(:mod:`repro.fleet.autoscaler`) may add replicas from a platform preset
+or drain them (drained replicas finish their queue, are never offered
+to the router again, and retire once empty).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError, ConfigurationError, SimulationError
+from ..serving.costs import RequestCostModel
+from ..serving.metrics import DEFAULT_SLO_TTFT_TARGETS_S
+from ..serving.policies import SchedulingPolicy, get_policy
+from ..serving.request import ActiveRequest, Request, RequestPhase
+from ..serving.traces import RequestSource, TrafficTrace
+from .admission import AdmissionController
+from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from .metrics import (
+    DEFAULT_RECORD_THRESHOLD,
+    FleetResult,
+    ReplicaStats,
+    StreamingSummary,
+)
+from .routers import RoutingPolicy, get_router
+
+__all__ = [
+    "FleetPlatform",
+    "FleetSimulator",
+    "ReplicaTemplate",
+    "iter_requests",
+]
+
+#: Valid routing-pool tags of a replica.
+REPLICA_ROLES = ("any", "prefill", "decode")
+
+#: Event ordering at equal timestamps: completions first, then scaling
+#: and timeline ticks, then new arrivals.
+_KIND_GRANT_END = 0
+_KIND_SCALE_TICK = 1
+_KIND_WINDOW_TICK = 2
+_KIND_ARRIVAL = 3
+
+
+@dataclass(frozen=True)
+class FleetPlatform:
+    """One heterogeneous platform entry of a fleet, as the user states it.
+
+    Attributes:
+        preset: Registered platform-preset name.
+        chips: Chip count (the preset's default when ``None``).
+        replicas: How many identical replicas of this platform to run.
+        role: Routing-pool tag (``any``, ``prefill``, or ``decode``).
+    """
+
+    preset: str = "siracusa-mipi"
+    chips: Optional[int] = None
+    replicas: int = 1
+    role: str = "any"
+
+    def __post_init__(self) -> None:
+        if not self.preset:
+            raise ConfigurationError("a fleet platform needs a preset name")
+        if self.chips is not None and self.chips <= 0:
+            raise ConfigurationError(f"chips must be positive, got {self.chips}")
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be at least 1, got {self.replicas}"
+            )
+        if self.role not in REPLICA_ROLES:
+            raise ConfigurationError(
+                f"unknown replica role {self.role!r}; choose from "
+                + ", ".join(REPLICA_ROLES)
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FleetPlatform":
+        """Parse the CLI shorthand ``preset[:chips][xN][@role]``.
+
+        Examples: ``siracusa-mipi``, ``siracusa-mipi:8``,
+        ``siracusa-mipi:8x2``, ``siracusa-big-l2:4x2@decode``.
+        """
+        original = text
+        role = "any"
+        if "@" in text:
+            text, _, role = text.partition("@")
+        chips: Optional[int] = None
+        replicas = 1
+        preset, _, rest = text.partition(":")
+        if rest:
+            count_text, _, replica_text = rest.partition("x")
+            try:
+                chips = int(count_text)
+                if replica_text:
+                    replicas = int(replica_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"cannot parse fleet platform {original!r}; expected "
+                    "preset[:chips][xN][@role], e.g. siracusa-mipi:8x2@prefill"
+                ) from None
+        if not preset:
+            raise ConfigurationError(
+                f"cannot parse fleet platform {original!r}; expected "
+                "preset[:chips][xN][@role], e.g. siracusa-mipi:8x2@prefill"
+            )
+        return cls(preset=preset, chips=chips, replicas=replicas, role=role)
+
+
+@dataclass(frozen=True)
+class ReplicaTemplate:
+    """A resolved replica recipe: platform identity plus its cost model."""
+
+    preset: str
+    chips: int
+    role: str
+    costs: RequestCostModel
+
+
+def iter_requests(trace: TrafficTrace, seed: int) -> Iterator[Request]:
+    """The open-loop arrival stream of a trace, lazily where possible.
+
+    Traces exposing a ``stream(seed)`` generator (e.g.
+    :class:`~repro.serving.traces.DiurnalTrace`) are iterated without
+    materialising the request list; anything else falls back to
+    ``build(seed)``.  Closed-loop traces are rejected: fleet arrivals
+    must not depend on completions, or request conservation across
+    replicas would be unverifiable.
+    """
+    stream = getattr(trace, "stream", None)
+    if stream is not None:
+        return iter(stream(seed))
+    source = trace.build(seed)
+    if not isinstance(source, RequestSource):  # defensive: protocol misuse
+        raise ConfigurationError(
+            f"trace {type(trace).__name__} did not build a RequestSource"
+        )
+    if source.is_closed_loop:
+        raise ConfigurationError(
+            "closed-loop traces cannot drive a fleet: arrivals would depend "
+            "on completions; use an open-loop trace (poisson, bursty, "
+            "diurnal, replay)"
+        )
+    return iter(source.initial)
+
+
+class _Replica:
+    """One platform subsimulator (also the router's read-only view)."""
+
+    __slots__ = (
+        "replica_id",
+        "preset",
+        "chips",
+        "role",
+        "source",
+        "costs",
+        "active",
+        "busy",
+        "busy_s",
+        "added_s",
+        "drained_s",
+        "draining",
+        "completed",
+        "decode_cache",
+    )
+
+    def __init__(
+        self,
+        replica_id: int,
+        template: ReplicaTemplate,
+        source: str,
+        added_s: float,
+    ) -> None:
+        self.replica_id = replica_id
+        self.preset = template.preset
+        self.chips = template.chips
+        self.role = template.role
+        self.source = source
+        self.costs = template.costs
+        self.active: Dict[int, ActiveRequest] = {}
+        self.busy = False
+        self.busy_s = 0.0
+        self.added_s = added_s
+        self.drained_s: Optional[float] = None
+        self.draining = False
+        self.completed = 0
+        self.decode_cache: List[Optional[Tuple[float, float]]] = [None] * (
+            template.costs.max_context + 1
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.active)
+
+
+class FleetSimulator:
+    """Serves one arrival stream across N platform replicas.
+
+    Args:
+        replicas: Static replica recipes (at least one).
+        router: Registered router name or a fresh
+            :class:`~repro.fleet.routers.RoutingPolicy` instance.
+        policy: Per-replica scheduling policy name (or instance).
+        admission: Admission controller; a default-constructed one
+            (single unlimited class) when ``None``.
+        autoscaler: Reactive-scaling knobs; scaling is off when ``None``.
+        scale_template: Replica recipe the autoscaler adds from
+            (required when ``autoscaler`` is given).
+        slo_targets: TTFT targets of the exact attainment curve.
+        record_threshold: Completions beyond which latency percentiles
+            switch to the streaming histogram.
+        timeline_window_s: Aggregation window of the fleet timeline.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[ReplicaTemplate],
+        *,
+        router: "str | RoutingPolicy" = "round_robin",
+        policy: "str | SchedulingPolicy" = "fifo",
+        admission: Optional[AdmissionController] = None,
+        autoscaler: Optional[AutoscalerConfig] = None,
+        scale_template: Optional[ReplicaTemplate] = None,
+        slo_targets: Sequence[float] = DEFAULT_SLO_TTFT_TARGETS_S,
+        record_threshold: int = DEFAULT_RECORD_THRESHOLD,
+        timeline_window_s: float = 60.0,
+    ) -> None:
+        if not replicas:
+            raise ConfigurationError("a fleet needs at least one replica")
+        if record_threshold < 1:
+            raise ConfigurationError("record_threshold must be at least 1")
+        if timeline_window_s <= 0:
+            raise ConfigurationError("timeline_window_s must be positive")
+        if autoscaler is not None and scale_template is None:
+            raise ConfigurationError(
+                "an autoscaled fleet needs a scale_template to build "
+                "replicas from"
+            )
+        self.router = get_router(router) if isinstance(router, str) else router
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.admission = admission if admission is not None else AdmissionController()
+        self.autoscaler = Autoscaler(autoscaler) if autoscaler is not None else None
+        self.scale_template = scale_template
+        self.slo_targets = tuple(slo_targets)
+        self.record_threshold = record_threshold
+        self.timeline_window_s = timeline_window_s
+        self._templates = tuple(replicas)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, requests: Iterable[Request]) -> FleetResult:
+        """Drain the arrival stream and return the aggregated result."""
+        all_replicas: List[_Replica] = [
+            _Replica(index, template, "static", 0.0)
+            for index, template in enumerate(self._templates)
+        ]
+        serving: List[_Replica] = list(all_replicas)
+        scaled_stack: List[_Replica] = []  # autoscaled, most recent last
+
+        events: List[Tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(time_s: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time_s, kind, seq, payload))
+            seq += 1
+
+        arrival_iter = iter(requests)
+        arrivals_pending = True
+        last_arrival_s = 0.0
+
+        def push_next_arrival() -> None:
+            nonlocal arrivals_pending, last_arrival_s
+            request = next(arrival_iter, None)
+            if request is None:
+                arrivals_pending = False
+                return
+            if request.arrival_s < last_arrival_s:
+                raise SimulationError(
+                    "trace arrivals are not in time order "
+                    f"(request {request.request_id} at {request.arrival_s})"
+                )
+            last_arrival_s = request.arrival_s
+            push(request.arrival_s, _KIND_ARRIVAL, request)
+
+        # Streaming accumulators.
+        queue_wait = StreamingSummary(self.record_threshold)
+        ttft = StreamingSummary(self.record_threshold)
+        tpot = StreamingSummary(self.record_threshold)
+        e2e = StreamingSummary(self.record_threshold)
+        slo_hits = [0] * len(self.slo_targets)
+        class_of: Dict[int, int] = {}  # request_id -> class index
+        arrived = admitted = rejected = completed = 0
+        generated_tokens = prompt_tokens = 0
+        total_energy = 0.0
+        makespan = 0.0
+        window_completed = window_slo_met = 0  # autoscaler window
+        busy_bins: Dict[int, float] = {}
+        timeline: List[Tuple[float, int, int, float]] = []
+        scaling_events: List[ScaleEvent] = []
+        window_index = 0
+
+        def work_remains() -> bool:
+            return arrivals_pending or any(r.active for r in all_replicas)
+
+        def add_busy(start_s: float, end_s: float) -> None:
+            width = self.timeline_window_s
+            index = int(start_s / width)
+            cursor = start_s
+            while cursor < end_s:
+                edge = (index + 1) * width
+                span = min(end_s, edge) - cursor
+                busy_bins[index] = busy_bins.get(index, 0.0) + span
+                cursor = edge
+                index += 1
+
+        def start_grant(replica: _Replica, now: float) -> None:
+            ready = [replica.active[rid] for rid in sorted(replica.active)]
+            chosen = self.policy.select(ready, now)
+            if chosen.request.request_id not in replica.active:
+                raise SimulationError(
+                    f"policy {self.policy.name!r} selected a request that is "
+                    f"not on replica {replica.replica_id}"
+                )
+            duration = self._grant(replica, chosen, now)
+            replica.busy = True
+            replica.busy_s += duration
+            add_busy(now, now + duration)
+            push(now + duration, _KIND_GRANT_END, (replica, chosen))
+
+        def retire(replica: _Replica, now: float) -> None:
+            replica.drained_s = now
+            try:
+                serving.remove(replica)
+            except ValueError:
+                pass  # already out of the dispatch set (drain removed it)
+            scaling_events.append(
+                ScaleEvent(
+                    time_s=now,
+                    action="retire",
+                    replica_id=replica.replica_id,
+                    reason="queue-empty",
+                    replicas=len(serving),
+                )
+            )
+
+        push_next_arrival()
+        if self.autoscaler is not None:
+            push(
+                self.autoscaler.config.check_interval_s,
+                _KIND_SCALE_TICK,
+                None,
+            )
+        push(self.timeline_window_s, _KIND_WINDOW_TICK, None)
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+
+            if kind == _KIND_GRANT_END:
+                replica, chosen = payload  # type: ignore[misc]
+                replica.busy = False
+                if chosen.is_done:
+                    chosen.phase = RequestPhase.DONE
+                    request = chosen.request
+                    del replica.active[request.request_id]
+                    index = class_of.pop(request.request_id)
+                    wait_s = chosen.first_scheduled_s - request.arrival_s
+                    ttft_s = chosen.first_token_s - request.arrival_s
+                    e2e_s = now - request.arrival_s
+                    queue_wait.add(wait_s)
+                    ttft.add(ttft_s)
+                    e2e.add(e2e_s)
+                    if request.output_tokens > 1:
+                        tpot.add(
+                            (now - chosen.first_token_s)
+                            / (request.output_tokens - 1)
+                        )
+                    for position, target in enumerate(self.slo_targets):
+                        if ttft_s <= target:
+                            slo_hits[position] += 1
+                    self.admission.complete(index, ttft_s)
+                    completed += 1
+                    replica.completed += 1
+                    generated_tokens += request.output_tokens
+                    prompt_tokens += request.prompt_tokens
+                    total_energy += chosen.energy_joules
+                    makespan = now
+                    window_completed += 1
+                    if (
+                        self.autoscaler is not None
+                        and self.autoscaler.config.ttft_slo_s is not None
+                        and ttft_s <= self.autoscaler.config.ttft_slo_s
+                    ):
+                        window_slo_met += 1
+                if replica.active:
+                    start_grant(replica, now)
+                elif replica.draining and replica.drained_s is None:
+                    retire(replica, now)
+
+            elif kind == _KIND_ARRIVAL:
+                request = payload  # type: ignore[assignment]
+                arrived += 1
+                required = request.prompt_tokens + request.output_tokens - 1
+                max_context = min(r.costs.max_context for r in all_replicas)
+                if required > max_context:
+                    raise ConfigurationError(
+                        f"request {request.request_id} needs a context of "
+                        f"{required} tokens, beyond the fleet's serving "
+                        f"window ({max_context}); shorten the trace's "
+                        "lengths or raise max_context"
+                    )
+                ok, slo_class = self.admission.admit(request)
+                if not ok:
+                    rejected += 1
+                else:
+                    admitted += 1
+                    if slo_class.priority != request.priority:
+                        request = replace(request, priority=slo_class.priority)
+                    if not serving:
+                        raise SimulationError(
+                            "no replica is in service to dispatch to "
+                            f"(request {request.request_id} at {now:.3f}s)"
+                        )
+                    chosen_replica = self.router.route(request, serving, now)
+                    valid = any(
+                        chosen_replica is replica for replica in serving
+                    )
+                    if not valid or chosen_replica.draining:
+                        raise SimulationError(
+                            f"router {self.router.name!r} dispatched request "
+                            f"{request.request_id} to a drained or unknown "
+                            "replica"
+                        )
+                    if request.request_id in chosen_replica.active:
+                        raise SimulationError(
+                            f"duplicate request id {request.request_id} "
+                            f"admitted on replica {chosen_replica.replica_id}"
+                        )
+                    chosen_replica.active[request.request_id] = ActiveRequest(
+                        request=request
+                    )
+                    class_of[request.request_id] = self.admission.index_of(
+                        slo_class
+                    )
+                    if not chosen_replica.busy:
+                        start_grant(chosen_replica, now)
+                push_next_arrival()
+
+            elif kind == _KIND_SCALE_TICK:
+                assert self.autoscaler is not None
+                depth = sum(len(r.active) for r in serving)
+                per_replica = depth / len(serving) if serving else float(depth)
+                decision = self.autoscaler.decide(
+                    queue_depth_per_replica=per_replica,
+                    window_completed=window_completed,
+                    window_slo_met=window_slo_met,
+                )
+                window_completed = window_slo_met = 0
+                if decision in ("queue-depth", "slo-attainment"):
+                    assert self.scale_template is not None
+                    replica = _Replica(
+                        len(all_replicas), self.scale_template, "autoscaled", now
+                    )
+                    all_replicas.append(replica)
+                    serving.append(replica)
+                    serving.sort(key=lambda r: r.replica_id)
+                    scaled_stack.append(replica)
+                    self.autoscaler.extras += 1
+                    scaling_events.append(
+                        ScaleEvent(
+                            time_s=now,
+                            action="add",
+                            replica_id=replica.replica_id,
+                            reason=decision,
+                            replicas=len(serving),
+                        )
+                    )
+                elif decision == "drained" and scaled_stack:
+                    replica = scaled_stack.pop()
+                    replica.draining = True
+                    serving.remove(replica)
+                    self.autoscaler.extras -= 1
+                    scaling_events.append(
+                        ScaleEvent(
+                            time_s=now,
+                            action="drain",
+                            replica_id=replica.replica_id,
+                            reason=decision,
+                            replicas=len(serving),
+                        )
+                    )
+                    if not replica.active:
+                        retire(replica, now)
+                if work_remains():
+                    push(
+                        now + self.autoscaler.config.check_interval_s,
+                        _KIND_SCALE_TICK,
+                        None,
+                    )
+
+            else:  # _KIND_WINDOW_TICK
+                depth = sum(len(r.active) for r in all_replicas)
+                busy = busy_bins.pop(window_index, 0.0)
+                capacity = self.timeline_window_s * max(1, len(serving))
+                timeline.append(
+                    (now, depth, len(serving), min(1.0, busy / capacity))
+                )
+                window_index += 1
+                if work_remains():
+                    push(now + self.timeline_window_s, _KIND_WINDOW_TICK, None)
+
+        if arrived == 0:
+            raise AnalysisError("the trace generated no requests")
+
+        stats = tuple(
+            ReplicaStats(
+                replica_id=replica.replica_id,
+                preset=replica.preset,
+                chips=replica.chips,
+                role=replica.role,
+                source=replica.source,
+                completed=replica.completed,
+                busy_s=replica.busy_s,
+                added_s=replica.added_s,
+                drained_s=replica.drained_s,
+                utilisation=_replica_utilisation(replica, makespan),
+            )
+            for replica in all_replicas
+        )
+        return FleetResult(
+            router=self.router.name,
+            policy=self.policy.name,
+            arrived=arrived,
+            admitted=admitted,
+            rejected=rejected,
+            completed=completed,
+            in_flight=admitted - completed,
+            makespan_s=makespan,
+            generated_tokens=generated_tokens,
+            prompt_tokens=prompt_tokens,
+            total_energy_joules=total_energy,
+            queue_wait=queue_wait.summary(),
+            ttft=ttft.summary(),
+            tpot=tpot.summary(),
+            e2e=e2e.summary(),
+            approximate=ttft.approximate,
+            record_threshold=self.record_threshold,
+            slo_curve=tuple(
+                (target, slo_hits[position] / completed if completed else 0.0)
+                for position, target in enumerate(self.slo_targets)
+            ),
+            classes=tuple(self.admission.to_dicts()),
+            replicas=stats,
+            timeline=tuple(timeline),
+            scaling_events=tuple(scaling_events),
+        )
+
+    # ------------------------------------------------------------------
+    # One service grant on one replica
+    # ------------------------------------------------------------------
+    def _grant(
+        self, replica: _Replica, chosen: ActiveRequest, now: float
+    ) -> float:
+        """Advance ``chosen`` by one grant; returns the grant's duration."""
+        request = chosen.request
+        if not chosen.prefill_done:
+            cost = replica.costs.prefill_cost(request.prompt_tokens)
+            if chosen.first_scheduled_s is None:
+                chosen.first_scheduled_s = now
+            chosen.phase = RequestPhase.PREFILL
+            chosen.first_token_s = now + cost.seconds
+            chosen.tokens_emitted = 1
+            chosen.energy_joules += cost.energy_joules
+            chosen.phase = RequestPhase.DECODE
+            return cost.seconds
+
+        quantum = self.policy.decode_quantum
+        remaining = chosen.remaining_tokens
+        steps = remaining if quantum is None else min(quantum, remaining)
+        if steps <= 0:
+            raise SimulationError(
+                f"policy {self.policy.name!r} selected the finished request "
+                f"{request.request_id}"
+            )
+        seconds = 0.0
+        energy = 0.0
+        cache = replica.decode_cache
+        base = request.prompt_tokens + chosen.tokens_emitted
+        for step in range(steps):
+            # The k-th decode step attends to the prompt plus the tokens
+            # emitted so far (same accounting as the serving simulator).
+            context = base + step
+            pair = cache[context]
+            if pair is None:
+                cost = replica.costs.decode_cost(context)
+                pair = (cost.seconds, cost.energy_joules)
+                cache[context] = pair
+            seconds += pair[0]
+            energy += pair[1]
+        chosen.tokens_emitted += steps
+        chosen.energy_joules += energy
+        return seconds
+
+
+def _replica_utilisation(replica: _Replica, makespan_s: float) -> float:
+    end = replica.drained_s if replica.drained_s is not None else makespan_s
+    span = end - replica.added_s
+    if span <= 0:
+        return 0.0
+    return min(1.0, replica.busy_s / span)

@@ -209,6 +209,26 @@ def siracusa_big_l2_platform(num_chips: int) -> MultiChipPlatform:
     )
 
 
+def siracusa_low_power_platform(num_chips: int) -> MultiChipPlatform:
+    """A what-if Siracusa system clocked down to 300 MHz at 7 mW per core.
+
+    Same memories, DMAs, and MIPI links as the paper's platform, but the
+    cluster trades 40% of its clock for roughly half the core power — a
+    hypothetical efficiency-tier chip for heterogeneous fleet studies,
+    not a published configuration.
+    """
+    chip = siracusa_chip()
+    cluster = replace(
+        chip.cluster, frequency_hz=300e6, power_per_core_w=7e-3
+    )
+    return MultiChipPlatform(
+        chip=replace(chip, cluster=cluster),
+        num_chips=num_chips,
+        link=mipi_link(),
+        group_size=SIRACUSA_GROUP_SIZE,
+    )
+
+
 # ----------------------------------------------------------------------
 # Preset registry
 # ----------------------------------------------------------------------
@@ -298,5 +318,12 @@ register_platform_preset(
         name="siracusa-big-l2",
         description="What-if variant: 4 MiB L2 per chip",
         factory=siracusa_big_l2_platform,
+    )
+)
+register_platform_preset(
+    PlatformPreset(
+        name="siracusa-low-power",
+        description="What-if variant: 300 MHz cluster at 7 mW per core",
+        factory=siracusa_low_power_platform,
     )
 )

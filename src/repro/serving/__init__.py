@@ -6,7 +6,7 @@ requests contend for the multi-chip platform?  It composes four small,
 typed layers:
 
 * :mod:`~repro.serving.traces` — seeded traffic generators (Poisson,
-  bursty MMPP, closed-loop) and JSON trace replay;
+  bursty MMPP, diurnal with spikes, closed-loop) and JSON trace replay;
 * :mod:`~repro.serving.policies` — pluggable scheduling policies behind a
   registry (FIFO, shortest-prompt-first, priority, continuous-batching
   interleaver);
@@ -59,6 +59,7 @@ from .simulator import ServingResult, ServingSimulator
 from .traces import (
     BurstyTrace,
     ClosedLoopTrace,
+    DiurnalTrace,
     LengthModel,
     PoissonTrace,
     ReplayTrace,
@@ -74,6 +75,7 @@ __all__ = [
     "ClosedLoopTrace",
     "ContinuousBatchingPolicy",
     "DEFAULT_SLO_TTFT_TARGETS_S",
+    "DiurnalTrace",
     "FifoPolicy",
     "LatencySummary",
     "LengthModel",

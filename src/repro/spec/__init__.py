@@ -2,7 +2,8 @@
 
 This package turns each of the library's verbs into a typed, frozen,
 JSON-serialisable spec — :class:`EvalSpec`, :class:`SweepSpec`,
-:class:`CompareSpec`, :class:`ServingSpec`, :class:`TuneSpec` — plus the
+:class:`CompareSpec`, :class:`ServingSpec`, :class:`FleetSpec`,
+:class:`TuneSpec` — plus the
 leaf specs they compose (:class:`ModelSpec`, :class:`WorkloadSpec`,
 :class:`PlatformSpec`, :class:`TraceSpec`, :class:`SpaceSpec`, ...), and
 :class:`StudySpec`, a named pipeline of stages with cross-stage
@@ -22,14 +23,18 @@ See ``docs/SPECS.md`` for the schema reference and
 
 from .base import SPEC_SCHEMA_VERSION, SpecBase
 from .specs import (
+    AutoscalerSpec,
     AxisSpec,
     CompareSpec,
     DEFAULT_SEQ_LEN,
     EvalSpec,
+    FleetPlatformSpec,
+    FleetSpec,
     ModelSpec,
     PlatformSpec,
     RUNNABLE_KINDS,
     RunnableSpec,
+    SLOClassSpec,
     ScenarioSpec,
     ServingSpec,
     SpaceSpec,
@@ -46,14 +51,18 @@ from .specs import (
 from .studies import get_study, list_studies, register_study, study_description
 
 __all__ = [
+    "AutoscalerSpec",
     "AxisSpec",
     "CompareSpec",
     "DEFAULT_SEQ_LEN",
     "EvalSpec",
+    "FleetPlatformSpec",
+    "FleetSpec",
     "ModelSpec",
     "PlatformSpec",
     "RUNNABLE_KINDS",
     "RunnableSpec",
+    "SLOClassSpec",
     "SPEC_SCHEMA_VERSION",
     "ScenarioSpec",
     "ServingSpec",

@@ -1,7 +1,7 @@
 """Execution of runnable specs on a :class:`~repro.api.Session`.
 
 :func:`execute` is the single dispatch point behind both the spec-accepting
-``Session.run/sweep/compare/serve/tune`` overloads and the
+``Session.run/sweep/compare/serve/serve_fleet/tune`` overloads and the
 :class:`~repro.api.study.Study` pipeline runner.  It resolves a spec's
 registry names into live objects, honours stage references (a serve stage
 running on a tuned platform, a tune stage pinning its chip axis to a
@@ -23,6 +23,7 @@ from ..hw.platform import MultiChipPlatform
 from .specs import (
     CompareSpec,
     EvalSpec,
+    FleetSpec,
     RunnableSpec,
     ServingSpec,
     SpaceSpec,
@@ -140,6 +141,8 @@ def execute(
         return _execute_compare(session, spec, stages)
     if isinstance(spec, ServingSpec):
         return _execute_serve(session, spec, stages)
+    if isinstance(spec, FleetSpec):
+        return _execute_fleet(session, spec, stages)
     if isinstance(spec, TuneSpec):
         return _execute_tune(session, spec, stages)
     if isinstance(spec, StudySpec):
@@ -149,7 +152,8 @@ def execute(
         )
     raise AnalysisError(
         f"cannot execute a {type(spec).__name__}; runnable specs are "
-        "EvalSpec, SweepSpec, CompareSpec, ServingSpec, and TuneSpec"
+        "EvalSpec, SweepSpec, CompareSpec, ServingSpec, FleetSpec, and "
+        "TuneSpec"
     )
 
 
@@ -202,6 +206,35 @@ def _execute_serve(session, spec: ServingSpec, stages):
         seed=spec.seed,
         max_context=spec.max_context,
         slo_targets=spec.slo_targets,
+    )
+
+
+def _execute_fleet(session, spec: FleetSpec, stages):
+    config = spec.model.build()
+    trace = spec.trace.build()
+    entries = tuple(entry.build() for entry in spec.platforms)
+    classes = tuple(slo_class.build() for slo_class in spec.classes)
+    autoscaler = (
+        spec.autoscaler.build() if spec.autoscaler is not None else None
+    )
+    if spec.platform_from is not None:
+        platform, strategy = _resolve_platform(spec, stages)
+    else:
+        platform, strategy = None, spec.strategy
+    return session.serve_fleet(
+        config,
+        trace,
+        platforms=entries,
+        router=spec.router,
+        policy=spec.policy,
+        strategy=strategy,
+        classes=classes,
+        autoscaler=autoscaler,
+        platform=platform,
+        seed=spec.seed,
+        max_context=spec.max_context,
+        slo_targets=spec.slo_targets,
+        record_threshold=spec.record_threshold,
     )
 
 

@@ -6,7 +6,8 @@ has a spec dataclass here that captures one invocation *as data*:
 * :class:`ModelSpec`, :class:`WorkloadSpec`, :class:`PlatformSpec` name
   registry entries (models, platform presets) plus their parameters;
 * :class:`EvalSpec`, :class:`SweepSpec`, :class:`CompareSpec`,
-  :class:`ServingSpec`, :class:`TuneSpec` are the five *runnable* specs —
+  :class:`ServingSpec`, :class:`FleetSpec`, :class:`TuneSpec` are the
+  six *runnable* specs —
   each knows how to resolve its names through the live registries and
   execute itself on a :class:`~repro.api.Session`
   (see :mod:`repro.spec.runner`);
@@ -35,14 +36,18 @@ from ..hw.platform import MultiChipPlatform
 from .base import Fields, SpecBase, spec_error
 
 __all__ = [
+    "AutoscalerSpec",
     "AxisSpec",
     "CompareSpec",
     "DEFAULT_SEQ_LEN",
     "EvalSpec",
+    "FleetPlatformSpec",
+    "FleetSpec",
     "ModelSpec",
     "PlatformSpec",
     "RUNNABLE_KINDS",
     "RunnableSpec",
+    "SLOClassSpec",
     "ScenarioSpec",
     "ServingSpec",
     "SpaceSpec",
@@ -425,10 +430,17 @@ class TraceSpec(SpecBase):
     output_max: int = 128
     priority_levels: int = 1
     path: Optional[str] = None
+    amplitude: float = 0.6
+    period_s: float = 86_400.0
+    phase_s: float = 0.0
+    spike_starts_s: Tuple[float, ...] = ()
+    spike_duration_s: float = 600.0
+    spike_rate_rps: Optional[float] = None
 
-    _SOURCES = ("poisson", "bursty", "closed", "replay")
+    _SOURCES = ("poisson", "bursty", "closed", "replay", "diurnal")
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "spike_starts_s", tuple(self.spike_starts_s))
         if self.source not in self._SOURCES:
             raise SpecError(
                 f"unknown trace source {self.source!r}; choose from "
@@ -438,6 +450,8 @@ class TraceSpec(SpecBase):
             raise SpecError("a replay trace needs a 'path' to the recorded JSON")
         if self.source != "replay" and self.path is not None:
             raise SpecError("'path' only applies to the replay source")
+        if self.source != "diurnal" and self.spike_starts_s:
+            raise SpecError("'spike_starts_s' only applies to the diurnal source")
 
     def validate(self, path: str = "$") -> None:
         if self.source == "replay":
@@ -466,6 +480,7 @@ class TraceSpec(SpecBase):
         from ..serving.traces import (
             BurstyTrace,
             ClosedLoopTrace,
+            DiurnalTrace,
             PoissonTrace,
             load_trace,
         )
@@ -474,6 +489,25 @@ class TraceSpec(SpecBase):
             assert self.path is not None
             return load_trace(self.path)
         lengths = self._lengths()
+        if self.source == "diurnal":
+            spike_rate = (
+                self.spike_rate_rps
+                if self.spike_rate_rps is not None
+                else 2.0 * self.rate_rps
+            )
+            return DiurnalTrace(
+                rate_rps=self.rate_rps,
+                duration_s=self.duration_s,
+                amplitude=self.amplitude,
+                period_s=self.period_s,
+                phase_s=self.phase_s,
+                spikes=tuple(
+                    (start, self.spike_duration_s, spike_rate)
+                    for start in self.spike_starts_s
+                ),
+                lengths=lengths,
+                priority_levels=self.priority_levels,
+            )
         if self.source == "bursty":
             burst = (
                 self.burst_rate_rps
@@ -527,6 +561,12 @@ class TraceSpec(SpecBase):
                 output_max=reader.int_("output_max", 128),
                 priority_levels=reader.int_("priority_levels", 1),
                 path=reader.opt_str("path"),
+                amplitude=reader.float_("amplitude", 0.6),
+                period_s=reader.float_("period_s", 86_400.0),
+                phase_s=reader.float_("phase_s", 0.0),
+                spike_starts_s=reader.float_tuple("spike_starts_s", ()),
+                spike_duration_s=reader.float_("spike_duration_s", 600.0),
+                spike_rate_rps=reader.opt_float("spike_rate_rps"),
             )
         except SpecError as error:
             raise _rescope(error, path)
@@ -599,6 +639,339 @@ class ServingSpec(SpecBase):
                 seed=reader.int_("seed", 0),
                 max_context=reader.int_("max_context", 1024),
                 slo_targets=reader.float_tuple("slo_targets", None),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+# ----------------------------------------------------------------------
+# Fleet specs
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class FleetPlatformSpec(SpecBase):
+    """One heterogeneous platform entry of a fleet."""
+
+    kind = "fleet_platform"
+
+    preset: str = "siracusa-mipi"
+    chips: Optional[int] = None
+    replicas: int = 1
+    role: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.chips is not None and self.chips <= 0:
+            raise SpecError(f"chips must be positive, got {self.chips}")
+        if self.replicas < 1:
+            raise SpecError(
+                f"replicas must be at least 1, got {self.replicas}"
+            )
+        if self.role not in ("any", "prefill", "decode"):
+            raise SpecError(
+                f"unknown replica role {self.role!r}; choose from "
+                "any, prefill, decode"
+            )
+
+    def validate(self, path: str = "$") -> None:
+        from ..hw.presets import get_platform_preset
+
+        try:
+            get_platform_preset(self.preset)
+        except ReproError as error:
+            raise _wrap(f"{path}.preset", error) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.fleet.FleetPlatform`."""
+        from ..fleet import FleetPlatform
+
+        return FleetPlatform(
+            preset=self.preset,
+            chips=self.chips,
+            replicas=self.replicas,
+            role=self.role,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "FleetPlatformSpec":
+        if isinstance(data, str):  # shorthand: preset[:chips][xN][@role]
+            from ..fleet import FleetPlatform
+
+            try:
+                parsed = FleetPlatform.parse(data)
+            except ReproError as error:
+                raise _wrap(path, error) from None
+            return cls(
+                preset=parsed.preset,
+                chips=parsed.chips,
+                replicas=parsed.replicas,
+                role=parsed.role,
+            )
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                preset=reader.str_("preset", "siracusa-mipi"),
+                chips=reader.opt_int("chips"),
+                replicas=reader.int_("replicas", 1),
+                role=reader.str_("role", "any"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class SLOClassSpec(SpecBase):
+    """One multi-tenant SLO class of a fleet's admission policy."""
+
+    kind = "slo_class"
+
+    name: str = "default"
+    rate_rps: Optional[float] = None
+    burst: int = 1
+    priority: int = 0
+    ttft_slo_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        try:
+            self.build()
+        except ReproError as error:
+            raise SpecError(str(error)) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.fleet.SLOClass`."""
+        from ..fleet import SLOClass
+
+        return SLOClass(
+            name=self.name,
+            rate_rps=self.rate_rps,
+            burst=self.burst,
+            priority=self.priority,
+            ttft_slo_s=self.ttft_slo_s,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "SLOClassSpec":
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                name=reader.str_("name", "default"),
+                rate_rps=reader.opt_float("rate_rps"),
+                burst=reader.int_("burst", 1),
+                priority=reader.int_("priority", 0),
+                ttft_slo_s=reader.opt_float("ttft_slo_s"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class AutoscalerSpec(SpecBase):
+    """The fleet autoscaler's knobs (see :class:`repro.fleet.AutoscalerConfig`)."""
+
+    kind = "autoscaler"
+
+    preset: str = "siracusa-mipi"
+    chips: Optional[int] = None
+    max_extra: int = 4
+    check_interval_s: float = 60.0
+    scale_up_depth: float = 4.0
+    scale_down_depth: float = 0.5
+    ttft_slo_s: Optional[float] = None
+    min_attainment: float = 0.95
+
+    def __post_init__(self) -> None:
+        try:
+            self.build()
+        except ReproError as error:
+            raise SpecError(str(error)) from None
+
+    def validate(self, path: str = "$") -> None:
+        from ..hw.presets import get_platform_preset
+
+        try:
+            get_platform_preset(self.preset)
+        except ReproError as error:
+            raise _wrap(f"{path}.preset", error) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.fleet.AutoscalerConfig`."""
+        from ..fleet import AutoscalerConfig
+
+        return AutoscalerConfig(
+            preset=self.preset,
+            chips=self.chips,
+            max_extra=self.max_extra,
+            check_interval_s=self.check_interval_s,
+            scale_up_depth=self.scale_up_depth,
+            scale_down_depth=self.scale_down_depth,
+            ttft_slo_s=self.ttft_slo_s,
+            min_attainment=self.min_attainment,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "AutoscalerSpec":
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                preset=reader.str_("preset", "siracusa-mipi"),
+                chips=reader.opt_int("chips"),
+                max_extra=reader.int_("max_extra", 4),
+                check_interval_s=reader.float_("check_interval_s", 60.0),
+                scale_up_depth=reader.float_("scale_up_depth", 4.0),
+                scale_down_depth=reader.float_("scale_down_depth", 0.5),
+                ttft_slo_s=reader.opt_float("ttft_slo_s"),
+                min_attainment=reader.float_("min_attainment", 0.95),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class FleetSpec(SpecBase):
+    """One ``Session.serve_fleet`` invocation as data.
+
+    ``platform_from`` names an earlier tune stage of the enclosing study;
+    every replica of the fleet then runs that stage's best feasible
+    design (platform and strategy), and the per-entry presets only
+    contribute replica counts and roles.
+    """
+
+    kind = "fleet"
+
+    model: ModelSpec = ModelSpec()
+    trace: TraceSpec = TraceSpec()
+    platforms: Tuple[FleetPlatformSpec, ...] = (FleetPlatformSpec(),)
+    router: str = "round_robin"
+    policy: str = "fifo"
+    strategy: str = "paper"
+    classes: Tuple[SLOClassSpec, ...] = ()
+    autoscaler: Optional[AutoscalerSpec] = None
+    platform_from: Optional[str] = None
+    seed: int = 0
+    max_context: int = 1024
+    slo_targets: Optional[Tuple[float, ...]] = None
+    record_threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "platforms", tuple(self.platforms))
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if self.slo_targets is not None:
+            object.__setattr__(self, "slo_targets", tuple(self.slo_targets))
+        if not self.platforms:
+            raise SpecError("a fleet needs at least one platform entry")
+        if self.trace.source == "closed":
+            raise SpecError(
+                "a fleet needs an open-loop trace (poisson, bursty, diurnal, "
+                "replay); closed-loop arrivals depend on completions"
+            )
+        if self.max_context <= 0:
+            raise SpecError(
+                f"max_context must be positive, got {self.max_context}"
+            )
+        if self.record_threshold is not None and self.record_threshold < 1:
+            raise SpecError(
+                f"record_threshold must be at least 1, got "
+                f"{self.record_threshold}"
+            )
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise SpecError(
+                "SLO class names must be unique, got " + ", ".join(names)
+            )
+
+    def validate(self, path: str = "$") -> None:
+        from ..fleet import get_router
+        from ..serving.policies import get_policy
+
+        self.model.validate(f"{path}.model")
+        self.trace.validate(f"{path}.trace")
+        for index, platform in enumerate(self.platforms):
+            platform.validate(f"{path}.platforms[{index}]")
+        if self.autoscaler is not None:
+            self.autoscaler.validate(f"{path}.autoscaler")
+        _check_strategy(self.strategy, f"{path}.strategy")
+        try:
+            get_router(self.router)
+        except ReproError as error:
+            raise _wrap(f"{path}.router", error) from None
+        try:
+            get_policy(self.policy)
+        except ReproError as error:
+            raise _wrap(f"{path}.policy", error) from None
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "FleetSpec":
+        reader = Fields(data, path, cls.kind)
+        model = reader.take("model", None)
+        trace = reader.take("trace", None)
+        raw_platforms = reader.take("platforms", None)
+        raw_classes = reader.take("classes", None)
+        raw_autoscaler = reader.take("autoscaler", None)
+        platforms_path = reader.child_path("platforms")
+        if raw_platforms is None:
+            platforms: Tuple[FleetPlatformSpec, ...] = (FleetPlatformSpec(),)
+        elif isinstance(raw_platforms, (list, tuple)):
+            platforms = tuple(
+                FleetPlatformSpec.from_dict(item, f"{platforms_path}[{index}]")
+                for index, item in enumerate(raw_platforms)
+            )
+        else:
+            raise spec_error(
+                platforms_path,
+                f"expected a list of fleet platforms, got {raw_platforms!r}",
+            )
+        classes_path = reader.child_path("classes")
+        if raw_classes is None:
+            classes: Tuple[SLOClassSpec, ...] = ()
+        elif isinstance(raw_classes, (list, tuple)):
+            classes = tuple(
+                SLOClassSpec.from_dict(item, f"{classes_path}[{index}]")
+                for index, item in enumerate(raw_classes)
+            )
+        else:
+            raise spec_error(
+                classes_path,
+                f"expected a list of SLO classes, got {raw_classes!r}",
+            )
+        try:
+            spec = cls(
+                model=(
+                    ModelSpec.from_dict(model, reader.child_path("model"))
+                    if model is not None
+                    else ModelSpec()
+                ),
+                trace=(
+                    TraceSpec.from_dict(trace, reader.child_path("trace"))
+                    if trace is not None
+                    else TraceSpec()
+                ),
+                platforms=platforms,
+                router=reader.str_("router", "round_robin"),
+                policy=reader.str_("policy", "fifo"),
+                strategy=reader.str_("strategy", "paper"),
+                classes=classes,
+                autoscaler=(
+                    AutoscalerSpec.from_dict(
+                        raw_autoscaler, reader.child_path("autoscaler")
+                    )
+                    if raw_autoscaler is not None
+                    else None
+                ),
+                platform_from=reader.opt_str("platform_from"),
+                seed=reader.int_("seed", 0),
+                max_context=reader.int_("max_context", 1024),
+                slo_targets=reader.float_tuple("slo_targets", None),
+                record_threshold=reader.opt_int("record_threshold"),
             )
         except SpecError as error:
             raise _rescope(error, path)
@@ -907,8 +1280,10 @@ class TuneSpec(SpecBase):
         return spec
 
 
-#: The five spec kinds a study stage (or ``Session`` method) can execute.
-RunnableSpec = Union[EvalSpec, SweepSpec, CompareSpec, ServingSpec, TuneSpec]
+#: The six spec kinds a study stage (or ``Session`` method) can execute.
+RunnableSpec = Union[
+    EvalSpec, SweepSpec, CompareSpec, ServingSpec, FleetSpec, TuneSpec
+]
 
 #: Kind tag -> runnable spec class.
 RUNNABLE_KINDS: Dict[str, Type[SpecBase]] = {
@@ -916,6 +1291,7 @@ RUNNABLE_KINDS: Dict[str, Type[SpecBase]] = {
     SweepSpec.kind: SweepSpec,
     CompareSpec.kind: CompareSpec,
     ServingSpec.kind: ServingSpec,
+    FleetSpec.kind: FleetSpec,
     TuneSpec.kind: TuneSpec,
 }
 

@@ -22,6 +22,8 @@ from .specs import (
     AxisSpec,
     CompareSpec,
     EvalSpec,
+    FleetPlatformSpec,
+    FleetSpec,
     ModelSpec,
     PlatformSpec,
     ServingSpec,
@@ -231,6 +233,46 @@ def _serving_capacity() -> StudySpec:
     )
 
 
+def _fleet_capacity() -> StudySpec:
+    """Minimum fleet size for a target load under two routing policies.
+
+    Each stage serves the same seeded diurnal day-in-ten-minutes trace on
+    a fleet of 1-4 identical replicas; comparing the stages' p99 TTFT
+    against the SLO grid answers "how many platforms do I need for this
+    load at p99 TTFT <= Y?" per router.
+    """
+    trace = TraceSpec(
+        source="diurnal",
+        rate_rps=4.0,
+        duration_s=600.0,
+        amplitude=0.5,
+        period_s=600.0,
+    )
+    stages = []
+    for router in ("round_robin", "least_loaded"):
+        for count in (1, 2, 3, 4):
+            stages.append(
+                StageSpec(
+                    name=f"{router}-x{count}".replace("_", "-"),
+                    spec=FleetSpec(
+                        trace=trace,
+                        platforms=(FleetPlatformSpec(replicas=count),),
+                        router=router,
+                        seed=0,
+                        slo_targets=(0.2, 0.5, 1.0),
+                    ),
+                )
+            )
+    return StudySpec(
+        name="fleet-capacity",
+        description=(
+            "Minimum fleet size for a diurnal load: 1-4 replicas under "
+            "two routing policies, p99 TTFT vs the SLO grid"
+        ),
+        stages=tuple(stages),
+    )
+
+
 def _platform_tuning() -> StudySpec:
     """examples/platform_tuning.py as data: grid search, then serve the winner."""
     space = SpaceSpec(
@@ -358,6 +400,11 @@ register_study(
     "serving-capacity",
     "Capacity vs SLO: load x scheduling-policy serving matrix",
     _serving_capacity,
+)
+register_study(
+    "fleet-capacity",
+    "Minimum fleet size per routing policy under a diurnal load",
+    _fleet_capacity,
 )
 register_study(
     "platform-tuning",

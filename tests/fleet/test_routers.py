@@ -1,0 +1,210 @@
+"""Unit tests for the routing-policy registry and the shipped routers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownRouterError
+from repro.fleet import (
+    get_router,
+    list_routers,
+    register_router,
+    router_label,
+    unregister_router,
+)
+from repro.serving import Request
+
+
+@dataclass
+class FakeReplica:
+    """A minimal ReplicaState for exercising routers in isolation."""
+
+    replica_id: int
+    queue_depth: int = 0
+    preset: str = "siracusa-mipi"
+    chips: int = 8
+    role: str = "any"
+    draining: bool = field(default=False)
+
+
+def request(request_id=0, prompt=64, output=32, client=None):
+    return Request(
+        request_id=request_id,
+        arrival_s=float(request_id),
+        prompt_tokens=prompt,
+        output_tokens=output,
+        client_id=client,
+    )
+
+
+class TestRegistry:
+    def test_shipped_routers_are_registered(self):
+        assert list_routers() == [
+            "least_loaded",
+            "prefill_decode",
+            "round_robin",
+            "session_affinity",
+        ]
+
+    def test_aliases_resolve_to_the_canonical_router(self):
+        for alias, canonical in (
+            ("rr", "round_robin"),
+            ("jsq", "least_loaded"),
+            ("sticky", "session_affinity"),
+            ("disaggregated", "prefill_decode"),
+        ):
+            assert type(get_router(alias)) is type(get_router(canonical))
+            assert get_router(alias).name == canonical
+
+    def test_get_router_returns_a_fresh_instance_per_call(self):
+        # Routers are stateful (cursors, affinity maps); sharing one
+        # instance across runs would break same-seed determinism.
+        assert get_router("round_robin") is not get_router("round_robin")
+
+    def test_unknown_router_error_lists_the_known_names(self):
+        with pytest.raises(UnknownRouterError, match="round_robin"):
+            get_router("nope")
+        with pytest.raises(UnknownRouterError, match="unknown router 'nope'"):
+            get_router("nope")
+
+    def test_labels_are_exposed_for_the_cli_listing(self):
+        for name in list_routers():
+            assert router_label(name)
+
+    def test_register_and_unregister_round_trip(self):
+        @register_router
+        class FewestChips:
+            name = "fewest_chips"
+            aliases = ("cheap",)
+            label = "Fewest chips first"
+
+            def route(self, request, replicas, now_s):
+                return min(replicas, key=lambda r: (r.chips, r.replica_id))
+
+        try:
+            assert "fewest_chips" in list_routers()
+            assert get_router("cheap").name == "fewest_chips"
+        finally:
+            unregister_router("fewest_chips")
+        assert "fewest_chips" not in list_routers()
+        with pytest.raises(UnknownRouterError):
+            get_router("cheap")
+
+    def test_register_rejects_instances_and_duplicates(self):
+        with pytest.raises(ConfigurationError, match="router class"):
+            register_router(get_router("round_robin"))
+
+        class Nameless:
+            label = "no name"
+
+            def route(self, request, replicas, now_s):
+                return replicas[0]
+
+        with pytest.raises(ConfigurationError, match="name"):
+            register_router(Nameless)
+
+        class Duplicate:
+            name = "round_robin"
+            label = "clash"
+
+            def route(self, request, replicas, now_s):
+                return replicas[0]
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_router(Duplicate)
+
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        router = get_router("round_robin")
+        replicas = [FakeReplica(0), FakeReplica(1), FakeReplica(2)]
+        chosen = [
+            router.route(request(i), replicas, 0.0).replica_id
+            for i in range(6)
+        ]
+        assert chosen == [0, 1, 2, 0, 1, 2]
+
+    def test_cursor_survives_a_shrinking_fleet(self):
+        router = get_router("round_robin")
+        replicas = [FakeReplica(0), FakeReplica(1), FakeReplica(2)]
+        router.route(request(0), replicas, 0.0)
+        router.route(request(1), replicas, 0.0)
+        chosen = router.route(request(2), replicas[:2], 0.0)
+        assert chosen.replica_id in (0, 1)
+
+
+class TestLeastLoaded:
+    def test_joins_the_shortest_queue(self):
+        router = get_router("least_loaded")
+        replicas = [
+            FakeReplica(0, queue_depth=3),
+            FakeReplica(1, queue_depth=1),
+            FakeReplica(2, queue_depth=2),
+        ]
+        assert router.route(request(), replicas, 0.0).replica_id == 1
+
+    def test_ties_break_by_replica_id(self):
+        router = get_router("least_loaded")
+        replicas = [FakeReplica(2), FakeReplica(0), FakeReplica(1)]
+        assert router.route(request(), replicas, 0.0).replica_id == 0
+
+
+class TestSessionAffinity:
+    def test_clients_stick_to_their_first_replica(self):
+        router = get_router("session_affinity")
+        replicas = [
+            FakeReplica(0, queue_depth=0),
+            FakeReplica(1, queue_depth=5),
+        ]
+        first = router.route(request(0, client=7), replicas, 0.0)
+        assert first.replica_id == 0
+        # The pinned replica stays chosen even once it is the busier one.
+        replicas[0].queue_depth = 9
+        again = router.route(request(1, client=7), replicas, 1.0)
+        assert again.replica_id == 0
+
+    def test_clientless_requests_fall_back_to_least_loaded(self):
+        router = get_router("session_affinity")
+        replicas = [
+            FakeReplica(0, queue_depth=4),
+            FakeReplica(1, queue_depth=1),
+        ]
+        assert router.route(request(0), replicas, 0.0).replica_id == 1
+
+    def test_repins_when_the_pinned_replica_left_service(self):
+        router = get_router("session_affinity")
+        replicas = [FakeReplica(0), FakeReplica(1)]
+        assert router.route(request(0, client=3), replicas, 0.0).replica_id == 0
+        survivors = [replicas[1]]
+        assert router.route(request(1, client=3), survivors, 1.0).replica_id == 1
+        # The client is now pinned to the survivor.
+        assert router.route(request(2, client=3), replicas, 2.0).replica_id == 1
+
+
+class TestPrefillDecode:
+    def test_routes_by_request_shape_into_role_pools(self):
+        router = get_router("prefill_decode")
+        replicas = [
+            FakeReplica(0, role="prefill"),
+            FakeReplica(1, role="decode"),
+        ]
+        prompt_heavy = request(0, prompt=256, output=8)
+        reply_heavy = request(1, prompt=8, output=256)
+        assert router.route(prompt_heavy, replicas, 0.0).replica_id == 0
+        assert router.route(reply_heavy, replicas, 0.0).replica_id == 1
+
+    def test_untagged_fleet_splits_into_halves(self):
+        router = get_router("prefill_decode")
+        replicas = [FakeReplica(0), FakeReplica(1), FakeReplica(2)]
+        prompt_heavy = request(0, prompt=256, output=8)
+        reply_heavy = request(1, prompt=8, output=256)
+        assert router.route(prompt_heavy, replicas, 0.0).replica_id in (0, 1)
+        assert router.route(reply_heavy, replicas, 0.0).replica_id == 2
+
+    def test_empty_wanted_pool_falls_back_to_the_whole_fleet(self):
+        router = get_router("prefill_decode")
+        replicas = [FakeReplica(0, role="prefill")]
+        reply_heavy = request(0, prompt=8, output=256)
+        assert router.route(reply_heavy, replicas, 0.0).replica_id == 0

@@ -21,6 +21,7 @@ class TestRegistry:
         assert list_platform_presets() == [
             "siracusa-big-l2",
             "siracusa-fast-link",
+            "siracusa-low-power",
             "siracusa-mipi",
         ]
 
@@ -62,6 +63,15 @@ class TestPresetPlatforms:
         )
         assert fast.chip == paper.chip
         assert fast.link.energy_pj_per_byte == paper.link.energy_pj_per_byte
+
+    def test_low_power_preset_only_changes_the_cluster(self):
+        low = get_platform_preset("siracusa-low-power").build(4)
+        paper = siracusa_platform(4)
+        assert low.chip.cluster.frequency_hz == pytest.approx(300e6)
+        assert low.chip.cluster.power_per_core_w == pytest.approx(7e-3)
+        assert low.chip.cluster.num_cores == paper.chip.cluster.num_cores
+        assert low.chip.memory == paper.chip.memory
+        assert low.link == paper.link
 
     def test_big_l2_preset_only_changes_the_scratchpad(self):
         big = get_platform_preset("siracusa-big-l2").build(4)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
@@ -10,6 +11,7 @@ from repro.errors import ConfigurationError
 from repro.serving import (
     BurstyTrace,
     ClosedLoopTrace,
+    DiurnalTrace,
     LengthModel,
     PoissonTrace,
     ReplayTrace,
@@ -134,6 +136,84 @@ class TestBurstyTrace:
     def test_rejects_burst_slower_than_base(self):
         with pytest.raises(ConfigurationError):
             BurstyTrace(base_rate_rps=5.0, burst_rate_rps=1.0, duration_s=10.0)
+
+
+class TestDiurnalTrace:
+    def test_same_seed_streams_are_byte_identical(self):
+        trace = DiurnalTrace(rate_rps=4.0, duration_s=200.0, period_s=200.0)
+        assert list(trace.stream(7)) == list(trace.stream(7))
+        # build() wraps the same generator, request for request.
+        assert trace.build(7).initial == tuple(trace.stream(7))
+
+    def test_different_seeds_differ(self):
+        trace = DiurnalTrace(rate_rps=4.0, duration_s=200.0, period_s=200.0)
+        assert list(trace.stream(0)) != list(trace.stream(1))
+
+    def test_stream_is_lazy_and_in_time_order(self):
+        from itertools import islice
+
+        trace = DiurnalTrace(rate_rps=5.0, duration_s=86_400.0)
+        stream = trace.stream(0)
+        head = list(islice(stream, 50))  # day-long trace, O(1) memory
+        arrivals = [request.arrival_s for request in head]
+        assert arrivals == sorted(arrivals)
+        assert len(head) == 50
+
+    def test_rate_follows_the_sinusoid(self):
+        # One full period: the quarter around the peak must contain far
+        # more arrivals than the quarter around the trough.
+        trace = DiurnalTrace(
+            rate_rps=10.0, duration_s=1000.0, amplitude=1.0, period_s=1000.0
+        )
+        arrivals = [request.arrival_s for request in trace.stream(0)]
+        peak = sum(1 for t in arrivals if 125.0 <= t < 375.0)
+        trough = sum(1 for t in arrivals if 625.0 <= t < 875.0)
+        assert peak > 4 * trough
+
+    def test_spikes_add_a_flash_crowd(self):
+        quiet = DiurnalTrace(
+            rate_rps=2.0, duration_s=600.0, amplitude=0.0, period_s=600.0
+        )
+        spiky = DiurnalTrace(
+            rate_rps=2.0, duration_s=600.0, amplitude=0.0, period_s=600.0,
+            spikes=((200.0, 100.0, 20.0),),
+        )
+        def in_window(requests):
+            return sum(1 for r in requests if 200.0 <= r.arrival_s < 300.0)
+
+        assert in_window(spiky.stream(0)) > 3 * in_window(quiet.stream(0))
+
+    def test_rate_at_combines_sinusoid_and_spikes(self):
+        trace = DiurnalTrace(
+            rate_rps=4.0, duration_s=400.0, amplitude=0.5, period_s=400.0,
+            spikes=((50.0, 10.0, 6.0),),
+        )
+        assert trace.rate_at(100.0) == pytest.approx(6.0)  # sin peak
+        assert trace.rate_at(300.0) == pytest.approx(2.0)  # sin trough
+        assert trace.rate_at(55.0) == pytest.approx(
+            4.0 + 4.0 * 0.5 * math.sin(2 * math.pi * 55.0 / 400.0) + 6.0
+        )
+        assert trace.peak_rate_rps == pytest.approx(12.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(rate_rps=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(rate_rps=1.0, amplitude=1.5)
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(rate_rps=1.0, period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(rate_rps=1.0, spikes=((0.0, 10.0),))
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(rate_rps=1.0, spikes=((-1.0, 10.0, 2.0),))
+        with pytest.raises(ConfigurationError):
+            DiurnalTrace(rate_rps=1.0, spikes=((0.0, 10.0, -2.0),))
+
+    def test_priority_levels(self):
+        trace = DiurnalTrace(
+            rate_rps=5.0, duration_s=60.0, priority_levels=3, period_s=60.0
+        )
+        assert {r.priority for r in trace.stream(0)} == {0, 1, 2}
 
 
 class TestClosedLoopTrace:

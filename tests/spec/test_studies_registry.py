@@ -24,6 +24,7 @@ class TestRegistry:
             "fig6",
             "table1",
             "serving-capacity",
+            "fleet-capacity",
             "platform-tuning",
             "paper-pipeline",
         ):

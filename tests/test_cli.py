@@ -353,6 +353,133 @@ class TestServeCommand:
         expect_cli_error(capsys, self.SERVE[:-2] + ["--policy", "bogus"], "bogus")
 
 
+class TestFleetCommand:
+    FLEET = ["fleet", "--model", "tinyllama", "--arrival-rate", "2",
+             "--duration", "20", "--router", "round_robin", "--seed", "0"]
+
+    def test_routers_lists_registry_with_labels(self, capsys):
+        assert main(["routers"]) == 0
+        output = capsys.readouterr().out
+        for name in ("round_robin", "least_loaded", "session_affinity",
+                     "prefill_decode"):
+            assert name in output
+        assert "shortest queue" in output
+
+    def test_fleet_reports_the_headline_metrics(self, capsys):
+        assert main(self.FLEET) == 0
+        output = capsys.readouterr().out
+        for token in ("Fleet served", "router=round_robin", "admitted",
+                      "TTFT", "TPOT", "replicas", "SLO"):
+            assert token in output
+
+    def test_fleet_json_is_byte_identical_across_runs(self, capsys):
+        assert main(self.FLEET + ["--json", "--no-cache"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.FLEET + ["--json", "--no-cache"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["router"] == "round_robin"
+        assert document["seed"] == 0
+        assert "cache" in document
+        metrics = document["metrics"]
+        assert metrics["requests"]["in_flight"] == 0
+        for key in ("ttft_s", "throughput_rps", "slo_curve", "replicas",
+                    "classes", "timeline"):
+            assert key in metrics
+
+    def test_fleet_heterogeneous_platforms_and_classes(self, capsys):
+        assert main(
+            ["fleet", "--platform", "siracusa-mipi:8x2",
+             "--platform", "siracusa-low-power@decode",
+             "--router", "least_loaded", "--trace", "diurnal",
+             "--arrival-rate", "2", "--duration", "30", "--period", "30",
+             "--class", "interactive:4:4:0.5", "--class", "batch",
+             "--priority-levels", "2", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        replicas = document["metrics"]["replicas"]
+        assert [r["preset"] for r in replicas] == [
+            "siracusa-mipi", "siracusa-mipi", "siracusa-low-power",
+        ]
+        assert replicas[2]["role"] == "decode"
+        classes = document["metrics"]["classes"]
+        assert [row["name"] for row in classes] == ["interactive", "batch"]
+        assert classes[0]["ttft_slo_s"] == 0.5
+
+    def test_fleet_emit_spec_replays_to_the_same_document(
+        self, capsys, tmp_path
+    ):
+        spec_path = tmp_path / "fleet.json"
+        assert main(self.FLEET + ["--emit-spec"]) == 0
+        spec_path.write_text(capsys.readouterr().out)
+        assert main(["--no-cache"] + self.FLEET + ["--json"]) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert main(["--no-cache", "study", "run", str(spec_path),
+                     "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        direct.pop("cache")
+        assert replayed["stages"][0]["payload"] == direct
+
+    def test_fleet_unknown_router_errors(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["fleet", "--router", "nope", "--duration", "10"],
+            "unknown router 'nope'",
+            "round_robin",
+        )
+
+    def test_fleet_malformed_platform_errors(self, capsys):
+        err = expect_cli_error(
+            capsys,
+            ["fleet", "--platform", "siracusa-mipi:8xtwo"],
+            "cannot parse fleet platform",
+        )
+        # A CLI flag error must not leak the spec-document path prefix.
+        assert err.startswith("error: cannot parse")
+
+    def test_fleet_malformed_class_errors(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["fleet", "--class", ":2"],
+            "cannot parse SLO class",
+        )
+        expect_cli_error(
+            capsys,
+            ["fleet", "--class", "gold:fast"],
+            "cannot parse SLO class",
+        )
+
+    def test_fleet_malformed_autoscale_errors(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["fleet", "--autoscale", "siracusa-mipi:zz"],
+            "cannot parse --autoscale",
+        )
+
+    def test_fleet_replay_rejects_a_conflicting_seed(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["fleet", "--replay", "trace.json", "--seed", "7"],
+            "--replay",
+        )
+
+    def test_malformed_fleet_spec_fails_validation(self, capsys, tmp_path):
+        closed = tmp_path / "closed.json"
+        closed.write_text(json.dumps({
+            "schema": 1, "kind": "fleet",
+            "trace": {"kind": "trace", "source": "closed"},
+        }))
+        expect_cli_error(capsys, ["study", "validate", str(closed)],
+                         "open-loop")
+        bad_router = tmp_path / "router.json"
+        bad_router.write_text(json.dumps({
+            "schema": 1, "kind": "fleet", "router": "nope",
+        }))
+        expect_cli_error(capsys, ["study", "validate", str(bad_router)],
+                         ".router", "unknown router")
+
+
 class TestVersion:
     def test_version_flag_prints_the_package_version(self, capsys):
         import repro
