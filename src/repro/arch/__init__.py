@@ -1,0 +1,47 @@
+"""Declarative architecture factory and model zoo.
+
+``repro.arch`` turns model architectures into *data*: an
+:class:`ArchSpec` (stacked :class:`BlockGroupSpec` groups choosing
+MHA/GQA/MQA attention, dense/gated/MoE FFNs, norm/activation/dtype
+flavours, long-context KV-cache variants) lowers through
+:func:`build_model` into the same
+:class:`~repro.graph.transformer.TransformerConfig` the hand-coded paper
+models use, so generated models flow through ``Session.run/sweep/tune/
+serve/serve_fleet`` and the DSE unchanged.  See ``docs/MODELS.md``.
+
+Importing this package registers the ``arch`` and ``block_group`` spec
+kinds with :func:`repro.spec.spec_from_dict` (the spec layer also
+imports it lazily on first sight of those kinds, so documents decode
+without callers importing anything).
+"""
+
+from .factory import build_model, model_macs
+from .spec import ATTENTION_KINDS, FFN_KINDS, ROLES, ArchSpec, BlockGroupSpec
+from .zoo import (
+    ZOO,
+    build_zoo_model,
+    encdec_small,
+    gqa_1b,
+    gqa_moe_tiny,
+    longctx_4k,
+    moe_8x,
+    mqa_270m,
+)
+
+__all__ = [
+    "ATTENTION_KINDS",
+    "FFN_KINDS",
+    "ROLES",
+    "ArchSpec",
+    "BlockGroupSpec",
+    "ZOO",
+    "build_model",
+    "build_zoo_model",
+    "encdec_small",
+    "gqa_1b",
+    "gqa_moe_tiny",
+    "longctx_4k",
+    "model_macs",
+    "moe_8x",
+    "mqa_270m",
+]

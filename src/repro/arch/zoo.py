@@ -1,0 +1,182 @@
+"""Parametric model zoo built from committed architecture descriptions.
+
+Each factory returns a fresh :class:`~repro.arch.spec.ArchSpec`; the zoo
+table :data:`ZOO` maps registry names to those factories, and
+:mod:`repro.models.registry` registers ``build_model(factory())`` under
+each name so every lookup produces an independent configuration object.
+The canonical JSON form of every zoo entry is committed under
+``examples/specs/arch/`` and sync-tested byte-for-byte against these
+factories, so the declarative documents and the code cannot drift.
+
+The families stress every new architecture dimension:
+
+* ``gqa-1b`` — a TinyLlama-1.1B-shaped GQA decoder (32 query heads over
+  4 KV heads); its ~1.1 GiB of int8 block weights force the streamed
+  regime on every realistic chip count.
+* ``mqa-270m`` — a mid-size multi-query decoder (single shared KV head).
+* ``moe-8x`` — the paper's TinyLlama-42M widened into 8 experts with
+  top-2 routing; expert placement becomes the FFN partition dimension.
+* ``longctx-4k`` — TinyLlama-42M decoding at a 4096-token context
+  through a 1024-position sliding window with an int8 KV-cache.
+* ``gqa-moe-tiny`` — a small GQA + gated-MoE decoder combining both new
+  partition dimensions; CI-sized on purpose.
+* ``encdec-small`` — a MobileBERT-sized encoder/decoder pair whose
+  decoder blocks carry a cross-attention stage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..graph.transformer import TransformerConfig
+from .factory import build_model
+from .spec import ArchSpec, BlockGroupSpec
+
+__all__ = [
+    "ZOO",
+    "build_zoo_model",
+    "encdec_small",
+    "gqa_1b",
+    "gqa_moe_tiny",
+    "longctx_4k",
+    "moe_8x",
+    "mqa_270m",
+]
+
+#: Sliding-window span of the long-context family (positions cached).
+LONGCTX_WINDOW = 1024
+
+#: Context length the long-context family is evaluated at.
+LONGCTX_SEQ_LEN = 4096
+
+
+def gqa_1b(kv_heads: int = 4) -> ArchSpec:
+    """TinyLlama-1.1B-shaped grouped-query decoder."""
+    return ArchSpec(
+        name="gqa-1b" if kv_heads == 4 else f"gqa-1b-kv{kv_heads}",
+        embed_dim=2048,
+        blocks=(
+            BlockGroupSpec(
+                repeat=22,
+                num_heads=32,
+                ffn_dim=5632,
+                attention="gqa",
+                kv_heads=kv_heads,
+                ffn="gated",
+                norm="rmsnorm",
+                activation="silu",
+            ),
+        ),
+    )
+
+
+def mqa_270m() -> ArchSpec:
+    """Mid-size multi-query decoder (one shared KV head)."""
+    return ArchSpec(
+        name="mqa-270m",
+        embed_dim=1024,
+        blocks=(
+            BlockGroupSpec(
+                repeat=22,
+                num_heads=16,
+                ffn_dim=2816,
+                attention="mqa",
+                ffn="gated",
+                norm="rmsnorm",
+                activation="silu",
+            ),
+        ),
+    )
+
+
+def moe_8x(num_experts: int = 8, moe_top_k: int = 2) -> ArchSpec:
+    """TinyLlama-42M widened into a mixture of experts."""
+    suffix = "" if (num_experts, moe_top_k) == (8, 2) else (
+        f"-{num_experts}e{moe_top_k}k"
+    )
+    return ArchSpec(
+        name=f"moe-8x{suffix}",
+        embed_dim=512,
+        blocks=(
+            BlockGroupSpec(
+                repeat=8,
+                num_heads=8,
+                ffn_dim=2048,
+                ffn="moe",
+                num_experts=num_experts,
+                moe_top_k=moe_top_k,
+                norm="rmsnorm",
+                activation="silu",
+            ),
+        ),
+    )
+
+
+def longctx_4k(attention_window: int = LONGCTX_WINDOW) -> ArchSpec:
+    """TinyLlama-42M with a sliding attention window for long contexts."""
+    suffix = "" if attention_window == LONGCTX_WINDOW else f"-w{attention_window}"
+    return ArchSpec(
+        name=f"longctx-4k{suffix}",
+        embed_dim=512,
+        blocks=(
+            BlockGroupSpec(
+                repeat=8,
+                num_heads=8,
+                ffn_dim=2048,
+                norm="rmsnorm",
+                activation="silu",
+            ),
+        ),
+        kv_cache_dtype="int8",
+        attention_window=attention_window,
+    )
+
+
+def gqa_moe_tiny() -> ArchSpec:
+    """Small decoder combining GQA and a gated MoE (CI-sized)."""
+    return ArchSpec(
+        name="gqa-moe-tiny",
+        embed_dim=512,
+        blocks=(
+            BlockGroupSpec(
+                repeat=6,
+                num_heads=8,
+                ffn_dim=1024,
+                attention="gqa",
+                kv_heads=2,
+                ffn="moe-gated",
+                num_experts=4,
+                moe_top_k=2,
+                norm="rmsnorm",
+                activation="silu",
+            ),
+        ),
+    )
+
+
+def encdec_small() -> ArchSpec:
+    """Small encoder/decoder pair; the decoder carries cross-attention."""
+    return ArchSpec(
+        name="encdec-small",
+        embed_dim=512,
+        blocks=(
+            BlockGroupSpec(role="encoder", repeat=6, num_heads=8, ffn_dim=2048),
+            BlockGroupSpec(role="decoder", repeat=6, num_heads=8, ffn_dim=2048),
+        ),
+    )
+
+
+#: Registry names to spec factories; the order here is the docs order.
+ZOO: Dict[str, Callable[[], ArchSpec]] = {
+    "gqa-1b": gqa_1b,
+    "mqa-270m": mqa_270m,
+    "moe-8x": moe_8x,
+    "longctx-4k": longctx_4k,
+    "gqa-moe-tiny": gqa_moe_tiny,
+    "encdec-small": encdec_small,
+}
+
+
+def build_zoo_model(name: str) -> TransformerConfig:
+    """Build a fresh configuration for one zoo entry."""
+    return build_model(ZOO[name]())

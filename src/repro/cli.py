@@ -115,7 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(parser, suppress=False)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("models", help="list registered model configurations")
+    models_parser = subparsers.add_parser(
+        "models", help="list registered model configurations"
+    )
+    models_parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="show a detailed per-model summary instead of the table",
+    )
+    models_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
 
     subparsers.add_parser(
         "strategies", help="list registered partitioning strategies"
@@ -1078,15 +1091,71 @@ def _tune_spec_from_args(args: argparse.Namespace) -> TuneSpec:
     )
 
 
-def _command_models() -> List[str]:
+def _model_summary(name: str, config) -> dict:
+    """Machine-readable architecture summary of one registered model."""
+    return {
+        "name": name,
+        "model": config.name,
+        "embed_dim": config.embed_dim,
+        "ffn_dim": config.ffn_dim,
+        "num_heads": config.num_heads,
+        "kv_heads": config.kv_heads,
+        "head_dim": config.head_dim,
+        "num_layers": config.num_layers,
+        "ffn_kind": config.ffn_kind.value,
+        "norm_kind": config.norm_kind.value,
+        "activation": config.activation.value,
+        "num_experts": config.num_experts,
+        "moe_top_k": config.moe_top_k,
+        "attention_window": config.attention_window,
+        "kv_cache_dtype": config.kv_dtype.name,
+        "cross_attention": config.cross_attention,
+        "weight_dtype": config.weight_dtype.name,
+        "act_dtype": config.act_dtype.name,
+        "total_params": config.total_params,
+        "block_weight_bytes": config.block_weight_bytes,
+    }
+
+
+def _attention_label(config) -> str:
+    if config.kv_heads == 1 and config.num_heads > 1:
+        return f"mqa {config.num_heads}h/1kv"
+    if config.kv_heads != config.num_heads:
+        return f"gqa {config.num_heads}h/{config.kv_heads}kv"
+    return f"mha {config.num_heads}h"
+
+
+def _command_models(args: argparse.Namespace) -> List[str]:
+    names = list(args.names) if args.names else list_models()
+    if args.json:
+        payload = [_model_summary(name, get_model(name)) for name in names]
+        return [json.dumps(payload, indent=2, sort_keys=True)]
+    if args.names:
+        lines = []
+        for name in names:
+            summary = _model_summary(name, get_model(name))
+            lines.append(f"{name}:")
+            for key in sorted(summary):
+                if key == "name":
+                    continue
+                lines.append(f"  {key:<20}: {summary[key]}")
+        return lines
     lines = []
-    for name in list_models():
+    for name in names:
         config = get_model(name)
+        extras = [_attention_label(config)]
+        if config.is_moe:
+            extras.append(f"moe {config.num_experts}e/top{config.moe_top_k}")
+        if config.attention_window is not None:
+            extras.append(f"window {config.attention_window}")
+        if config.cross_attention:
+            extras.append("xattn")
         lines.append(
             f"{name:<24} E={config.embed_dim} F={config.ffn_dim} "
             f"H={config.num_heads} L={config.num_layers} "
             f"params={config.total_params / 1e6:.1f}M "
-            f"block={format_bytes(config.block_weight_bytes)}"
+            f"block={format_bytes(config.block_weight_bytes)} "
+            f"[{' '.join(extras)}]"
         )
     return lines
 
@@ -1565,7 +1634,7 @@ def _command_verify(args: argparse.Namespace) -> List[str]:
 
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> List[str]:
     if args.command == "models":
-        return _command_models()
+        return _command_models(args)
     if args.command == "strategies":
         return _command_strategies()
     if args.command == "policies":

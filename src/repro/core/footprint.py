@@ -107,16 +107,35 @@ def activation_footprint(
     residual_bytes = rows * embed * act
     partial_output_bytes = rows * embed * act
 
+    kv_proj = chip.cached_kv_heads(config) * config.head_dim
     queries = rows * proj * act
-    new_keys_values = 2 * kv_rows * proj * act
+    new_keys_values = 2 * kv_rows * kv_proj * act
     scores = chip.num_heads * rows * attended * act
     context = rows * proj * act
     attention_working = queries + new_keys_values + scores + context
+    if config.cross_attention:
+        # The cross-attention stage re-uses the query/context buffers'
+        # shapes; only its score matrix adds to the stage peak.
+        attention_working += chip.num_heads * rows * workload.cross_attended_positions * act
 
-    ffn_intermediate = rows * chip.ffn_cols * act
-    if config.num_ffn_matrices == 3:
-        ffn_intermediate *= 2
-    ffn_working = ffn_intermediate
+    if config.is_moe:
+        # Every expert-holding chip routes the full broadcast activation
+        # locally; experts run sequentially, so the peak intermediate is
+        # one expert's load-balanced share.
+        owned_experts = (
+            chip.num_experts if chip.num_experts is not None else config.num_experts
+        )
+        router_probs = rows * config.num_experts * act
+        expert_rows = config.moe_expert_rows(rows) if owned_experts > 0 else 0
+        ffn_intermediate = expert_rows * chip.ffn_cols * act
+        if config.num_ffn_matrices == 3:
+            ffn_intermediate *= 2
+        ffn_working = router_probs + ffn_intermediate
+    else:
+        ffn_intermediate = rows * chip.ffn_cols * act
+        if config.num_ffn_matrices == 3:
+            ffn_intermediate *= 2
+        ffn_working = ffn_intermediate
 
     return ActivationFootprint(
         input_bytes=input_bytes,

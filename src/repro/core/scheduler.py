@@ -133,7 +133,12 @@ class BlockScheduler:
         memory_plans: Dict[int, MemoryPlan] = {}
         schedules: Dict[int, ChipSchedule] = {}
         for chip in partition.chips:
-            slice_key = (chip.num_heads, chip.ffn_cols)
+            slice_key = (
+                chip.num_heads,
+                chip.kv_heads,
+                chip.ffn_cols,
+                chip.num_experts,
+            )
             cached = slice_cache.get(slice_key)
             if cached is None:
                 footprint = chip_footprint(config, workload, chip)
@@ -190,6 +195,9 @@ class BlockScheduler:
         """
         config = workload.config
         streamed = plan.residency is WeightResidency.STREAMED
+        # Expert step names use indices relative to the chip (expert0..n-1):
+        # chips owning equally many experts at different offsets share
+        # identical step lists, which keeps the slice cache effective.
         operators = build_block_operators(
             config,
             query_rows=workload.query_rows,
@@ -200,7 +208,10 @@ class BlockScheduler:
                 ffn_cols=chip.ffn_cols,
                 holds_norms=False,
                 holds_residual=False,
+                kv_heads=chip.kv_heads,
+                num_experts=chip.num_experts,
             ),
+            cross_attended_positions=workload.cross_attended_positions,
         )
         tail: List[Step] = []
         if (

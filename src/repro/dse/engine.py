@@ -19,6 +19,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 from ..api.session import CacheInfo, Session
 from ..errors import (
     AnalysisError,
+    ArchitectureError,
     MemoryCapacityError,
     PartitioningError,
     SchedulingError,
@@ -211,14 +212,26 @@ class DesignEvaluator:
         if cached is not None:
             return cached
         try:
-            design = materialise(point, default_strategy=self.default_strategy)
+            design = materialise(
+                point,
+                default_strategy=self.default_strategy,
+                workload=self.workload,
+            )
+            workload = design.workload if design.workload is not None else (
+                self.workload
+            )
             result = self.session.run(
-                self.workload, design.strategy, platform=design.platform
+                workload, design.strategy, platform=design.platform
             )
             serving_report = (
                 self._serve(design) if self._needs_serving else None
             )
-        except (PartitioningError, MemoryCapacityError, SchedulingError) as error:
+        except (
+            ArchitectureError,
+            PartitioningError,
+            MemoryCapacityError,
+            SchedulingError,
+        ) as error:
             candidate = Candidate(
                 point=key,
                 strategy=str(point.get("strategy", self.default_strategy)),
@@ -251,8 +264,9 @@ class DesignEvaluator:
     def _serve(self, design: DesignPoint):
         scenario = self.serving
         assert scenario is not None
+        workload = design.workload if design.workload is not None else self.workload
         return self.session.serve(
-            self.workload.config,
+            workload.config,
             scenario.trace(),
             policy=scenario.policy,
             strategy=design.strategy,

@@ -21,7 +21,8 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from ..api.registry import get_strategy
-from ..errors import ConfigurationError
+from ..errors import ArchitectureError, ConfigurationError
+from ..graph.workload import Workload
 from ..hw.interconnect import ChipToChipLink
 from ..hw.platform import MultiChipPlatform
 from ..hw.presets import (
@@ -37,6 +38,7 @@ __all__ = [
     "DesignPoint",
     "FloatAxis",
     "IntAxis",
+    "MODEL_AXES",
     "PLATFORM_AXES",
     "Point",
     "SearchSpace",
@@ -311,23 +313,40 @@ PLATFORM_AXES = (
     "group_size",
 )
 
+#: Axis names understood by :func:`materialise`, model side: the model
+#: registry name plus architecture overrides applied to its configuration
+#: (``kv_heads`` for GQA/MQA grouping, MoE ``num_experts``/``moe_top_k``,
+#: and a sliding ``attention_window`` where ``0`` means "no window").
+#: These axes require a base workload — see :func:`materialise`.
+MODEL_AXES = (
+    "model",
+    "kv_heads",
+    "num_experts",
+    "moe_top_k",
+    "attention_window",
+)
+
 #: Every axis name :func:`materialise` understands.
-KNOWN_AXES = PLATFORM_AXES + ("strategy",)
+KNOWN_AXES = PLATFORM_AXES + MODEL_AXES + ("strategy",)
 
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """A materialised point: the platform and strategy a session evaluates.
+    """A materialised point: what a session evaluates for that point.
 
     Attributes:
         point: The originating point, in canonical name-sorted item form.
         platform: The concrete multi-chip platform.
         strategy: Canonical registry name of the partitioning strategy.
+        workload: The (possibly architecture-overridden) workload, when the
+            point carries model axes and a base workload was supplied;
+            ``None`` means "evaluate the caller's own workload".
     """
 
     point: Tuple[Tuple[str, Value], ...]
     platform: MultiChipPlatform
     strategy: str
+    workload: Optional[Workload] = None
 
 
 def _require_int(name: str, value: Value) -> int:
@@ -344,18 +363,82 @@ def _require_number(name: str, value: Value) -> float:
     return float(value)
 
 
+def _materialise_workload(
+    point: Mapping[str, Value], workload: Optional[Workload]
+) -> Optional[Workload]:
+    """Apply the point's model axes to a base workload.
+
+    An unknown ``model`` registry name fails fast with a
+    :class:`ConfigurationError` (the whole search would be meaningless);
+    an architecturally invalid override combination (say ``moe_top_k``
+    above ``num_experts``) raises :class:`ArchitectureError`, which
+    searchers treat as an *infeasible point* and move on.
+    """
+    present = [name for name in MODEL_AXES if name in point]
+    if not present:
+        return None
+    if workload is None:
+        raise ConfigurationError(
+            f"design axes {present} describe the model; materialise needs "
+            "a base workload to apply them to"
+        )
+    config = workload.config
+    if "model" in point:
+        model = point["model"]
+        if not isinstance(model, str):
+            raise ConfigurationError(
+                f"axis 'model' needs a registry name, got {model!r}"
+            )
+        from ..models.registry import get_model
+
+        config = get_model(model)
+    overrides: Dict[str, Optional[int]] = {}
+    suffix: List[str] = []
+    if "kv_heads" in point:
+        overrides["kv_heads"] = _require_int("kv_heads", point["kv_heads"])
+        suffix.append(f"kv{overrides['kv_heads']}")
+    if "num_experts" in point:
+        overrides["num_experts"] = _require_int("num_experts", point["num_experts"])
+        suffix.append(f"e{overrides['num_experts']}")
+        if "moe_top_k" not in point:
+            # Keep the override combination self-consistent: a dense model
+            # pulled to an expert axis keeps top-1 routing by default.
+            overrides["moe_top_k"] = min(
+                config.moe_top_k, overrides["num_experts"]
+            )
+    if "moe_top_k" in point:
+        overrides["moe_top_k"] = _require_int("moe_top_k", point["moe_top_k"])
+        suffix.append(f"k{overrides['moe_top_k']}")
+    if "attention_window" in point:
+        window = _require_int("attention_window", point["attention_window"])
+        overrides["attention_window"] = window if window > 0 else None
+        suffix.append(f"w{window}")
+    if overrides:
+        name = f"{config.name}+{'-'.join(suffix)}"
+        try:
+            config = replace(config, name=name, **overrides)
+        except ConfigurationError as error:
+            raise ArchitectureError(str(error)) from None
+    if config is workload.config:
+        return workload
+    return replace(workload, config=config, name=None)
+
+
 def materialise(
     point: Mapping[str, Value],
     *,
     default_strategy: str = "paper",
+    workload: Optional[Workload] = None,
 ) -> DesignPoint:
-    """Validate a point and build the platform + strategy it describes.
+    """Validate a point and build what it describes.
 
     Axes absent from the point keep the paper's Siracusa + MIPI values;
     unknown axis names are rejected so a typo cannot silently evaluate the
     default platform.  The strategy name is resolved through the strategy
     registry (so aliases canonicalise and unknown names fail here, not
-    mid-search).
+    mid-search).  Model axes (:data:`MODEL_AXES`) are applied to the
+    optional base ``workload``; the result lands in
+    :attr:`DesignPoint.workload`.
     """
     unknown = sorted(set(point) - set(KNOWN_AXES))
     if unknown:
@@ -363,6 +446,7 @@ def materialise(
             f"unknown design axes {unknown}; materialise understands "
             f"{', '.join(KNOWN_AXES)}"
         )
+    design_workload = _materialise_workload(point, workload)
 
     chips = _require_int("chips", point.get("chips", 8))
     if chips <= 0:
@@ -417,7 +501,10 @@ def materialise(
         )
     canonical = get_strategy(strategy).name
     return DesignPoint(
-        point=point_key(point), platform=platform, strategy=canonical
+        point=point_key(point),
+        platform=platform,
+        strategy=canonical,
+        workload=design_workload,
     )
 
 

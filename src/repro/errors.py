@@ -45,6 +45,18 @@ class AnalysisError(ReproError):
     """An analysis or experiment was asked to combine incompatible results."""
 
 
+class ArchitectureError(ConfigurationError):
+    """A declarative architecture description cannot be lowered to a model.
+
+    Raised by :mod:`repro.arch` when an :class:`~repro.arch.ArchSpec`
+    violates a structural constraint (a KV-head count that does not
+    divide the query heads, a top-k exceeding the expert count,
+    heterogeneous block groups in one stack, ...).  Design-space
+    searchers treat it as an *infeasible point* rather than a failed
+    search, so architecture axes can be explored safely.
+    """
+
+
 class SpecError(ConfigurationError):
     """A declarative spec document (:mod:`repro.spec`) is invalid.
 

@@ -80,14 +80,18 @@ def kv_cache_for_slice(
     Args:
         config: Model configuration (provides head_dim, dtype, layer count).
         max_positions: Context length to cache.
-        num_heads: Heads owned by the chip.
+        num_heads: *KV* heads owned by the chip (equal to its query heads
+            for MHA models; the covered KV groups for GQA/MQA).
         num_layers: Layers covered; defaults to all layers of the model,
             because the cache must persist across the whole forward pass.
+
+    The element type is ``config.kv_dtype`` — the activation dtype unless
+    the model declares a quantised ``kv_cache_dtype``.
     """
     return KVCacheSpec(
         max_positions=max_positions,
         num_heads=num_heads,
         head_dim=config.head_dim,
         num_layers=num_layers if num_layers is not None else config.num_layers,
-        dtype=config.act_dtype,
+        dtype=config.kv_dtype,
     )

@@ -40,6 +40,11 @@ class Workload:
             raise ConfigurationError("seq_len must be positive")
         if self.mode is InferenceMode.ENCODER and self.uses_kv_cache:
             raise ConfigurationError("encoder workloads do not use a KV-cache")
+        if self.mode is InferenceMode.ENCODER and self.config.cross_attention:
+            raise ConfigurationError(
+                "encoder workloads cannot run a cross-attention (decoder) "
+                "stack; use autoregressive or prompt mode"
+            )
         if self.name is None:
             object.__setattr__(self, "name", f"{self.config.name}/{self.mode.value}")
 
@@ -71,8 +76,28 @@ class Workload:
 
     @property
     def attended_positions(self) -> int:
-        """Positions attended to by each query."""
+        """Positions attended to by each query.
+
+        A sliding ``attention_window`` on the model caps this below the
+        sequence length (long-context decode with a bounded cache).
+        """
+        window = self.config.attention_window
+        if window is not None:
+            return min(self.seq_len, window)
         return self.seq_len
+
+    @property
+    def cross_attended_positions(self) -> int:
+        """Encoder-memory positions each cross-attention query attends to.
+
+        Zero for decoder-only / encoder-only models.  For encoder/decoder
+        models the source length is approximated by the (window-capped)
+        self-attention span, which keeps :class:`Workload` a two-parameter
+        description.
+        """
+        if not self.config.cross_attention:
+            return 0
+        return self.attended_positions
 
     @property
     def uses_kv_cache(self) -> bool:
@@ -81,10 +106,13 @@ class Workload:
 
     @property
     def kv_cache_positions(self) -> int:
-        """Number of positions the KV-cache must be sized for."""
+        """Number of positions the KV-cache must be sized for.
+
+        With a sliding window the cache is a ring buffer of window size.
+        """
         if not self.uses_kv_cache:
             return 0
-        return self.seq_len
+        return self.attended_positions
 
     @property
     def is_memory_bound_mode(self) -> bool:

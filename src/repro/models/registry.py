@@ -50,8 +50,23 @@ def list_models() -> List[str]:
     return sorted(_FACTORIES)
 
 
+def _register_zoo() -> None:
+    """Register the declarative model zoo (see :mod:`repro.arch.zoo`).
+
+    Each entry is registered as a *factory over a factory*: the lambda
+    rebuilds the :class:`~repro.arch.ArchSpec` and lowers it on every
+    lookup, so parametric families can never share configuration objects
+    between variants (the regression suite checks this freshness).
+    """
+    from ..arch.zoo import ZOO, build_zoo_model
+
+    for name in ZOO:
+        register_model(name, lambda name=name: build_zoo_model(name))
+
+
 register_model("tinyllama-42m", tinyllama_42m)
 register_model("tinyllama", tinyllama_42m)  # convenience alias
 register_model("tinyllama-42m-64h", tinyllama_scaled)
 register_model("tinyllama-42m-gated", tinyllama_gated)
 register_model("mobilebert", mobilebert)
+_register_zoo()

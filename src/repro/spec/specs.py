@@ -90,20 +90,42 @@ def _wrap(path: str, error: ReproError) -> SpecError:
 @_register
 @dataclass(frozen=True)
 class ModelSpec(SpecBase):
-    """A registered model configuration, by name."""
+    """A model configuration: a registry name *or* an inline architecture.
+
+    The two forms are mutually exclusive: either ``name`` selects a
+    registered model, or ``arch`` embeds a full declarative
+    :class:`~repro.arch.ArchSpec` in the document.
+    """
 
     kind = "model"
 
     name: str = "tinyllama-42m"
+    arch: Optional[SpecBase] = None
+
+    def __post_init__(self) -> None:
+        if self.arch is not None and self.name != "tinyllama-42m":
+            raise spec_error(
+                "$.model", "give either a registry name or an inline arch, not both"
+            )
 
     def validate(self, path: str = "$") -> None:
+        if self.arch is not None:
+            validate = getattr(self.arch, "validate", None)
+            if self.arch.kind != "arch" or validate is None:
+                raise spec_error(f"{path}.arch", "expected an 'arch' spec")
+            validate(f"{path}.arch")
+            return
         try:
             self.build()
         except ReproError as error:
             raise _wrap(f"{path}.name", error) from None
 
     def build(self) -> TransformerConfig:
-        """Resolve the name through the model registry."""
+        """Resolve the name through the model registry, or lower the arch."""
+        if self.arch is not None:
+            from ..arch import build_model
+
+            return build_model(self.arch)  # type: ignore[arg-type]
         from ..models.registry import get_model
 
         return get_model(self.name)
@@ -113,7 +135,16 @@ class ModelSpec(SpecBase):
         if isinstance(data, str):  # shorthand: a bare registry name
             return cls(name=data)
         reader = Fields(data, path, cls.kind)
-        spec = cls(name=reader.str_("name", "tinyllama-42m"))
+        arch: Optional[SpecBase] = None
+        if reader.has("arch"):
+            if reader.has("name"):
+                raise spec_error(
+                    path, "give either a registry name or an inline arch, not both"
+                )
+            from ..arch import ArchSpec
+
+            arch = ArchSpec.from_dict(reader.take("arch"), reader.child_path("arch"))
+        spec = cls(name=reader.str_("name", "tinyllama-42m"), arch=arch)
         reader.finish()
         return spec
 
@@ -1481,6 +1512,13 @@ def spec_from_dict(data: Any, path: str = "$") -> SpecBase:
     if kind is None:
         raise spec_error(path, "missing the 'kind' tag")
     cls = _KINDS.get(kind)
+    if cls is None:
+        # Architecture specs live in repro.arch (which registers its kinds
+        # on import); load it lazily so documents decode without callers
+        # importing the package first.
+        from .. import arch  # noqa: F401
+
+        cls = _KINDS.get(kind)
     if cls is None:
         raise spec_error(
             f"{path}.kind",

@@ -376,6 +376,78 @@ def _paper_pipeline() -> StudySpec:
     )
 
 
+def _model_zoo() -> StudySpec:
+    """Partition strategies across the generated architecture zoo."""
+    platform = PlatformSpec(chips=4)
+    strategies = ("paper", "single_chip", "tensor_parallel")
+    stages = [
+        StageSpec(
+            name=name,
+            spec=CompareSpec(
+                workload=WorkloadSpec(
+                    model=ModelSpec(name=name),
+                    mode="autoregressive",
+                    seq_len=seq_len,
+                ),
+                strategies=strategies,
+                platform=platform,
+            ),
+        )
+        for name, seq_len in (
+            ("gqa-moe-tiny", 128),
+            ("moe-8x", 128),
+            ("mqa-270m", 128),
+            ("longctx-4k", 4096),
+            ("encdec-small", 128),
+        )
+    ]
+    stages.append(
+        StageSpec(
+            name="tune",
+            spec=TuneSpec(
+                space=SpaceSpec(
+                    axes=(
+                        AxisSpec(axis="choice", name="chips", choices=(2, 4)),
+                        AxisSpec(
+                            axis="choice",
+                            name="model",
+                            choices=("gqa-moe-tiny", "moe-8x", "mqa-270m"),
+                        ),
+                        AxisSpec(
+                            axis="choice", name="strategy", choices=("paper",)
+                        ),
+                    )
+                ),
+                searcher="grid",
+                budget=6,
+                objectives=("latency", "energy"),
+            ),
+        )
+    )
+    stages.append(
+        StageSpec(
+            name="fleet",
+            spec=FleetSpec(
+                model=ModelSpec(name="gqa-moe-tiny"),
+                trace=TraceSpec(rate_rps=2.0, duration_s=30.0),
+                platforms=(FleetPlatformSpec(chips=4, replicas=2),),
+                seed=0,
+                slo_targets=(1.0,),
+            ),
+        )
+    )
+    return StudySpec(
+        name="model-zoo",
+        description=(
+            "Partition-strategy ablation across five generated zoo "
+            "architectures (GQA+MoE, MoE, MQA, sliding-window, enc/dec), "
+            "an architecture-axis tune, and a fleet run on the GQA+MoE "
+            "decoder"
+        ),
+        stages=tuple(stages),
+    )
+
+
 register_study(
     "quickstart",
     "1-chip vs 8-chip block evaluation plus the Table I ablation",
@@ -415,4 +487,9 @@ register_study(
     "paper-pipeline",
     "Sweep + compare + tune + serve as one replayable pipeline",
     _paper_pipeline,
+)
+register_study(
+    "model-zoo",
+    "Strategy ablation + tune + fleet across the generated model zoo",
+    _model_zoo,
 )

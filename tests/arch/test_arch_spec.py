@@ -1,0 +1,164 @@
+"""Unit tests for the declarative architecture spec layer."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.arch import ArchSpec, BlockGroupSpec
+from repro.errors import SpecError
+from repro.spec import loads, spec_from_dict
+
+
+def _invalid(spec, path_fragment):
+    with pytest.raises(SpecError, match=re.escape(path_fragment)):
+        spec.validate()
+
+
+class TestBlockGroupValidation:
+    def test_defaults_validate(self):
+        BlockGroupSpec().validate()
+
+    def test_unknown_role_rejected(self):
+        _invalid(BlockGroupSpec(role="critic"), "$.role")
+
+    def test_unknown_attention_rejected(self):
+        _invalid(BlockGroupSpec(attention="linear"), "$.attention")
+
+    def test_unknown_ffn_rejected(self):
+        _invalid(BlockGroupSpec(ffn="conv"), "$.ffn")
+
+    def test_nonpositive_repeat_rejected(self):
+        _invalid(BlockGroupSpec(repeat=0), "$.repeat")
+
+    def test_gqa_requires_kv_heads(self):
+        _invalid(BlockGroupSpec(attention="gqa"), "$.kv_heads")
+
+    def test_gqa_kv_heads_must_divide_num_heads(self):
+        _invalid(
+            BlockGroupSpec(attention="gqa", num_heads=8, kv_heads=3),
+            "$.kv_heads",
+        )
+
+    def test_kv_heads_forbidden_for_mha_and_mqa(self):
+        _invalid(BlockGroupSpec(attention="mha", kv_heads=4), "$.kv_heads")
+        _invalid(BlockGroupSpec(attention="mqa", kv_heads=4), "$.kv_heads")
+
+    def test_moe_requires_num_experts(self):
+        _invalid(BlockGroupSpec(ffn="moe"), "$.num_experts")
+
+    def test_moe_needs_at_least_two_experts(self):
+        _invalid(BlockGroupSpec(ffn="moe", num_experts=1), "$.num_experts")
+
+    def test_moe_top_k_bounded_by_experts(self):
+        _invalid(
+            BlockGroupSpec(ffn="moe", num_experts=4, moe_top_k=5),
+            "$.moe_top_k",
+        )
+
+    def test_num_experts_forbidden_for_dense(self):
+        _invalid(BlockGroupSpec(ffn="dense", num_experts=4), "$.num_experts")
+
+    def test_unknown_norm_and_activation_rejected(self):
+        _invalid(BlockGroupSpec(norm="batchnorm"), "$.norm")
+        _invalid(BlockGroupSpec(activation="swishx"), "$.activation")
+
+    def test_unknown_dtype_override_rejected(self):
+        _invalid(BlockGroupSpec(weight_dtype="int7"), "$.weight_dtype")
+
+    def test_resolved_kv_heads(self):
+        assert BlockGroupSpec(attention="mqa", num_heads=8).resolved_kv_heads() == 1
+        assert (
+            BlockGroupSpec(
+                attention="gqa", num_heads=8, kv_heads=2
+            ).resolved_kv_heads()
+            == 2
+        )
+        assert BlockGroupSpec(num_heads=8).resolved_kv_heads() == 8
+
+
+class TestArchValidation:
+    def test_defaults_validate(self):
+        ArchSpec().validate()
+
+    def test_embed_dim_must_be_positive(self):
+        _invalid(ArchSpec(embed_dim=0), "$.embed_dim")
+
+    def test_vocab_must_be_positive(self):
+        _invalid(ArchSpec(vocab_size=0), "$.vocab_size")
+
+    def test_window_must_be_positive(self):
+        _invalid(ArchSpec(attention_window=0), "$.attention_window")
+
+    def test_needs_at_least_one_group(self):
+        _invalid(ArchSpec(blocks=()), "$.blocks")
+
+    def test_group_errors_carry_their_index(self):
+        spec = ArchSpec(
+            blocks=(BlockGroupSpec(), BlockGroupSpec(attention="gqa"))
+        )
+        _invalid(spec, "$.blocks[1].kv_heads")
+
+    def test_unknown_kv_cache_dtype_rejected(self):
+        _invalid(ArchSpec(kv_cache_dtype="fp4"), "$.kv_cache_dtype")
+
+    def test_unlowerable_architecture_rejected(self):
+        # embed_dim not divisible by num_heads only surfaces at lowering.
+        _invalid(ArchSpec(embed_dim=100, blocks=(BlockGroupSpec(num_heads=8),)), "$")
+
+    def test_heterogeneous_stack_rejected_at_validate(self):
+        spec = ArchSpec(
+            blocks=(
+                BlockGroupSpec(num_heads=8),
+                BlockGroupSpec(num_heads=4),
+            )
+        )
+        with pytest.raises(SpecError, match="heterogeneous"):
+            spec.validate()
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        spec = ArchSpec(
+            name="rt",
+            embed_dim=256,
+            blocks=(
+                BlockGroupSpec(
+                    repeat=3,
+                    num_heads=4,
+                    ffn_dim=512,
+                    attention="gqa",
+                    kv_heads=2,
+                    ffn="moe-gated",
+                    num_experts=4,
+                    moe_top_k=2,
+                    norm="rmsnorm",
+                    activation="silu",
+                ),
+            ),
+            kv_cache_dtype="int8",
+            attention_window=64,
+        )
+        assert loads(spec.to_json()) == spec
+
+    def test_sparse_form_omits_defaults(self):
+        data = ArchSpec().to_dict()
+        assert data["kind"] == "arch"
+        assert "vocab_size" not in data
+        assert "attention_window" not in data
+
+    def test_dispatch_through_generic_reader(self):
+        spec = spec_from_dict({"kind": "arch", "name": "x"})
+        assert isinstance(spec, ArchSpec)
+        assert spec.name == "x"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            spec_from_dict({"kind": "arch", "rotary": True})
+
+    def test_block_group_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            spec_from_dict(
+                {"kind": "arch", "blocks": [{"sliding": 4}]}
+            )

@@ -1,0 +1,143 @@
+"""Unit tests for lowering architecture specs into model configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchSpec, BlockGroupSpec, build_model, model_macs
+from repro.errors import ArchitectureError
+from repro.graph.dtypes import INT8, INT16
+from repro.graph.ops import ActivationKind, NormKind
+from repro.graph.transformer import FfnKind, InferenceMode
+
+
+def _single(group, **arch_kwargs):
+    return ArchSpec(name="t", blocks=(group,), **arch_kwargs)
+
+
+class TestLowering:
+    def test_dense_defaults(self):
+        config = build_model(_single(BlockGroupSpec(repeat=4)))
+        assert config.name == "t"
+        assert config.num_layers == 4
+        assert config.kv_heads == config.num_heads
+        assert config.num_experts == 1
+        assert config.ffn_kind is FfnKind.STANDARD
+        assert config.norm_kind is NormKind.LAYERNORM
+        assert config.activation is ActivationKind.GELU
+        assert not config.cross_attention
+
+    def test_gqa_lowers_kv_heads(self):
+        config = build_model(
+            _single(BlockGroupSpec(attention="gqa", num_heads=8, kv_heads=2))
+        )
+        assert config.kv_heads == 2
+        assert config.heads_per_kv_group == 4
+
+    def test_mqa_lowers_to_one_kv_head(self):
+        config = build_model(_single(BlockGroupSpec(attention="mqa")))
+        assert config.kv_heads == 1
+
+    def test_moe_lowers_experts_and_top_k(self):
+        config = build_model(
+            _single(
+                BlockGroupSpec(ffn="moe-gated", num_experts=4, moe_top_k=2)
+            )
+        )
+        assert config.is_moe
+        assert config.num_experts == 4
+        assert config.moe_top_k == 2
+        assert config.ffn_kind is FfnKind.GATED
+
+    def test_model_level_knobs_flow_through(self):
+        config = build_model(
+            _single(
+                BlockGroupSpec(),
+                attention_window=64,
+                kv_cache_dtype="int8",
+                act_dtype="int16",
+            )
+        )
+        assert config.attention_window == 64
+        assert config.act_dtype is INT16
+        assert config.kv_dtype is INT8
+
+    def test_per_group_dtype_overrides_model_default(self):
+        config = build_model(
+            _single(BlockGroupSpec(weight_dtype="int16"), weight_dtype="int8")
+        )
+        assert config.weight_dtype is INT16
+
+    def test_multiple_same_shape_groups_merge(self):
+        spec = ArchSpec(
+            blocks=(BlockGroupSpec(repeat=2), BlockGroupSpec(repeat=3))
+        )
+        assert build_model(spec).num_layers == 5
+
+    def test_heterogeneous_stack_rejected(self):
+        spec = ArchSpec(
+            blocks=(
+                BlockGroupSpec(ffn_dim=1024),
+                BlockGroupSpec(ffn_dim=2048),
+            )
+        )
+        with pytest.raises(ArchitectureError, match="heterogeneous in ffn_dim"):
+            build_model(spec)
+
+    def test_unlowerable_shape_rejected(self):
+        spec = ArchSpec(embed_dim=100, blocks=(BlockGroupSpec(num_heads=8),))
+        with pytest.raises(ArchitectureError, match="cannot be lowered"):
+            build_model(spec)
+
+
+class TestStacks:
+    def _encdec(self):
+        return ArchSpec(
+            name="pair",
+            blocks=(
+                BlockGroupSpec(role="encoder", repeat=2),
+                BlockGroupSpec(role="decoder", repeat=3),
+            ),
+        )
+
+    def test_decoder_of_encdec_carries_cross_attention(self):
+        config = build_model(self._encdec())
+        assert config.name == "pair"
+        assert config.num_layers == 3
+        assert config.cross_attention
+        assert config.num_attention_stages == 2
+
+    def test_encoder_stack_is_a_separate_config(self):
+        config = build_model(self._encdec(), stack="encoder")
+        assert config.name == "pair.encoder"
+        assert config.num_layers == 2
+        assert not config.cross_attention
+
+    def test_encoder_only_architecture_lowers_without_suffix(self):
+        spec = ArchSpec(
+            name="enc", blocks=(BlockGroupSpec(role="encoder", repeat=2),)
+        )
+        config = build_model(spec)
+        assert config.name == "enc"
+        assert not config.cross_attention
+
+    def test_missing_stack_rejected(self):
+        with pytest.raises(ArchitectureError, match="no encoder block groups"):
+            build_model(ArchSpec(), stack="encoder")
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ArchitectureError, match="unknown stack"):
+            build_model(ArchSpec(), stack="adapter")
+
+
+class TestModelMacs:
+    def test_macs_scale_with_depth(self):
+        shallow = build_model(_single(BlockGroupSpec(repeat=2)))
+        deep = build_model(_single(BlockGroupSpec(repeat=4)))
+        assert model_macs(deep) == 2 * model_macs(shallow)
+
+    def test_prompt_mode_costs_more_than_decode(self):
+        config = build_model(_single(BlockGroupSpec(repeat=2)))
+        decode = model_macs(config, mode=InferenceMode.AUTOREGRESSIVE)
+        prefill = model_macs(config, mode=InferenceMode.PROMPT, seq_len=128)
+        assert prefill > decode

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.partition import (
+    kv_head_coverage,
     BlockPartition,
     ChipPartition,
     partition_block,
@@ -146,3 +147,72 @@ class TestPartitionValidation:
         )
         with pytest.raises(PartitioningError, match="ordered"):
             BlockPartition(config=config, num_chips=2, chips=chips)
+
+
+class TestKvHeadCoverage:
+    def test_mha_coverage_equals_head_count(self):
+        config = tinyllama_42m()
+        assert kv_head_coverage(config, 0, 8) == 8
+        assert kv_head_coverage(config, 2, 3) == 3
+
+    def test_gqa_counts_spanned_groups(self):
+        from dataclasses import replace
+
+        config = replace(tinyllama_42m(), kv_heads=2)  # groups of 4
+        assert kv_head_coverage(config, 0, 8) == 2
+        assert kv_head_coverage(config, 0, 4) == 1
+        assert kv_head_coverage(config, 3, 2) == 2  # straddles the boundary
+        assert kv_head_coverage(config, 4, 4) == 1
+        assert kv_head_coverage(config, 0, 0) == 0
+
+
+class TestMoePartitioning:
+    def _moe_config(self, num_experts=4, moe_top_k=2):
+        from dataclasses import replace
+
+        return replace(
+            tinyllama_42m(), num_experts=num_experts, moe_top_k=moe_top_k
+        )
+
+    def test_experts_assigned_whole_and_disjoint(self):
+        config = self._moe_config()
+        partition = partition_block(config, num_chips=2)
+        partition.validate()
+        expert_counts = [chip.num_experts for chip in partition.chips]
+        assert expert_counts == [2, 2]
+        offsets = [chip.expert_offset for chip in partition.chips]
+        assert offsets == [0, 2]
+        # Expert-holding chips carry the full per-expert FFN width.
+        assert all(
+            chip.ffn_cols == config.ffn_dim for chip in partition.chips
+        )
+
+    def test_more_chips_than_experts_rejected(self):
+        with pytest.raises(PartitioningError, match="expert"):
+            partition_block(self._moe_config(num_experts=2), num_chips=4)
+
+    def test_validate_requires_explicit_expert_counts(self):
+        config = self._moe_config()
+        partition = partition_block(config, num_chips=2)
+        from dataclasses import replace
+
+        # BlockPartition validates on construction, so stripping the
+        # explicit expert counts must be rejected immediately.
+        with pytest.raises(PartitioningError, match="expert"):
+            replace(
+                partition,
+                chips=tuple(
+                    replace(chip, num_experts=None)
+                    for chip in partition.chips
+                ),
+            )
+
+    def test_gqa_partition_records_kv_coverage(self):
+        from dataclasses import replace
+
+        config = replace(tinyllama_42m(), kv_heads=2)
+        partition = partition_block(config, num_chips=4)
+        partition.validate()
+        # Two query heads per chip, four per KV group: every chip sits
+        # inside one group.
+        assert [chip.kv_heads for chip in partition.chips] == [1, 1, 1, 1]

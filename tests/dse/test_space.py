@@ -187,3 +187,52 @@ class TestMaterialise:
             materialise({"link_gbps": "fast"})
         # Integral floats (e.g. from a FloatAxis) coerce cleanly.
         assert materialise({"chips": 4.0}).platform.num_chips == 4
+
+
+class TestModelAxes:
+    def _workload(self):
+        from repro.graph.workload import autoregressive
+        from repro.models.tinyllama import tinyllama_42m
+
+        return autoregressive(tinyllama_42m(), 128)
+
+    def test_model_axes_require_a_workload(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            materialise({"kv_heads": 2})
+
+    def test_model_axis_swaps_the_registry_model(self):
+        design = materialise(
+            {"model": "mobilebert"}, workload=self._workload()
+        )
+        assert design.workload is not None
+        assert design.workload.config.name == "mobilebert"
+
+    def test_unknown_model_name_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            materialise({"model": "gpt-4"}, workload=self._workload())
+
+    def test_kv_heads_override_renames_the_variant(self):
+        design = materialise({"kv_heads": 2}, workload=self._workload())
+        config = design.workload.config
+        assert config.kv_heads == 2
+        assert config.name.endswith("+kv2")
+
+    def test_expert_axis_clamps_top_k(self):
+        design = materialise({"num_experts": 2}, workload=self._workload())
+        config = design.workload.config
+        assert config.num_experts == 2
+        assert config.moe_top_k <= config.num_experts
+
+    def test_window_axis_zero_means_unwindowed(self):
+        design = materialise({"attention_window": 0}, workload=self._workload())
+        assert design.workload.config.attention_window is None
+
+    def test_invalid_architecture_is_infeasible(self):
+        from repro.errors import ArchitectureError
+
+        with pytest.raises(ArchitectureError):
+            materialise({"kv_heads": 3}, workload=self._workload())
+
+    def test_plain_platform_point_leaves_workload_unset(self):
+        design = materialise({"chips": 4}, workload=self._workload())
+        assert design.workload is None

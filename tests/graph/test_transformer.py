@@ -221,3 +221,86 @@ class TestBuildBlockOperators:
         )
         norms = [op for op in ops.all_operators if isinstance(op, NormOp)]
         assert norms and all(op.kind is NormKind.RMSNORM for op in norms)
+
+
+class TestArchitectureVariants:
+    def test_gqa_narrows_kv_projections(self):
+        config = small_config(kv_heads=2)
+        ops = build_block_operators(
+            config, query_rows=1, kv_rows=1, attended_positions=4
+        )
+        named = {op.name: op for op in ops.all_operators}
+        assert named["attn.query_proj"].out_features == 64
+        assert named["attn.key_proj"].out_features == 32
+        assert named["attn.value_proj"].out_features == 32
+
+    def test_kv_heads_must_divide_num_heads(self):
+        with pytest.raises(ConfigurationError, match="kv_heads"):
+            small_config(kv_heads=3)
+
+    def test_gqa_weight_params_shrink(self):
+        assert (
+            small_config(kv_heads=1).attention_weight_params
+            < small_config().attention_weight_params
+        )
+
+    def test_moe_emits_router_and_per_expert_ffns(self):
+        config = small_config(num_experts=2, moe_top_k=1)
+        ops = build_block_operators(
+            config, query_rows=4, kv_rows=4, attended_positions=4
+        )
+        names = [op.name for op in ops.all_operators]
+        assert "ffn.router" in names
+        assert "ffn.expert0.up_proj" in names
+        assert "ffn.expert1.up_proj" in names
+        assert "ffn.up_proj" not in names
+
+    def test_moe_expert_rows_cover_routed_tokens(self):
+        config = small_config(num_experts=4, moe_top_k=2)
+        assert config.moe_expert_rows(6) == 3  # ceil(6 * 2 / 4)
+        assert config.moe_expert_rows(1) == 1
+
+    def test_moe_weight_params_scale_with_experts(self):
+        dense = small_config()
+        moe = small_config(num_experts=4, moe_top_k=2)
+        assert moe.ffn_weight_params == 4 * dense.ffn_weight_params + (
+            moe.router_params
+        )
+
+    def test_top_k_bounded_by_experts(self):
+        with pytest.raises(ConfigurationError, match="moe_top_k"):
+            small_config(num_experts=2, moe_top_k=3)
+
+    def test_cross_attention_adds_a_second_stage(self):
+        config = small_config(cross_attention=True)
+        ops = build_block_operators(
+            config,
+            query_rows=1,
+            kv_rows=1,
+            attended_positions=4,
+            cross_attended_positions=16,
+        )
+        named = {op.name: op for op in ops.all_operators}
+        # The cross stage attends encoder memory: no K/V projection or
+        # cache append, and its score width is the encoder length.
+        assert "xattn.query_proj" in named
+        assert "xattn.key_proj" not in named
+        assert "xattn.kv_cache_append" not in named
+        assert named["xattn.scores"].cols == 16
+        assert config.attention_weight_params == (
+            2 * small_config().attention_weight_params
+        )
+
+    def test_kv_dtype_defaults_to_act_dtype(self):
+        from repro.graph.dtypes import INT16
+
+        assert small_config().kv_dtype is small_config().act_dtype
+        assert small_config(kv_cache_dtype=INT16).kv_dtype is INT16
+
+    def test_gqa_slice_weight_bytes_match_narrow_projections(self):
+        config = small_config(kv_heads=2)
+        full = slice_weight_bytes(config, full_block_slice(config))
+        mha = slice_weight_bytes(
+            small_config(), full_block_slice(small_config())
+        )
+        assert full < mha

@@ -1,0 +1,168 @@
+"""Property-based tests of the declarative architecture layer.
+
+Four contracts, over randomly generated but well-formed architectures:
+
+* any ``ArchSpec`` survives ``to_json -> loads`` losslessly;
+* any well-formed spec lowers to a config whose invariants hold and
+  whose ``ArchSpec.validate()`` accepts it;
+* parameter and MAC counts are strictly monotone in width and depth;
+* a GQA group with ``kv_heads == num_heads`` is bit-identical to MHA —
+  same operator list, same per-slice weight bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchSpec, BlockGroupSpec, build_model, model_macs
+from repro.graph.transformer import (
+    build_block_operators,
+    full_block_slice,
+    slice_weight_bytes,
+)
+from repro.spec import loads
+
+DTYPES = ("int8", "int16", "float16")
+
+
+@st.composite
+def block_groups(draw):
+    num_heads = draw(st.sampled_from((1, 2, 4, 8)))
+    attention = draw(st.sampled_from(("mha", "gqa", "mqa")))
+    kv_heads = None
+    if attention == "gqa":
+        kv_heads = draw(
+            st.sampled_from([h for h in (1, 2, 4, 8) if num_heads % h == 0])
+        )
+    ffn = draw(st.sampled_from(("dense", "gated", "moe", "moe-gated")))
+    num_experts = None
+    moe_top_k = 2
+    if ffn in ("moe", "moe-gated"):
+        num_experts = draw(st.integers(min_value=2, max_value=8))
+        moe_top_k = draw(st.integers(min_value=1, max_value=num_experts))
+    return BlockGroupSpec(
+        repeat=draw(st.integers(min_value=1, max_value=6)),
+        num_heads=num_heads,
+        ffn_dim=draw(st.sampled_from((128, 256, 512, 1024))),
+        attention=attention,
+        kv_heads=kv_heads,
+        ffn=ffn,
+        num_experts=num_experts,
+        moe_top_k=moe_top_k,
+        norm=draw(st.sampled_from(("layernorm", "rmsnorm"))),
+        activation=draw(st.sampled_from(("gelu", "silu", "relu"))),
+        weight_dtype=draw(st.sampled_from((None,) + DTYPES)),
+    )
+
+
+@st.composite
+def arch_specs(draw):
+    group = draw(block_groups())
+    return ArchSpec(
+        name="prop",
+        embed_dim=group.num_heads * draw(st.sampled_from((16, 32, 64))),
+        blocks=(group,),
+        vocab_size=draw(st.sampled_from((1000, 32000))),
+        tie_embeddings=draw(st.booleans()),
+        weight_dtype=draw(st.sampled_from(DTYPES)),
+        act_dtype=draw(st.sampled_from(DTYPES)),
+        kv_cache_dtype=draw(st.sampled_from((None, "int8"))),
+        attention_window=draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=256))
+        ),
+    )
+
+
+@given(spec=arch_specs())
+@settings(max_examples=80, deadline=None)
+def test_json_round_trip_is_lossless(spec):
+    assert loads(spec.to_json()) == spec
+    # And the canonical form itself is stable.
+    assert loads(spec.to_json()).to_json() == spec.to_json()
+
+
+@given(spec=arch_specs())
+@settings(max_examples=80, deadline=None)
+def test_built_models_always_validate(spec):
+    spec.validate()
+    config = build_model(spec)
+    group = spec.blocks[0]
+    assert config.num_layers == group.repeat
+    assert config.num_heads % config.kv_heads == 0
+    assert config.kv_heads == group.resolved_kv_heads()
+    assert 1 <= config.moe_top_k <= config.num_experts
+    assert config.total_params > 0
+    assert config.block_weight_bytes > 0
+
+
+@given(
+    spec=arch_specs(),
+    widen=st.integers(min_value=1, max_value=4),
+    deepen=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_params_and_macs_monotone_in_width_and_depth(spec, widen, deepen):
+    group = spec.blocks[0]
+    wider = replace(
+        spec, blocks=(replace(group, ffn_dim=group.ffn_dim * widen),)
+    )
+    deeper = replace(
+        spec, blocks=(replace(group, repeat=group.repeat * deepen),)
+    )
+    base = build_model(spec)
+    base_params, base_macs = base.total_params, model_macs(base)
+    wide = build_model(wider)
+    deep = build_model(deeper)
+    assert wide.total_params >= base_params
+    assert model_macs(wide) >= base_macs
+    assert deep.total_params >= base_params
+    assert model_macs(deep) >= base_macs
+    if widen > 1:
+        assert wide.total_params > base_params
+        assert model_macs(wide) > base_macs
+    if deepen > 1:
+        assert deep.total_params > base_params
+        assert model_macs(deep) > base_macs
+
+
+@given(
+    num_heads=st.sampled_from((1, 2, 4, 8)),
+    repeat=st.integers(min_value=1, max_value=4),
+    seq_len=st.integers(min_value=1, max_value=256),
+)
+@settings(max_examples=60, deadline=None)
+def test_gqa_with_full_kv_heads_is_bit_identical_to_mha(
+    num_heads, repeat, seq_len
+):
+    mha = build_model(
+        ArchSpec(
+            name="pair",
+            embed_dim=num_heads * 32,
+            blocks=(BlockGroupSpec(repeat=repeat, num_heads=num_heads),),
+        )
+    )
+    gqa = build_model(
+        ArchSpec(
+            name="pair",
+            embed_dim=num_heads * 32,
+            blocks=(
+                BlockGroupSpec(
+                    repeat=repeat,
+                    num_heads=num_heads,
+                    attention="gqa",
+                    kv_heads=num_heads,
+                ),
+            ),
+        )
+    )
+    assert gqa == mha
+    kwargs = dict(query_rows=1, kv_rows=1, attended_positions=seq_len)
+    assert (
+        build_block_operators(gqa, **kwargs).all_operators
+        == build_block_operators(mha, **kwargs).all_operators
+    )
+    assert slice_weight_bytes(gqa, full_block_slice(gqa)) == slice_weight_bytes(
+        mha, full_block_slice(mha)
+    )

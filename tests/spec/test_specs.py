@@ -301,3 +301,48 @@ class TestStageReferences:
             ),
         )
         study.validate()
+
+
+class TestInlineArch:
+    def _arch_document(self):
+        return {
+            "kind": "workload",
+            "model": {
+                "arch": {
+                    "name": "inline",
+                    "embed_dim": 256,
+                    "blocks": [
+                        {
+                            "repeat": 2,
+                            "num_heads": 4,
+                            "ffn_dim": 512,
+                            "attention": "gqa",
+                            "kv_heads": 2,
+                        }
+                    ],
+                }
+            },
+        }
+
+    def test_inline_arch_builds_the_described_model(self):
+        workload = spec_from_dict(self._arch_document()).build()
+        assert workload.config.name == "inline"
+        assert workload.config.kv_heads == 2
+        assert workload.config.num_layers == 2
+
+    def test_inline_arch_round_trips(self):
+        spec = spec_from_dict(self._arch_document())
+        assert loads(spec.to_json()) == spec
+
+    def test_name_and_arch_are_mutually_exclusive(self):
+        document = self._arch_document()
+        document["model"]["name"] = "tinyllama-42m"
+        with pytest.raises(SpecError, match="not both"):
+            spec_from_dict(document)
+
+    def test_invalid_inline_arch_reports_the_arch_path(self):
+        document = self._arch_document()
+        document["model"]["arch"]["blocks"][0]["kv_heads"] = 3
+        spec = spec_from_dict(document)
+        with pytest.raises(SpecError, match=r"arch.blocks\[0\].kv_heads"):
+            spec.validate()

@@ -607,3 +607,35 @@ class TestStudyCommands:
         broken = tmp_path / "broken.json"
         broken.write_text("{not json")
         expect_cli_error(capsys, ["study", "run", str(broken)], "invalid JSON")
+
+
+class TestModelsCommand:
+    def test_table_carries_architecture_summaries(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        assert "gqa 8h/2kv" in output  # gqa-moe-tiny
+        assert "moe 8e/top2" in output  # moe-8x
+        assert "window 1024" in output  # longctx-4k
+        assert "xattn" in output  # encdec-small
+        assert "mqa 16h/1kv" in output  # mqa-270m
+
+    def test_named_detail_view(self, capsys):
+        assert main(["models", "gqa-moe-tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "gqa-moe-tiny:" in output
+        assert "kv_heads" in output
+        assert "num_experts" in output
+        assert "total_params" in output
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["models", "--json", "gqa-1b", "mobilebert"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload] == ["gqa-1b", "mobilebert"]
+        assert payload[0]["kv_heads"] == 4
+        assert payload[1]["cross_attention"] is False
+
+    def test_unknown_model_fails_uniformly(self, capsys):
+        expect_cli_error(capsys, ["models", "gpt-4"], "unknown model")
+        expect_cli_error(
+            capsys, ["models", "--json", "gpt-4"], "unknown model"
+        )
