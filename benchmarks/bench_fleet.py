@@ -14,10 +14,16 @@ spike bursts (~1.1M requests) over the four shipped platform presets and
 reports sustained requests per wall-clock second.  Smoke mode shrinks
 the horizon to 30 virtual minutes for CI.
 
+The fault variant (``--faults``) replays the same trace through a seeded
+random crash layer plus retry/hedging/shedding, measuring how much of
+the event-loop throughput the resilience machinery costs — the fault
+path has its own regression floor in ``run_all.py``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fleet.py            # full, ~1 min
     PYTHONPATH=src python benchmarks/bench_fleet.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke --faults
 """
 
 from __future__ import annotations
@@ -50,9 +56,17 @@ SMOKE_RATE_RPS = 4.0
 SMOKE_DURATION_S = 1_800.0
 
 
-def run(mode: str = "full") -> dict:
-    """Serve the diurnal day (or the smoke slice) and report throughput."""
+def run(mode: str = "full", faulted: bool = False) -> dict:
+    """Serve the diurnal day (or the smoke slice) and report throughput.
+
+    With ``faulted`` the same trace runs through a seeded random crash
+    layer (one expected failure per replica every sixteenth of the
+    horizon, five-minute mean repair) plus retries, hedging, and
+    graceful degradation, so the reported rate prices the resilience
+    machinery under sustained churn.
+    """
     from repro.api import Session
+    from repro.fleet import FaultModel, RetryPolicy
     from repro.models.tinyllama import tinyllama_42m
     from repro.serving import DiurnalTrace
 
@@ -70,6 +84,18 @@ def run(mode: str = "full") -> dict:
             (duration * 0.65, 600.0, rate),
         ),
     )
+    faults = retry = None
+    if faulted:
+        faults = FaultModel(
+            crash_mtbf_s=duration / 16.0,
+            crash_mttr_s=min(300.0, duration / 8.0),
+            horizon_s=duration,
+            seed=0,
+            shed_below=0.9,
+        )
+        retry = RetryPolicy(
+            max_retries=3, backoff_s=0.5, timeout_s=60.0, hedge_after_s=5.0
+        )
     session = Session()
     config = tinyllama_42m()
     # Warm the per-preset cost models so the timed section measures the
@@ -88,11 +114,14 @@ def run(mode: str = "full") -> dict:
         platforms=FLEET_PLATFORMS,
         router="least_loaded",
         seed=0,
+        faults=faults,
+        retry=retry,
     )
     wall = time.perf_counter() - start
     result = report.result
-    return {
+    metrics = {
         "mode": mode,
+        "faulted": faulted,
         "wall_s": wall,
         "replicas": len(result.replicas),
         "requests": result.arrived,
@@ -104,6 +133,17 @@ def run(mode: str = "full") -> dict:
         "approximate_percentiles": result.approximate,
         "p99_ttft_s": result.ttft.p99,
     }
+    if result.resilience is not None:
+        stats = result.resilience
+        metrics.update(
+            crashes=stats.crashes,
+            retries=stats.retries,
+            shed=stats.shed,
+            hedges=stats.hedges,
+            goodput_rps=stats.goodput_rps,
+            unavailable_s=stats.unavailable_s,
+        )
+    return metrics
 
 
 def main(argv=None) -> int:
@@ -114,22 +154,35 @@ def main(argv=None) -> int:
         help="CI-sized run: 30 virtual minutes instead of a full day",
     )
     parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="inject a seeded random crash layer plus retries and shedding",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the metrics as one JSON line instead of the summary",
     )
     args = parser.parse_args(argv)
-    metrics = run("smoke" if args.smoke else "full")
+    metrics = run("smoke" if args.smoke else "full", faulted=args.faults)
     if args.json:
         print(json.dumps(metrics, sort_keys=True))
         return 0
+    label = metrics["mode"] + ("+faults" if metrics["faulted"] else "")
     print(
-        f"fleet bench ({metrics['mode']}): {metrics['requests']:,} requests "
+        f"fleet bench ({label}): {metrics['requests']:,} requests "
         f"on {metrics['replicas']} replicas in {metrics['wall_s']:.2f} s "
         f"wall ({metrics['requests_per_s']:,.0f} req/s, "
         f"{metrics['realtime_speedup']:,.0f}x real time, "
         f"p99 TTFT {metrics['p99_ttft_s'] * 1e3:.1f} ms)"
     )
+    if metrics["faulted"]:
+        print(
+            f"  faults: {metrics['crashes']} crash(es), "
+            f"{metrics['retries']} retried, {metrics['shed']} shed, "
+            f"{metrics['hedges']} hedged, "
+            f"{metrics['unavailable_s']:.1f} s total outage"
+        )
     return 0
 
 

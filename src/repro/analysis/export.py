@@ -154,8 +154,13 @@ def eval_result_to_dict(
 
 
 def cache_info_to_dict(cache: "CacheInfo") -> Dict[str, int]:
-    """Flatten a session's memoisation statistics for JSON export."""
-    return dict(cache._asdict())
+    """Flatten a session's memoisation statistics for JSON export.
+
+    ``dropped_writes`` only appears once a persistent-store write has
+    actually been dropped (a rare contention signal), keeping the cache
+    block of healthy runs identical to earlier releases.
+    """
+    return cache.to_dict()
 
 
 def eval_sweep_to_dict(sweep: "EvalSweep") -> Dict[str, Any]:
@@ -242,7 +247,11 @@ def fleet_report_to_dict(
     The cache-free form (``cache=None``) is what study artifacts use;
     fleet TTFT/TPOT/SLO/utilisation summaries, per-replica statistics,
     the windowed timeline, and the autoscaling event log all live under
-    the ``metrics`` key.
+    the ``metrics`` key.  Fault-injected runs (``--faults``/``--retry``)
+    additionally carry a ``metrics.resilience`` block (goodput, retry
+    and shed counts, unavailability windows, healthy/degraded SLO
+    split — see ``docs/RESILIENCE.md``) and a ``shed`` column per SLO
+    class; fault-free documents are byte-identical to earlier releases.
     """
     return report.to_dict(cache=cache)
 

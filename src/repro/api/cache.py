@@ -39,6 +39,7 @@ from __future__ import annotations
 import os
 import pickle
 import sqlite3
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -122,6 +123,10 @@ class EvalCache:
         self.path = self.directory / _DB_NAME
         self._connection: Optional[sqlite3.Connection] = None
         self._broken = False
+        #: Writes dropped after the bounded retry (store locked or
+        #: unusable); surfaced as ``dropped_writes`` in
+        #: :meth:`repro.api.Session.cache_info`.
+        self.dropped_writes = 0
 
     # ------------------------------------------------------------------
     # Connection management
@@ -134,6 +139,10 @@ class EvalCache:
         )
         connection.execute("PRAGMA journal_mode=WAL")
         connection.execute("PRAGMA synchronous=NORMAL")
+        # Wait out writer contention inside sqlite itself before an
+        # OperationalError surfaces (WAL readers never block, but two
+        # writers can still collide on the exclusive commit lock).
+        connection.execute("PRAGMA busy_timeout=5000")
         self._initialise(connection)
         return connection
 
@@ -242,23 +251,35 @@ class EvalCache:
             return None
 
     def put(self, key: str, result) -> None:
-        """Store ``result`` under ``key`` (best effort, never raises)."""
+        """Store ``result`` under ``key`` (best effort, never raises).
+
+        A locked store gets one bounded retry (after a short sleep, on
+        top of sqlite's own ``busy_timeout``); a write dropped after
+        that is counted in :attr:`dropped_writes` so sustained
+        contention is observable instead of silent.
+        """
         connection = self._connect()
         if connection is None:
+            self.dropped_writes += 1
             return
         try:
             payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return  # unpicklable result (custom models): skip persisting
-        try:
-            connection.execute(
-                "INSERT OR REPLACE INTO evals (key, value) VALUES (?, ?)",
-                (key, payload),
-            )
-        except sqlite3.OperationalError:
-            pass  # transient (locked): drop this write, keep the store
-        except sqlite3.Error:
-            self._connection = self._rebuild()
+        for attempt in range(2):
+            try:
+                connection.execute(
+                    "INSERT OR REPLACE INTO evals (key, value) VALUES (?, ?)",
+                    (key, payload),
+                )
+                return
+            except sqlite3.OperationalError:
+                if attempt == 0:
+                    time.sleep(0.05)  # one bounded retry, then give up
+            except sqlite3.Error:
+                self._connection = self._rebuild()
+                break
+        self.dropped_writes += 1
 
     def clear(self) -> int:
         """Drop every stored entry; returns how many were removed.

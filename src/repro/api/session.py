@@ -137,12 +137,28 @@ class CacheInfo(NamedTuple):
         size: Entries in the in-memory cache.
         disk_hits: Evaluations answered by the persistent on-disk cache
             (:mod:`repro.api.cache`) instead of running the engine.
+        dropped_writes: Persistent-cache writes dropped after the
+            bounded retry (store locked or unusable) — nonzero means
+            results were recomputed later instead of read back.
     """
 
     hits: int
     misses: int
     size: int
     disk_hits: int = 0
+    dropped_writes: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serialisable form (the ``cache`` block of CLI documents).
+
+        ``dropped_writes`` only appears once a persistent-store write
+        has actually been dropped (a rare contention signal), keeping
+        the cache block of healthy runs identical to earlier releases.
+        """
+        record = dict(self._asdict())
+        if not record["dropped_writes"]:
+            del record["dropped_writes"]
+        return record
 
 
 # ----------------------------------------------------------------------
@@ -481,6 +497,9 @@ class Session:
             misses=self._misses,
             size=len(self._cache),
             disk_hits=self._disk_hits,
+            dropped_writes=(
+                self._store.dropped_writes if self._store is not None else 0
+            ),
         )
 
     def cache_clear(self) -> None:
@@ -828,6 +847,8 @@ class Session:
         slo_targets: Optional[Sequence[float]] = None,
         record_threshold: Optional[int] = None,
         timeline_window_s: float = 60.0,
+        faults=None,
+        retry=None,
     ):
         """Simulate a fleet of heterogeneous platforms serving one trace.
 
@@ -872,6 +893,13 @@ class Session:
                 memory); defaults to
                 :data:`repro.fleet.DEFAULT_RECORD_THRESHOLD`.
             timeline_window_s: Aggregation window of the fleet timeline.
+            faults: Optional :class:`~repro.fleet.FaultModel` injecting
+                replica crashes, stragglers, and brownouts; ``None``
+                runs the exact fault-free engine (byte-identical
+                output).
+            retry: Optional :class:`~repro.fleet.RetryPolicy` governing
+                failover of requests stranded by a crash (bounded
+                retries, deterministic backoff, timeouts, hedging).
         """
         if not isinstance(config, TransformerConfig):
             from ..spec.specs import FleetSpec
@@ -893,6 +921,8 @@ class Session:
                     and slo_targets is None
                     and record_threshold is None
                     and timeline_window_s == 60.0
+                    and faults is None
+                    and retry is None
                 ),
             )
             if spec is not None:
@@ -990,6 +1020,8 @@ class Session:
                 else DEFAULT_RECORD_THRESHOLD
             ),
             timeline_window_s=timeline_window_s,
+            faults=faults,
+            retry=retry,
         )
         result = simulator.run(iter_requests(trace, seed))
         return FleetReport(
@@ -1121,31 +1153,61 @@ class Session:
             )
         if len(pending) < 2:
             return
+        import warnings
+
         try:
             from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(
-                max_workers=min(parallel, len(pending))
-            ) as pool:
-                evaluated = list(
-                    pool.map(_evaluate_point, [payload for _, payload in pending])
-                )
-        except Exception:
-            # Pool or worker failure (restricted environment, spawn start
-            # method without the strategy registered in the child, broken
-            # pool, ...): prefill is best-effort, so fall back to the
-            # serial path, which re-raises any genuine evaluation error.
+            pool = ProcessPoolExecutor(max_workers=min(parallel, len(pending)))
+        except Exception as error:
+            # Pool creation failure (restricted environment, missing
+            # semaphores, ...): prefill is best-effort, so fall back to
+            # the serial path, which re-raises any genuine evaluation
+            # error.
+            warnings.warn(
+                f"parallel sweep prefill unavailable ({error}); "
+                "evaluating serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return
-        # The workers already wrote their results to the persistent
-        # store; the parent only fills its in-memory layer.  A point a
-        # worker answered from disk (written meanwhile by a concurrent
-        # process) counts as a disk hit, not an engine run.
-        for (key, _), (ran_engine, result) in zip(pending, evaluated):
-            self._cache[key] = result
-            if ran_engine:
-                self._misses += 1
-            else:
-                self._disk_hits += 1
+        failures = 0
+        first_error: Optional[BaseException] = None
+        with pool:
+            futures = [
+                (key, pool.submit(_evaluate_point, payload))
+                for key, payload in pending
+            ]
+            # The workers already wrote their results to the persistent
+            # store; the parent only fills its in-memory layer.  A point
+            # a worker answered from disk (written meanwhile by a
+            # concurrent process) counts as a disk hit, not an engine
+            # run.  A failed worker (spawn start method without the
+            # strategy registered in the child, broken pool, ...) only
+            # forfeits its own point: completed results are kept, and
+            # the serial path re-evaluates the remainder, re-raising any
+            # genuine evaluation error.
+            for key, future in futures:
+                try:
+                    ran_engine, result = future.result()
+                except Exception as error:
+                    failures += 1
+                    if first_error is None:
+                        first_error = error
+                    continue
+                self._cache[key] = result
+                if ran_engine:
+                    self._misses += 1
+                else:
+                    self._disk_hits += 1
+        if failures:
+            warnings.warn(
+                f"parallel sweep prefill lost {failures} of "
+                f"{len(pending)} point(s) ({first_error}); evaluating "
+                "the remainder serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 _DEFAULT_SESSION: Optional[Session] = None

@@ -81,10 +81,13 @@ from .spec import (
     AutoscalerSpec,
     CompareSpec,
     EvalSpec,
+    FaultEventSpec,
+    FaultSpec,
     FleetPlatformSpec,
     FleetSpec,
     ModelSpec,
     PlatformSpec,
+    RetryPolicySpec,
     SLOClassSpec,
     ServingSpec,
     SweepSpec,
@@ -491,10 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
         dest="slo_class",
         action="append",
         default=[],
-        metavar="NAME[:RATE[:BURST[:SLO]]]",
+        metavar="NAME[:RATE[:BURST[:SLO[:TIMEOUT]]]]",
         help=(
             "one multi-tenant SLO class: name, optional sustained admission "
-            "rate in req/s, token-bucket burst, and TTFT target in seconds, "
+            "rate in req/s, token-bucket burst, TTFT target in seconds, and "
+            "per-class request timeout (overrides --retry's timeout), "
             "e.g. interactive:2:4:0.5; repeatable — a request's priority "
             "field indexes the class list in the given order"
         ),
@@ -532,6 +536,57 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "TTFT target the autoscaler defends (scale up when windowed "
             "attainment drops below 95%%)"
+        ),
+    )
+    fleet.add_argument(
+        "--faults",
+        action="append",
+        default=[],
+        metavar="EVENT",
+        help=(
+            "inject one fault: crash:REPLICA@START[+DURATION], "
+            "slow:REPLICA@START+DURATIONxFACTOR, "
+            "brownout@START+DURATIONxFACTOR, or random:MTBF[:MTTR[:HORIZON]] "
+            "for a seeded random crash layer; repeatable"
+        ),
+    )
+    fleet.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the random crash layer (default: 0)",
+    )
+    fleet.add_argument(
+        "--retry",
+        type=str,
+        default=None,
+        metavar="[TIMEOUT][:RETRIES[:BACKOFF[:HEDGE]]]",
+        help=(
+            "fail-over policy under faults: request timeout in seconds, "
+            "retry budget after a crash, first-retry backoff in seconds, "
+            "and hedge delay after which a second copy is dispatched, "
+            "e.g. 30:3:0.5:2 (empty positions keep defaults)"
+        ),
+    )
+    fleet.add_argument(
+        "--shed-below",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "healthy-capacity fraction below which admission sheds "
+            "low-priority classes (graceful degradation; default: off)"
+        ),
+    )
+    fleet.add_argument(
+        "--shed-keep",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "highest-priority SLO classes still admitted while degraded "
+            "(default: 1)"
         ),
     )
     fleet.add_argument(
@@ -938,29 +993,93 @@ def _serve_spec_from_args(args: argparse.Namespace) -> ServingSpec:
 
 
 def _parse_slo_class(text: str, index: int) -> SLOClassSpec:
-    """One ``--class NAME[:RATE[:BURST[:SLO]]]`` value as a spec.
+    """One ``--class NAME[:RATE[:BURST[:SLO[:TIMEOUT]]]]`` value as a spec.
 
     The class's scheduling priority is its position in the ``--class``
     list, matching how a request's ``priority`` field selects its class.
     """
     parts = text.split(":")
     name = parts[0]
-    if not name or len(parts) > 4:
+    if not name or len(parts) > 5:
         raise AnalysisError(
             f"cannot parse SLO class {text!r}; expected "
-            "NAME[:RATE_RPS[:BURST[:TTFT_SLO_S]]], e.g. interactive:2:4:0.5"
+            "NAME[:RATE_RPS[:BURST[:TTFT_SLO_S[:TIMEOUT_S]]]], "
+            "e.g. interactive:2:4:0.5"
         )
     try:
         rate = float(parts[1]) if len(parts) > 1 and parts[1] else None
         burst = int(parts[2]) if len(parts) > 2 and parts[2] else 1
         slo = float(parts[3]) if len(parts) > 3 and parts[3] else None
+        timeout = float(parts[4]) if len(parts) > 4 and parts[4] else None
     except ValueError:
         raise AnalysisError(
             f"cannot parse SLO class {text!r}; expected "
-            "NAME[:RATE_RPS[:BURST[:TTFT_SLO_S]]], e.g. interactive:2:4:0.5"
+            "NAME[:RATE_RPS[:BURST[:TTFT_SLO_S[:TIMEOUT_S]]]], "
+            "e.g. interactive:2:4:0.5"
         ) from None
     return SLOClassSpec(
-        name=name, rate_rps=rate, burst=burst, priority=index, ttft_slo_s=slo
+        name=name,
+        rate_rps=rate,
+        burst=burst,
+        priority=index,
+        ttft_slo_s=slo,
+        timeout_s=timeout,
+    )
+
+
+def _fault_spec_from_args(args: argparse.Namespace) -> Optional[FaultSpec]:
+    """The ``--faults``/``--shed-*`` flags as a spec (``None``: no faults).
+
+    Parsing goes through :meth:`FaultModel.parse` so CLI shorthand and
+    spec documents agree on grammar and validation; malformed values
+    raise :class:`~repro.errors.ConfigurationError`, which the CLI maps
+    to an ``error:`` line and exit status 2 like every other bad flag.
+    """
+    if not args.faults and args.shed_below is None:
+        return None
+    from .fleet import FaultModel
+
+    model = FaultModel.parse(
+        args.faults,
+        seed=args.fault_seed,
+        shed_below=args.shed_below,
+        shed_keep=args.shed_keep,
+    )
+    return FaultSpec(
+        events=tuple(
+            FaultEventSpec(
+                fault=event.kind,
+                replica=event.replica,
+                start_s=event.start_s,
+                duration_s=event.duration_s,
+                factor=event.factor,
+            )
+            for event in model.events
+        ),
+        crash_mtbf_s=model.crash_mtbf_s,
+        crash_mttr_s=model.crash_mttr_s,
+        horizon_s=model.horizon_s,
+        seed=model.seed,
+        shed_below=model.shed_below,
+        shed_keep=model.shed_keep,
+    )
+
+
+def _retry_spec_from_args(
+    args: argparse.Namespace,
+) -> Optional[RetryPolicySpec]:
+    """The ``--retry`` shorthand as a spec (``None``: no retry policy)."""
+    if args.retry is None:
+        return None
+    from .fleet import RetryPolicy
+
+    policy = RetryPolicy.parse(args.retry)
+    return RetryPolicySpec(
+        max_retries=policy.max_retries,
+        backoff_s=policy.backoff_s,
+        backoff_multiplier=policy.backoff_multiplier,
+        timeout_s=policy.timeout_s,
+        hedge_after_s=policy.hedge_after_s,
     )
 
 
@@ -1040,6 +1159,8 @@ def _fleet_spec_from_args(args: argparse.Namespace) -> FleetSpec:
             for index, text in enumerate(args.slo_class)
         ),
         autoscaler=_autoscaler_spec_from_args(args),
+        faults=_fault_spec_from_args(args),
+        retry=_retry_spec_from_args(args),
         seed=args.seed if args.seed is not None else 0,
         max_context=args.max_context,
         slo_targets=tuple(args.slo_ttft) if args.slo_ttft is not None else None,

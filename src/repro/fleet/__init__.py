@@ -3,7 +3,8 @@
 This package composes N heterogeneous platform replicas — each one a
 subsimulator backed by the per-platform serving machinery of
 :mod:`repro.serving` — behind a pluggable routing policy, multi-tenant
-admission control, and a reactive autoscaler.  Entry points:
+admission control, a reactive autoscaler, and seeded fault injection
+with retry/hedging failover (:mod:`repro.fleet.faults`).  Entry points:
 
 - :meth:`repro.api.Session.serve_fleet` — imperative API
 - ``FleetSpec`` in :mod:`repro.spec` — declarative, Study-composable
@@ -12,11 +13,13 @@ admission control, and a reactive autoscaler.  Entry points:
 
 from .admission import AdmissionController, ClassStats, SLOClass
 from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from .faults import FAULT_KINDS, FaultEvent, FaultModel, RetryPolicy
 from .metrics import (
     DEFAULT_RECORD_THRESHOLD,
     FleetReport,
     FleetResult,
     ReplicaStats,
+    ResilienceStats,
     StreamingSummary,
 )
 from .routers import (
@@ -46,6 +49,9 @@ __all__ = [
     "AutoscalerConfig",
     "ClassStats",
     "DEFAULT_RECORD_THRESHOLD",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultModel",
     "FleetPlatform",
     "FleetReport",
     "FleetResult",
@@ -56,6 +62,8 @@ __all__ = [
     "ReplicaState",
     "ReplicaStats",
     "ReplicaTemplate",
+    "ResilienceStats",
+    "RetryPolicy",
     "RoundRobinRouter",
     "RoutingPolicy",
     "ScaleEvent",

@@ -38,6 +38,9 @@ class SLOClass:
             this class (larger wins under the ``priority`` policy).
         ttft_slo_s: Optional per-class TTFT target; attainment against it
             is reported in the per-class fleet metrics.
+        timeout_s: Optional per-class service deadline under a
+            :class:`~repro.fleet.faults.RetryPolicy` — overrides the
+            policy's ``timeout_s`` for requests of this class.
     """
 
     name: str = "default"
@@ -45,6 +48,7 @@ class SLOClass:
     burst: int = 1
     priority: int = 0
     ttft_slo_s: Optional[float] = None
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -61,6 +65,10 @@ class SLOClass:
             raise ConfigurationError(
                 f"class {self.name!r}: ttft_slo_s must be positive"
             )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"class {self.name!r}: timeout_s must be positive"
+            )
 
 
 @dataclass
@@ -71,6 +79,7 @@ class ClassStats:
     arrived: int = 0
     admitted: int = 0
     rejected: int = 0
+    shed: int = 0
     completed: int = 0
     slo_met: int = 0
     tokens: float = field(default=0.0)
@@ -132,6 +141,19 @@ class AdmissionController:
         stats.rejected += 1
         return False, slo_class
 
+    def shed(self, request: Request) -> SLOClass:
+        """Count one arrival shed by graceful degradation.
+
+        Shed requests are neither admitted nor rejected: the fleet turned
+        them away because healthy capacity dropped (or hit zero), not
+        because the class was over its rate limit.  Returns the class for
+        the engine's bookkeeping.
+        """
+        stats = self._stats[self.class_index(request)]
+        stats.arrived += 1
+        stats.shed += 1
+        return stats.slo_class
+
     def complete(self, class_index: int, ttft_s: float) -> None:
         """Record one completion (per-class TTFT attainment)."""
         stats = self._stats[class_index]
@@ -149,8 +171,13 @@ class AdmissionController:
         """Position of ``slo_class`` in the class list."""
         return self.classes.index(slo_class)
 
-    def to_dicts(self) -> List[Dict[str, object]]:
-        """JSON-ready per-class summary, in class order."""
+    def to_dicts(self, *, include_shed: bool = False) -> List[Dict[str, object]]:
+        """JSON-ready per-class summary, in class order.
+
+        ``include_shed`` adds the graceful-degradation ``shed`` counter;
+        the fault-free engine leaves it off so its documents stay
+        byte-identical to runs of the pre-resilience engine.
+        """
         rows: List[Dict[str, object]] = []
         for stats in self._stats:
             cls = stats.slo_class
@@ -163,6 +190,8 @@ class AdmissionController:
                 "rejected": stats.rejected,
                 "completed": stats.completed,
             }
+            if include_shed:
+                row["shed"] = stats.shed
             if cls.ttft_slo_s is not None:
                 row["ttft_slo_s"] = cls.ttft_slo_s
                 row["slo_attainment"] = stats.attainment()

@@ -33,6 +33,7 @@ __all__ = [
     "FleetReport",
     "FleetResult",
     "ReplicaStats",
+    "ResilienceStats",
     "StreamingSummary",
 ]
 
@@ -164,6 +165,94 @@ class ReplicaStats:
 
 
 @dataclass(frozen=True)
+class ResilienceStats:
+    """Fault-and-failover accounting of one fleet run.
+
+    Only produced when a fault model or retry policy is configured — a
+    fault-free run reports nothing here, keeping its output bit-identical
+    to the fault-free engine.
+
+    Attributes:
+        crashes: Crash events that actually took a replica down.
+        recoveries: Crashed replicas that re-entered service.
+        retries: Re-dispatches of requests failed over from a crash.
+        failed: Admitted requests lost to crashes after exhausting the
+            retry budget (or with no retry policy configured).
+        timed_out: Admitted requests abandoned because they never
+            entered service by their (class) deadline.
+        shed: Arrivals turned away by graceful degradation — either the
+            fleet was in total outage, or healthy capacity dropped below
+            the fault model's ``shed_below`` and the request's SLO class
+            was not among the ``shed_keep`` protected classes.
+        hedges: Hedged second dispatches issued.
+        hedge_wins: Hedged copies that entered service before the
+            primary copy (the primary was cancelled).
+        first_attempt_completed: Completions that never failed over —
+            the numerator of goodput.
+        goodput_rps: First-attempt completions per virtual second, to
+            compare against ``throughput_rps`` (which counts retried
+            completions too).
+        wasted_busy_s: Replica-seconds of service lost to crashes
+            (partial grants whose work was discarded).
+        replica_downtime_s: Summed crashed time across replicas.
+        unavailable_s: Virtual time with zero replicas in service.
+        unavailable_windows: How many distinct total-outage windows the
+            run saw.
+        healthy_completed / degraded_completed: Completions split by
+            whether any fault was active when they finished.
+        slo_curve_healthy / slo_curve_degraded: TTFT attainment at the
+            fleet SLO targets, split the same way.
+    """
+
+    crashes: int = 0
+    recoveries: int = 0
+    retries: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    shed: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    first_attempt_completed: int = 0
+    goodput_rps: float = 0.0
+    wasted_busy_s: float = 0.0
+    replica_downtime_s: float = 0.0
+    unavailable_s: float = 0.0
+    unavailable_windows: int = 0
+    healthy_completed: int = 0
+    degraded_completed: int = 0
+    slo_curve_healthy: Tuple[Tuple[float, float], ...] = ()
+    slo_curve_degraded: Tuple[Tuple[float, float], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "retries": self.retries,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "shed": self.shed,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "first_attempt_completed": self.first_attempt_completed,
+            "goodput_rps": self.goodput_rps,
+            "wasted_busy_s": self.wasted_busy_s,
+            "replica_downtime_s": self.replica_downtime_s,
+            "unavailable_s": self.unavailable_s,
+            "unavailable_windows": self.unavailable_windows,
+            "healthy_completed": self.healthy_completed,
+            "degraded_completed": self.degraded_completed,
+            "slo_curve_healthy": [
+                {"ttft_target_s": target, "attainment": fraction}
+                for target, fraction in self.slo_curve_healthy
+            ],
+            "slo_curve_degraded": [
+                {"ttft_target_s": target, "attainment": fraction}
+                for target, fraction in self.slo_curve_degraded
+            ],
+        }
+
+
+@dataclass(frozen=True)
 class FleetResult:
     """Aggregated outcome of one fleet simulation.
 
@@ -190,6 +279,10 @@ class FleetResult:
         timeline: ``(window_end_s, queue_depth, replicas, utilisation)``
             per aggregation window.
         scaling_events: The autoscaler's action timeline.
+        resilience: Fault-and-failover accounting; ``None`` for a
+            fault-free run (its serialised form then carries no
+            resilience key, keeping fault-free output bit-identical to
+            the fault-free engine).
     """
 
     router: str
@@ -214,6 +307,7 @@ class FleetResult:
     replicas: Tuple[ReplicaStats, ...]
     timeline: Tuple[Tuple[float, int, int, float], ...]
     scaling_events: Tuple[ScaleEvent, ...]
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -247,8 +341,13 @@ class FleetResult:
         return busy / span
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form (nested under the report document)."""
-        return {
+        """JSON-serialisable form (nested under the report document).
+
+        The ``resilience`` key appears only when fault injection or a
+        retry policy was configured: a fault-free run's document is
+        byte-identical to one from the fault-free engine.
+        """
+        data: Dict[str, Any] = {
             "requests": {
                 "arrived": self.arrived,
                 "admitted": self.admitted,
@@ -288,6 +387,9 @@ class FleetResult:
                 for end, depth, replicas, utilisation in self.timeline
             ],
         }
+        if self.resilience is not None:
+            data["resilience"] = self.resilience.to_dict()
+        return data
 
 
 @dataclass(frozen=True)
@@ -326,7 +428,7 @@ class FleetReport:
             "metrics": self.result.to_dict(),
         }
         if cache is not None:
-            document["cache"] = dict(cache._asdict())
+            document["cache"] = cache.to_dict()
         return document
 
     def to_json(self, *, indent: int = 2, cache=None) -> str:
@@ -374,6 +476,24 @@ class FleetReport:
                 for target, fraction in result.slo_curve
             ),
         ]
+        resilience = result.resilience
+        if resilience is not None:
+            lines.append(
+                f"  resilience  : {resilience.crashes} crash(es), "
+                f"{resilience.retries} retried, {resilience.failed} failed, "
+                f"{resilience.timed_out} timed out, {resilience.shed} shed, "
+                f"{resilience.hedges} hedged ({resilience.hedge_wins} won)"
+            )
+            lines.append(
+                f"  goodput     : {resilience.goodput_rps:.3f} req/s "
+                f"first-attempt (vs {result.throughput_rps:.3f} req/s "
+                f"throughput), {resilience.wasted_busy_s:.2f} s wasted"
+            )
+            lines.append(
+                f"  availability: {resilience.replica_downtime_s:.1f} "
+                f"replica-s down, {resilience.unavailable_s:.1f} s total "
+                f"outage over {resilience.unavailable_windows} window(s)"
+            )
         if result.approximate:
             lines.append(
                 "  note        : percentiles are histogram approximations "

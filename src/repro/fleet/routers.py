@@ -25,8 +25,11 @@ two fleet runs therefore never share router state, which is part of what
 keeps same-seed runs byte-identical.
 
 The fleet engine only ever offers replicas that are in service — a
-draining or retired replica is filtered out before ``route`` is called —
-and every shipped router breaks ties by ``replica_id``.
+draining, retired, or crashed replica is filtered out before ``route``
+is called, which makes every router *health-aware by construction*
+(under fault injection a crashed replica simply vanishes from the
+candidate list until it recovers) — and every shipped router breaks
+ties by ``replica_id``.
 """
 
 from __future__ import annotations
@@ -66,6 +69,11 @@ class ReplicaState(Protocol):
         draining: Whether the replica is finishing its queue before
             retiring.  The engine never offers draining replicas to a
             router; the flag exists so tests can assert exactly that.
+        crashed: Whether the replica is currently failed under fault
+            injection.  Like ``draining``, the engine removes crashed
+            replicas from the dispatch set before ``route`` is called,
+            so a router never has to check it — it exists for tests and
+            for routers that want to expose health in their own state.
     """
 
     replica_id: int
@@ -74,6 +82,7 @@ class ReplicaState(Protocol):
     role: str
     queue_depth: int
     draining: bool
+    crashed: bool
 
 
 @runtime_checkable

@@ -6,13 +6,13 @@ that structure: every platform replica is a *subsimulator* (its own
 admitted-request set, scheduling policy, and non-preemptive service
 grants, with phase costs from a Session-memoised
 :class:`~repro.serving.costs.RequestCostModel`), and one fleet-level
-event loop advances all of them together.  The heap holds four event
-kinds — grant completions, autoscaler ticks, timeline windows, and the
-*next* trace arrival (arrivals are pulled lazily from an iterator, so a
-day-long million-request trace never materialises in memory) — and ties
-break on a deterministic sequence number, which together with seeded
-traces and stateless-per-run routers makes equal-input fleet runs
-byte-identical.
+event loop advances all of them together.  The heap holds the event
+kinds below — grant completions, fault transitions, retry/timeout/hedge
+timers, autoscaler ticks, timeline windows, and the *next* trace arrival
+(arrivals are pulled lazily from an iterator, so a day-long
+million-request trace never materialises in memory) — and ties break on
+a deterministic sequence number, which together with seeded traces and
+stateless-per-run routers makes equal-input fleet runs byte-identical.
 
 On arrival a request passes admission control
 (:mod:`repro.fleet.admission`), is dispatched by the routing policy
@@ -23,6 +23,15 @@ per-request record list is kept.  A reactive autoscaler
 (:mod:`repro.fleet.autoscaler`) may add replicas from a platform preset
 or drain them (drained replicas finish their queue, are never offered
 to the router again, and retire once empty).
+
+Fault injection (:mod:`repro.fleet.faults`) threads through the same
+loop: crashed replicas leave the dispatch set (so routers are
+health-aware by construction), their in-flight requests fail over under
+the :class:`~repro.fleet.faults.RetryPolicy`, stragglers and brownouts
+stretch grant durations, and graceful degradation sheds low-priority
+classes while healthy capacity is below the configured floor.  All of
+it is guarded: a run with no fault model and no retry policy executes
+exactly the fault-free code path and produces bit-identical results.
 """
 
 from __future__ import annotations
@@ -39,10 +48,12 @@ from ..serving.request import ActiveRequest, Request, RequestPhase
 from ..serving.traces import RequestSource, TrafficTrace
 from .admission import AdmissionController
 from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from .faults import FaultModel, RetryPolicy
 from .metrics import (
     DEFAULT_RECORD_THRESHOLD,
     FleetResult,
     ReplicaStats,
+    ResilienceStats,
     StreamingSummary,
 )
 from .routers import RoutingPolicy, get_router
@@ -57,12 +68,18 @@ __all__ = [
 #: Valid routing-pool tags of a replica.
 REPLICA_ROLES = ("any", "prefill", "decode")
 
-#: Event ordering at equal timestamps: completions first, then scaling
-#: and timeline ticks, then new arrivals.
+#: Event ordering at equal timestamps: completions first, then fault
+#: transitions and failover timers, then scaling and timeline ticks,
+#: then new arrivals.  A fault-free run pushes none of the fault kinds,
+#: so its event sequence is identical to the fault-free engine's.
 _KIND_GRANT_END = 0
-_KIND_SCALE_TICK = 1
-_KIND_WINDOW_TICK = 2
-_KIND_ARRIVAL = 3
+_KIND_FAULT = 1
+_KIND_TIMEOUT = 2
+_KIND_RETRY = 3
+_KIND_HEDGE = 4
+_KIND_SCALE_TICK = 5
+_KIND_WINDOW_TICK = 6
+_KIND_ARRIVAL = 7
 
 
 @dataclass(frozen=True)
@@ -184,6 +201,13 @@ class _Replica:
         "draining",
         "completed",
         "decode_cache",
+        "crashed",
+        "crashed_by",
+        "down_since",
+        "downtime_s",
+        "slow_factor",
+        "grant_epoch",
+        "grant_info",
     )
 
     def __init__(
@@ -209,6 +233,15 @@ class _Replica:
         self.decode_cache: List[Optional[Tuple[float, float]]] = [None] * (
             template.costs.max_context + 1
         )
+        # Fault-injection state; inert (and never mutated) on the
+        # fault-free path.
+        self.crashed = False
+        self.crashed_by: Optional[object] = None
+        self.down_since: Optional[float] = None
+        self.downtime_s = 0.0
+        self.slow_factor = 1.0
+        self.grant_epoch = 0
+        self.grant_info: Optional[Tuple[ActiveRequest, float, float]] = None
 
     @property
     def queue_depth(self) -> int:
@@ -232,6 +265,12 @@ class FleetSimulator:
         record_threshold: Completions beyond which latency percentiles
             switch to the streaming histogram.
         timeline_window_s: Aggregation window of the fleet timeline.
+        faults: Fault schedule to inject (crashes, stragglers,
+            brownouts, graceful degradation); ``None`` runs the exact
+            fault-free engine.
+        retry: Failover policy of crashed requests (timeouts, bounded
+            retries, hedging); with faults but no policy, requests on a
+            crashed replica fail on their first crash.
     """
 
     def __init__(
@@ -246,6 +285,8 @@ class FleetSimulator:
         slo_targets: Sequence[float] = DEFAULT_SLO_TTFT_TARGETS_S,
         record_threshold: int = DEFAULT_RECORD_THRESHOLD,
         timeline_window_s: float = 60.0,
+        faults: Optional[FaultModel] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not replicas:
             raise ConfigurationError("a fleet needs at least one replica")
@@ -258,6 +299,8 @@ class FleetSimulator:
                 "an autoscaled fleet needs a scale_template to build "
                 "replicas from"
             )
+        if faults is not None:
+            faults.validate_replicas(len(replicas))
         self.router = get_router(router) if isinstance(router, str) else router
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
         self.admission = admission if admission is not None else AdmissionController()
@@ -266,6 +309,8 @@ class FleetSimulator:
         self.slo_targets = tuple(slo_targets)
         self.record_threshold = record_threshold
         self.timeline_window_s = timeline_window_s
+        self.faults = faults
+        self.retry = retry
         self._templates = tuple(replicas)
 
     # ------------------------------------------------------------------
@@ -279,6 +324,13 @@ class FleetSimulator:
         ]
         serving: List[_Replica] = list(all_replicas)
         scaled_stack: List[_Replica] = []  # autoscaled, most recent last
+
+        fault_model = self.faults
+        retry = self.retry
+        # One flag guards every fault/failover code path: when False the
+        # loop below executes exactly the fault-free engine.
+        resilient = fault_model is not None or retry is not None
+        static_count = len(self._templates)
 
         events: List[Tuple[float, int, int, object]] = []
         seq = 0
@@ -323,21 +375,48 @@ class FleetSimulator:
         scaling_events: List[ScaleEvent] = []
         window_index = 0
 
-        def work_remains() -> bool:
-            return arrivals_pending or any(r.active for r in all_replicas)
+        # Resilience accumulators (all inert on the fault-free path).
+        crashes = recoveries = retries = failed = timed_out = shed = 0
+        hedges = hedge_wins = first_attempt_completed = 0
+        wasted_busy_s = unavailable_s = 0.0
+        outage_start: Optional[float] = None
+        outage_windows = 0
+        crashed_now = slow_active = brownout_active = in_backoff = 0
+        brownout = 1.0
+        healthy_completed = degraded_completed = 0
+        slo_hits_healthy = [0] * len(self.slo_targets)
+        slo_hits_degraded = [0] * len(self.slo_targets)
+        attempts_of: Dict[int, int] = {}  # request_id -> crash failovers
+        deadline_of: Dict[int, float] = {}  # request_id -> service deadline
+        copies: Dict[int, List[_Replica]] = {}  # request_id -> live copies
+        kept_classes: Optional[frozenset] = None
+        if fault_model is not None and fault_model.shed_below is not None:
+            ranked = sorted(
+                range(len(self.admission.classes)),
+                key=lambda i: (-self.admission.classes[i].priority, i),
+            )
+            kept_classes = frozenset(ranked[: fault_model.shed_keep])
 
-        def add_busy(start_s: float, end_s: float) -> None:
+        def work_remains() -> bool:
+            return (
+                arrivals_pending
+                or in_backoff > 0
+                or any(r.active for r in all_replicas)
+            )
+
+        def add_busy(start_s: float, end_s: float, sign: float = 1.0) -> None:
             width = self.timeline_window_s
             index = int(start_s / width)
             cursor = start_s
             while cursor < end_s:
                 edge = (index + 1) * width
                 span = min(end_s, edge) - cursor
-                busy_bins[index] = busy_bins.get(index, 0.0) + span
+                busy_bins[index] = busy_bins.get(index, 0.0) + span * sign
                 cursor = edge
                 index += 1
 
         def start_grant(replica: _Replica, now: float) -> None:
+            nonlocal hedge_wins
             ready = [replica.active[rid] for rid in sorted(replica.active)]
             chosen = self.policy.select(ready, now)
             if chosen.request.request_id not in replica.active:
@@ -345,13 +424,42 @@ class FleetSimulator:
                     f"policy {self.policy.name!r} selected a request that is "
                     f"not on replica {replica.replica_id}"
                 )
+            if resilient:
+                # First copy to enter service wins a hedge race: cancel
+                # the still-queued sibling before any work is charged.
+                rid = chosen.request.request_id
+                race = copies.get(rid)
+                if race is not None and len(race) > 1:
+                    for other in race:
+                        if other is not replica:
+                            other.active.pop(rid, None)
+                            if (
+                                other.draining
+                                and not other.active
+                                and not other.busy
+                                and other.drained_s is None
+                            ):
+                                retire(other, now)
+                    if replica is not race[0]:
+                        hedge_wins += 1
+                    copies[rid] = [replica]
             duration = self._grant(replica, chosen, now)
+            if resilient:
+                factor = replica.slow_factor * brownout
+                if factor != 1.0:
+                    duration *= factor
             replica.busy = True
             replica.busy_s += duration
+            replica.grant_info = (chosen, now, now + duration)
             add_busy(now, now + duration)
-            push(now + duration, _KIND_GRANT_END, (replica, chosen))
+            push(
+                now + duration,
+                _KIND_GRANT_END,
+                (replica, chosen, replica.grant_epoch),
+            )
 
         def retire(replica: _Replica, now: float) -> None:
+            nonlocal outage_start
             replica.drained_s = now
             try:
                 serving.remove(replica)
@@ -366,6 +474,72 @@ class FleetSimulator:
                     replicas=len(serving),
                 )
             )
+            if resilient and not serving and outage_start is None:
+                outage_start = now
+
+        def dispatch(request: Request, pool: List[_Replica], now: float) -> _Replica:
+            chosen_replica = self.router.route(request, pool, now)
+            valid = any(chosen_replica is replica for replica in pool)
+            if not valid or chosen_replica.draining:
+                raise SimulationError(
+                    f"router {self.router.name!r} dispatched request "
+                    f"{request.request_id} to a drained or unknown "
+                    "replica"
+                )
+            if request.request_id in chosen_replica.active:
+                raise SimulationError(
+                    f"duplicate request id {request.request_id} "
+                    f"admitted on replica {chosen_replica.replica_id}"
+                )
+            return chosen_replica
+
+        def fail_request(rid: int) -> None:
+            class_of.pop(rid, None)
+            attempts_of.pop(rid, None)
+            deadline_of.pop(rid, None)
+            copies.pop(rid, None)
+
+        def fail_over(rid: int, request: Request, now: float) -> None:
+            """Decide a crashed (or stranded) request's next attempt."""
+            nonlocal failed, in_backoff
+            attempts = attempts_of.get(rid, 0) + 1
+            attempts_of[rid] = attempts
+            budget = retry.max_retries if retry is not None else 0
+            backoff = retry.backoff_for(attempts) if retry is not None else 0.0
+            when = now + backoff
+            deadline = deadline_of.get(rid)
+            if attempts <= budget and (deadline is None or when <= deadline):
+                copies[rid] = []  # in backoff: queued nowhere
+                in_backoff += 1
+                push(when, _KIND_RETRY, (rid, request))
+            else:
+                failed += 1
+                fail_request(rid)
+
+        def place(
+            replica: _Replica,
+            request: Request,
+            now: float,
+            *,
+            hedged: bool = False,
+        ) -> None:
+            """Queue one (possibly retried or hedged) copy on a replica."""
+            rid = request.request_id
+            active = ActiveRequest(
+                request=request,
+                attempt=attempts_of.get(rid, 0),
+                deadline_s=deadline_of.get(rid),
+                hedged=hedged,
+            )
+            replica.active[rid] = active
+            if hedged:
+                copies[rid].append(replica)
+            else:
+                copies[rid] = [replica]
+            if retry is not None and retry.hedge_after_s is not None:
+                push(now + retry.hedge_after_s, _KIND_HEDGE, (rid, request))
+            if not replica.busy:
+                start_grant(replica, now)
 
         push_next_arrival()
         if self.autoscaler is not None:
@@ -375,13 +549,28 @@ class FleetSimulator:
                 None,
             )
         push(self.timeline_window_s, _KIND_WINDOW_TICK, None)
+        if fault_model is not None:
+            for event in fault_model.schedule(tuple(range(static_count))):
+                if event.kind == "crash":
+                    push(event.start_s, _KIND_FAULT, ("crash", event))
+                    if event.end_s is not None:
+                        push(event.end_s, _KIND_FAULT, ("recover", event))
+                elif event.kind == "slowdown":
+                    push(event.start_s, _KIND_FAULT, ("slow_start", event))
+                    push(event.end_s, _KIND_FAULT, ("slow_end", event))
+                else:  # brownout
+                    push(event.start_s, _KIND_FAULT, ("brownout_start", event))
+                    push(event.end_s, _KIND_FAULT, ("brownout_end", event))
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
 
             if kind == _KIND_GRANT_END:
-                replica, chosen = payload  # type: ignore[misc]
+                replica, chosen, epoch = payload  # type: ignore[misc]
+                if epoch != replica.grant_epoch:
+                    continue  # the grant was aborted by a crash
                 replica.busy = False
+                replica.grant_info = None
                 if chosen.is_done:
                     chosen.phase = RequestPhase.DONE
                     request = chosen.request
@@ -415,10 +604,163 @@ class FleetSimulator:
                         and ttft_s <= self.autoscaler.config.ttft_slo_s
                     ):
                         window_slo_met += 1
+                    if resilient:
+                        rid = request.request_id
+                        if attempts_of.pop(rid, 0) == 0:
+                            first_attempt_completed += 1
+                        deadline_of.pop(rid, None)
+                        copies.pop(rid, None)
+                        degraded = (
+                            crashed_now > 0
+                            or slow_active > 0
+                            or brownout_active > 0
+                        )
+                        if degraded:
+                            degraded_completed += 1
+                            split_hits = slo_hits_degraded
+                        else:
+                            healthy_completed += 1
+                            split_hits = slo_hits_healthy
+                        for position, target in enumerate(self.slo_targets):
+                            if ttft_s <= target:
+                                split_hits[position] += 1
                 if replica.active:
                     start_grant(replica, now)
                 elif replica.draining and replica.drained_s is None:
                     retire(replica, now)
+
+            elif kind == _KIND_FAULT:
+                action, event = payload  # type: ignore[misc]
+                if action == "crash":
+                    replica = all_replicas[event.replica]
+                    if not replica.crashed and replica.drained_s is None:
+                        crashes += 1
+                        crashed_now += 1
+                        replica.crashed = True
+                        replica.crashed_by = event
+                        replica.down_since = now
+                        if replica in serving:
+                            serving.remove(replica)
+                        if not serving and outage_start is None:
+                            outage_start = now
+                        if replica.busy:
+                            # Abort the in-flight grant: roll back its
+                            # unserved remainder, charge the served part
+                            # as wasted work.
+                            assert replica.grant_info is not None
+                            _, grant_start, grant_end = replica.grant_info
+                            replica.busy_s -= grant_end - now
+                            add_busy(now, grant_end, -1.0)
+                            wasted_busy_s += now - grant_start
+                            replica.busy = False
+                            replica.grant_epoch += 1
+                            replica.grant_info = None
+                        victims = [
+                            (rid, replica.active[rid].request)
+                            for rid in sorted(replica.active)
+                        ]
+                        for rid, _request in victims:
+                            replica.active[rid].phase = RequestPhase.FAILED
+                        replica.active.clear()
+                        for rid, victim in victims:
+                            race = copies.get(rid)
+                            if race is not None and len(race) > 1:
+                                # A hedged sibling survives elsewhere.
+                                race.remove(replica)
+                                continue
+                            fail_over(rid, victim, now)
+                elif action == "recover":
+                    replica = all_replicas[event.replica]
+                    if replica.crashed and replica.crashed_by is event:
+                        recoveries += 1
+                        crashed_now -= 1
+                        replica.crashed = False
+                        replica.crashed_by = None
+                        assert replica.down_since is not None
+                        replica.downtime_s += now - replica.down_since
+                        replica.down_since = None
+                        if replica.drained_s is None and not replica.draining:
+                            serving.append(replica)
+                            serving.sort(key=lambda r: r.replica_id)
+                            if outage_start is not None:
+                                unavailable_s += now - outage_start
+                                outage_windows += 1
+                                outage_start = None
+                elif action == "slow_start":
+                    all_replicas[event.replica].slow_factor *= event.factor
+                    slow_active += 1
+                elif action == "slow_end":
+                    all_replicas[event.replica].slow_factor /= event.factor
+                    slow_active -= 1
+                elif action == "brownout_start":
+                    brownout *= event.factor
+                    brownout_active += 1
+                else:  # brownout_end
+                    brownout /= event.factor
+                    brownout_active -= 1
+
+            elif kind == _KIND_TIMEOUT:
+                rid = payload  # type: ignore[assignment]
+                if rid in class_of:
+                    race = copies.get(rid)
+                    started = False
+                    if race:
+                        for rep in race:
+                            active = rep.active.get(rid)
+                            if (
+                                active is not None
+                                and active.first_scheduled_s is not None
+                            ):
+                                started = True
+                    if not started:
+                        # Never entered service by the deadline: abandon
+                        # every queued copy (an empty race means the
+                        # request was waiting out a retry backoff).
+                        if race:
+                            for rep in race:
+                                active = rep.active.pop(rid, None)
+                                if active is not None:
+                                    active.phase = RequestPhase.TIMED_OUT
+                                if (
+                                    rep.draining
+                                    and not rep.active
+                                    and not rep.busy
+                                    and rep.drained_s is None
+                                ):
+                                    retire(rep, now)
+                        elif race == []:
+                            in_backoff -= 1
+                        timed_out += 1
+                        fail_request(rid)
+
+            elif kind == _KIND_RETRY:
+                rid, request = payload  # type: ignore[misc]
+                if rid in class_of and copies.get(rid) == []:
+                    in_backoff -= 1
+                    if serving:
+                        retries += 1
+                        place(dispatch(request, serving, now), request, now)
+                    else:
+                        # Nothing to dispatch to: burn another attempt
+                        # (bounded), or fail the request.
+                        fail_over(rid, request, now)
+
+            elif kind == _KIND_HEDGE:
+                rid, request = payload  # type: ignore[misc]
+                race = copies.get(rid)
+                if rid in class_of and race is not None and len(race) == 1:
+                    primary = race[0]
+                    active = primary.active.get(rid)
+                    if active is not None and active.first_scheduled_s is None:
+                        pool = [r for r in serving if r is not primary]
+                        if pool:
+                            hedges += 1
+                            place(
+                                dispatch(request, pool, now),
+                                request,
+                                now,
+                                hedged=True,
+                            )
 
             elif kind == _KIND_ARRIVAL:
                 request = payload  # type: ignore[assignment]
@@ -432,6 +774,25 @@ class FleetSimulator:
                         f"window ({max_context}); shorten the trace's "
                         "lengths or raise max_context"
                     )
+                if resilient and not serving:
+                    # Total outage: nothing to dispatch to, shed at the
+                    # door (deterministic stand-in for conn-refused).
+                    shed += 1
+                    self.admission.shed(request)
+                    push_next_arrival()
+                    continue
+                if (
+                    kept_classes is not None
+                    and len(serving)
+                    < fault_model.shed_below * static_count  # type: ignore[union-attr]
+                    and self.admission.class_index(request) not in kept_classes
+                ):
+                    # Graceful degradation: healthy capacity is below
+                    # the floor, shed every class but the protected ones.
+                    shed += 1
+                    self.admission.shed(request)
+                    push_next_arrival()
+                    continue
                 ok, slo_class = self.admission.admit(request)
                 if not ok:
                     rejected += 1
@@ -444,27 +805,29 @@ class FleetSimulator:
                             "no replica is in service to dispatch to "
                             f"(request {request.request_id} at {now:.3f}s)"
                         )
-                    chosen_replica = self.router.route(request, serving, now)
-                    valid = any(
-                        chosen_replica is replica for replica in serving
-                    )
-                    if not valid or chosen_replica.draining:
-                        raise SimulationError(
-                            f"router {self.router.name!r} dispatched request "
-                            f"{request.request_id} to a drained or unknown "
-                            "replica"
-                        )
-                    if request.request_id in chosen_replica.active:
-                        raise SimulationError(
-                            f"duplicate request id {request.request_id} "
-                            f"admitted on replica {chosen_replica.replica_id}"
-                        )
-                    chosen_replica.active[request.request_id] = ActiveRequest(
-                        request=request
-                    )
+                    chosen_replica = dispatch(request, serving, now)
+                    chosen_active = ActiveRequest(request=request)
                     class_of[request.request_id] = self.admission.index_of(
                         slo_class
                     )
+                    if resilient:
+                        rid = request.request_id
+                        timeout = slo_class.timeout_s
+                        if timeout is None and retry is not None:
+                            timeout = retry.timeout_s
+                        if timeout is not None:
+                            deadline = request.arrival_s + timeout
+                            deadline_of[rid] = deadline
+                            chosen_active.deadline_s = deadline
+                            push(deadline, _KIND_TIMEOUT, rid)
+                        copies[rid] = [chosen_replica]
+                        if retry is not None and retry.hedge_after_s is not None:
+                            push(
+                                now + retry.hedge_after_s,
+                                _KIND_HEDGE,
+                                (rid, request),
+                            )
+                    chosen_replica.active[request.request_id] = chosen_active
                     if not chosen_replica.busy:
                         start_grant(chosen_replica, now)
                 push_next_arrival()
@@ -498,6 +861,10 @@ class FleetSimulator:
                             replicas=len(serving),
                         )
                     )
+                    if resilient and outage_start is not None:
+                        unavailable_s += now - outage_start
+                        outage_windows += 1
+                        outage_start = None
                 elif decision == "drained" and scaled_stack:
                     replica = scaled_stack.pop()
                     replica.draining = True
@@ -535,6 +902,58 @@ class FleetSimulator:
         if arrived == 0:
             raise AnalysisError("the trace generated no requests")
 
+        resilience: Optional[ResilienceStats] = None
+        if resilient:
+            if outage_start is not None and makespan > outage_start:
+                unavailable_s += makespan - outage_start
+                outage_windows += 1
+            downtime = 0.0
+            for replica in all_replicas:
+                downtime += replica.downtime_s
+                if (
+                    replica.down_since is not None
+                    and makespan > replica.down_since
+                ):
+                    downtime += makespan - replica.down_since
+            resilience = ResilienceStats(
+                crashes=crashes,
+                recoveries=recoveries,
+                retries=retries,
+                failed=failed,
+                timed_out=timed_out,
+                shed=shed,
+                hedges=hedges,
+                hedge_wins=hedge_wins,
+                first_attempt_completed=first_attempt_completed,
+                goodput_rps=(
+                    first_attempt_completed / makespan if makespan > 0 else 0.0
+                ),
+                wasted_busy_s=wasted_busy_s,
+                replica_downtime_s=downtime,
+                unavailable_s=unavailable_s,
+                unavailable_windows=outage_windows,
+                healthy_completed=healthy_completed,
+                degraded_completed=degraded_completed,
+                slo_curve_healthy=tuple(
+                    (
+                        target,
+                        slo_hits_healthy[position] / healthy_completed
+                        if healthy_completed
+                        else 0.0,
+                    )
+                    for position, target in enumerate(self.slo_targets)
+                ),
+                slo_curve_degraded=tuple(
+                    (
+                        target,
+                        slo_hits_degraded[position] / degraded_completed
+                        if degraded_completed
+                        else 0.0,
+                    )
+                    for position, target in enumerate(self.slo_targets)
+                ),
+            )
+
         stats = tuple(
             ReplicaStats(
                 replica_id=replica.replica_id,
@@ -557,7 +976,7 @@ class FleetSimulator:
             admitted=admitted,
             rejected=rejected,
             completed=completed,
-            in_flight=admitted - completed,
+            in_flight=admitted - completed - failed - timed_out,
             makespan_s=makespan,
             generated_tokens=generated_tokens,
             prompt_tokens=prompt_tokens,
@@ -572,10 +991,11 @@ class FleetSimulator:
                 (target, slo_hits[position] / completed if completed else 0.0)
                 for position, target in enumerate(self.slo_targets)
             ),
-            classes=tuple(self.admission.to_dicts()),
+            classes=tuple(self.admission.to_dicts(include_shed=resilient)),
             replicas=stats,
             timeline=tuple(timeline),
             scaling_events=tuple(scaling_events),
+            resilience=resilience,
         )
 
     # ------------------------------------------------------------------

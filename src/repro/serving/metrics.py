@@ -303,7 +303,7 @@ class ServingReport:
             "metrics": self.metrics.to_dict(),
         }
         if cache is not None:
-            document["cache"] = dict(cache._asdict())
+            document["cache"] = cache.to_dict()
         if include_records:
             ordered = sorted(
                 self.result.records, key=lambda r: r.request.request_id

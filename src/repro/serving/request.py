@@ -29,6 +29,11 @@ class RequestPhase(Enum):
     PREFILL = "prefill"
     DECODE = "decode"
     DONE = "done"
+    #: Terminal failure states of the fault-injected fleet engine: the
+    #: request's replica crashed and the retry budget ran out, or the
+    #: request never entered service before its deadline.
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
 
 
 @dataclass(frozen=True)
@@ -109,6 +114,12 @@ class ActiveRequest:
             first token, ``None`` until then.
         tokens_emitted: Output tokens produced so far.
         energy_joules: Energy charged to this request so far.
+        attempt: Which dispatch this copy is (0 first try; a crash
+            failover re-dispatches a fresh copy with ``attempt`` + 1).
+        deadline_s: Virtual time by which the request must enter service
+            under a retry policy's (or its class's) timeout, else
+            ``None``.
+        hedged: Whether this copy is the hedged second dispatch.
     """
 
     request: Request
@@ -117,6 +128,9 @@ class ActiveRequest:
     first_token_s: Optional[float] = None
     tokens_emitted: int = 0
     energy_joules: float = 0.0
+    attempt: int = 0
+    deadline_s: Optional[float] = None
+    hedged: bool = False
 
     @property
     def prefill_done(self) -> bool:

@@ -28,11 +28,14 @@ from .specs import (
     CompareSpec,
     DEFAULT_SEQ_LEN,
     EvalSpec,
+    FaultEventSpec,
+    FaultSpec,
     FleetPlatformSpec,
     FleetSpec,
     ModelSpec,
     PlatformSpec,
     RUNNABLE_KINDS,
+    RetryPolicySpec,
     RunnableSpec,
     SLOClassSpec,
     ScenarioSpec,
@@ -56,11 +59,14 @@ __all__ = [
     "CompareSpec",
     "DEFAULT_SEQ_LEN",
     "EvalSpec",
+    "FaultEventSpec",
+    "FaultSpec",
     "FleetPlatformSpec",
     "FleetSpec",
     "ModelSpec",
     "PlatformSpec",
     "RUNNABLE_KINDS",
+    "RetryPolicySpec",
     "RunnableSpec",
     "SLOClassSpec",
     "SPEC_SCHEMA_VERSION",

@@ -217,6 +217,8 @@ def _execute_fleet(session, spec: FleetSpec, stages):
     autoscaler = (
         spec.autoscaler.build() if spec.autoscaler is not None else None
     )
+    faults = spec.faults.build() if spec.faults is not None else None
+    retry = spec.retry.build() if spec.retry is not None else None
     if spec.platform_from is not None:
         platform, strategy = _resolve_platform(spec, stages)
     else:
@@ -235,6 +237,8 @@ def _execute_fleet(session, spec: FleetSpec, stages):
         max_context=spec.max_context,
         slo_targets=spec.slo_targets,
         record_threshold=spec.record_threshold,
+        faults=faults,
+        retry=retry,
     )
 
 

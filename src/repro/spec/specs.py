@@ -41,11 +41,14 @@ __all__ = [
     "CompareSpec",
     "DEFAULT_SEQ_LEN",
     "EvalSpec",
+    "FaultEventSpec",
+    "FaultSpec",
     "FleetPlatformSpec",
     "FleetSpec",
     "ModelSpec",
     "PlatformSpec",
     "RUNNABLE_KINDS",
+    "RetryPolicySpec",
     "RunnableSpec",
     "SLOClassSpec",
     "ScenarioSpec",
@@ -765,6 +768,7 @@ class SLOClassSpec(SpecBase):
     burst: int = 1
     priority: int = 0
     ttft_slo_s: Optional[float] = None
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         try:
@@ -782,6 +786,7 @@ class SLOClassSpec(SpecBase):
             burst=self.burst,
             priority=self.priority,
             ttft_slo_s=self.ttft_slo_s,
+            timeout_s=self.timeout_s,
         )
 
     @classmethod
@@ -794,6 +799,7 @@ class SLOClassSpec(SpecBase):
                 burst=reader.int_("burst", 1),
                 priority=reader.int_("priority", 0),
                 ttft_slo_s=reader.opt_float("ttft_slo_s"),
+                timeout_s=reader.opt_float("timeout_s"),
             )
         except SpecError as error:
             raise _rescope(error, path)
@@ -868,6 +874,217 @@ class AutoscalerSpec(SpecBase):
 
 @_register
 @dataclass(frozen=True)
+class FaultEventSpec(SpecBase):
+    """One scheduled fault of a fleet's fault model.
+
+    Accepts the CLI shorthand as a bare string in documents:
+    ``crash:REPLICA@START[+DURATION]``,
+    ``slow:REPLICA@START+DURATIONxFACTOR``, or
+    ``brownout@START+DURATIONxFACTOR``.
+    """
+
+    kind = "fault_event"
+
+    fault: str = "crash"
+    replica: Optional[int] = None
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        try:
+            self.build()
+        except ReproError as error:
+            raise SpecError(str(error)) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.fleet.FaultEvent`."""
+        from ..fleet import FaultEvent
+
+        return FaultEvent(
+            kind=self.fault,
+            replica=self.replica,
+            start_s=self.start_s,
+            duration_s=self.duration_s,
+            factor=self.factor,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "FaultEventSpec":
+        if isinstance(data, str):  # shorthand: kind[:replica]@start[+dur[xf]]
+            from ..fleet import FaultEvent
+
+            try:
+                parsed = FaultEvent.parse(data)
+            except ReproError as error:
+                raise _wrap(path, error) from None
+            return cls(
+                fault=parsed.kind,
+                replica=parsed.replica,
+                start_s=parsed.start_s,
+                duration_s=parsed.duration_s,
+                factor=parsed.factor,
+            )
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                fault=reader.str_("fault", "crash"),
+                replica=reader.opt_int("replica"),
+                start_s=reader.float_("start_s", 0.0),
+                duration_s=reader.opt_float("duration_s"),
+                factor=reader.float_("factor", 1.0),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class FaultSpec(SpecBase):
+    """A fleet's fault schedule plus graceful-degradation knobs.
+
+    See :class:`~repro.fleet.FaultModel` for the semantics: explicit
+    ``events`` merge with an optional seeded random crash layer
+    (``crash_mtbf_s``/``crash_mttr_s`` over ``horizon_s``), and
+    ``shed_below``/``shed_keep`` configure load shedding while healthy
+    capacity is below the floor.
+    """
+
+    kind = "faults"
+
+    events: Tuple[FaultEventSpec, ...] = ()
+    crash_mtbf_s: Optional[float] = None
+    crash_mttr_s: float = 30.0
+    horizon_s: Optional[float] = None
+    seed: int = 0
+    shed_below: Optional[float] = None
+    shed_keep: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        try:
+            self.build()
+        except ReproError as error:
+            raise SpecError(str(error)) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.fleet.FaultModel`."""
+        from ..fleet import FaultModel
+
+        return FaultModel(
+            events=tuple(event.build() for event in self.events),
+            crash_mtbf_s=self.crash_mtbf_s,
+            crash_mttr_s=self.crash_mttr_s,
+            horizon_s=self.horizon_s,
+            seed=self.seed,
+            shed_below=self.shed_below,
+            shed_keep=self.shed_keep,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "FaultSpec":
+        reader = Fields(data, path, cls.kind)
+        raw_events = reader.take("events", None)
+        events_path = reader.child_path("events")
+        if raw_events is None:
+            events: Tuple[FaultEventSpec, ...] = ()
+        elif isinstance(raw_events, (list, tuple)):
+            events = tuple(
+                FaultEventSpec.from_dict(item, f"{events_path}[{index}]")
+                for index, item in enumerate(raw_events)
+            )
+        else:
+            raise spec_error(
+                events_path,
+                f"expected a list of fault events, got {raw_events!r}",
+            )
+        try:
+            spec = cls(
+                events=events,
+                crash_mtbf_s=reader.opt_float("crash_mtbf_s"),
+                crash_mttr_s=reader.float_("crash_mttr_s", 30.0),
+                horizon_s=reader.opt_float("horizon_s"),
+                seed=reader.int_("seed", 0),
+                shed_below=reader.opt_float("shed_below"),
+                shed_keep=reader.int_("shed_keep", 1),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class RetryPolicySpec(SpecBase):
+    """Failover policy of requests stranded by a crash.
+
+    Accepts the CLI shorthand as a bare string in documents:
+    ``[TIMEOUT][:RETRIES[:BACKOFF[:HEDGE]]]`` (see
+    :meth:`repro.fleet.RetryPolicy.parse`).
+    """
+
+    kind = "retry"
+
+    max_retries: int = 2
+    backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    timeout_s: Optional[float] = None
+    hedge_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        try:
+            self.build()
+        except ReproError as error:
+            raise SpecError(str(error)) from None
+
+    def build(self):
+        """Build the concrete :class:`~repro.fleet.RetryPolicy`."""
+        from ..fleet import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_s=self.backoff_s,
+            backoff_multiplier=self.backoff_multiplier,
+            timeout_s=self.timeout_s,
+            hedge_after_s=self.hedge_after_s,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "RetryPolicySpec":
+        if isinstance(data, str):  # shorthand: [timeout][:retries[:backoff[:hedge]]]
+            from ..fleet import RetryPolicy
+
+            try:
+                parsed = RetryPolicy.parse(data)
+            except ReproError as error:
+                raise _wrap(path, error) from None
+            return cls(
+                max_retries=parsed.max_retries,
+                backoff_s=parsed.backoff_s,
+                backoff_multiplier=parsed.backoff_multiplier,
+                timeout_s=parsed.timeout_s,
+                hedge_after_s=parsed.hedge_after_s,
+            )
+        reader = Fields(data, path, cls.kind)
+        try:
+            spec = cls(
+                max_retries=reader.int_("max_retries", 2),
+                backoff_s=reader.float_("backoff_s", 0.0),
+                backoff_multiplier=reader.float_("backoff_multiplier", 2.0),
+                timeout_s=reader.opt_float("timeout_s"),
+                hedge_after_s=reader.opt_float("hedge_after_s"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
 class FleetSpec(SpecBase):
     """One ``Session.serve_fleet`` invocation as data.
 
@@ -887,6 +1104,8 @@ class FleetSpec(SpecBase):
     strategy: str = "paper"
     classes: Tuple[SLOClassSpec, ...] = ()
     autoscaler: Optional[AutoscalerSpec] = None
+    faults: Optional[FaultSpec] = None
+    retry: Optional[RetryPolicySpec] = None
     platform_from: Optional[str] = None
     seed: int = 0
     max_context: int = 1024
@@ -919,6 +1138,12 @@ class FleetSpec(SpecBase):
             raise SpecError(
                 "SLO class names must be unique, got " + ", ".join(names)
             )
+        if self.faults is not None:
+            static = sum(platform.replicas for platform in self.platforms)
+            try:
+                self.faults.build().validate_replicas(static)
+            except ReproError as error:
+                raise SpecError(str(error)) from None
 
     def validate(self, path: str = "$") -> None:
         from ..fleet import get_router
@@ -948,6 +1173,8 @@ class FleetSpec(SpecBase):
         raw_platforms = reader.take("platforms", None)
         raw_classes = reader.take("classes", None)
         raw_autoscaler = reader.take("autoscaler", None)
+        raw_faults = reader.take("faults", None)
+        raw_retry = reader.take("retry", None)
         platforms_path = reader.child_path("platforms")
         if raw_platforms is None:
             platforms: Tuple[FleetPlatformSpec, ...] = (FleetPlatformSpec(),)
@@ -996,6 +1223,20 @@ class FleetSpec(SpecBase):
                         raw_autoscaler, reader.child_path("autoscaler")
                     )
                     if raw_autoscaler is not None
+                    else None
+                ),
+                faults=(
+                    FaultSpec.from_dict(
+                        raw_faults, reader.child_path("faults")
+                    )
+                    if raw_faults is not None
+                    else None
+                ),
+                retry=(
+                    RetryPolicySpec.from_dict(
+                        raw_retry, reader.child_path("retry")
+                    )
+                    if raw_retry is not None
                     else None
                 ),
                 platform_from=reader.opt_str("platform_from"),

@@ -22,11 +22,15 @@ from .specs import (
     AxisSpec,
     CompareSpec,
     EvalSpec,
+    FaultEventSpec,
+    FaultSpec,
     FleetPlatformSpec,
     FleetSpec,
     ModelSpec,
     PlatformSpec,
+    RetryPolicySpec,
     ServingSpec,
+    SLOClassSpec,
     SpaceSpec,
     StageSpec,
     StudySpec,
@@ -273,6 +277,80 @@ def _fleet_capacity() -> StudySpec:
     )
 
 
+def _chaos_capacity() -> StudySpec:
+    """Routing policies under a crash-and-recover fault schedule.
+
+    Both stages serve the same seeded diurnal trace on three replicas
+    through the same fault schedule — a straggler window softening
+    replica 0 before it crashes, three staggered crash-and-recover
+    windows that overlap into a total outage over [240, 300), and a
+    fleet-wide brownout during the recovery tail — differing only in the
+    router.  Comparing the stages' resilience blocks (goodput, retries,
+    shed requests, unavailability, healthy/degraded SLO attainment)
+    answers "which routing policy degrades more gracefully?".
+    """
+    trace = TraceSpec(
+        source="diurnal",
+        rate_rps=6.0,
+        duration_s=600.0,
+        amplitude=0.5,
+        period_s=600.0,
+        priority_levels=2,
+    )
+    faults = FaultSpec(
+        events=(
+            FaultEventSpec(fault="slowdown", replica=0, start_s=90.0,
+                           duration_s=60.0, factor=4.0),
+            FaultEventSpec(fault="crash", replica=0, start_s=120.0,
+                           duration_s=180.0),
+            FaultEventSpec(fault="crash", replica=1, start_s=200.0,
+                           duration_s=160.0),
+            FaultEventSpec(fault="crash", replica=2, start_s=240.0,
+                           duration_s=60.0),
+            FaultEventSpec(fault="brownout", start_s=420.0,
+                           duration_s=60.0, factor=2.0),
+        ),
+        shed_below=0.9,
+        shed_keep=1,
+    )
+    retry = RetryPolicySpec(
+        max_retries=3,
+        backoff_s=0.5,
+        timeout_s=45.0,
+        hedge_after_s=1.0,
+    )
+    classes = (
+        SLOClassSpec(name="interactive", rate_rps=6.0, burst=8, priority=1,
+                     ttft_slo_s=0.5),
+        SLOClassSpec(name="batch", priority=0),
+    )
+    stages = tuple(
+        StageSpec(
+            name=router.replace("_", "-"),
+            spec=FleetSpec(
+                trace=trace,
+                platforms=(FleetPlatformSpec(replicas=3),),
+                router=router,
+                classes=classes,
+                faults=faults,
+                retry=retry,
+                seed=0,
+                slo_targets=(0.2, 0.5, 1.0),
+            ),
+        )
+        for router in ("round_robin", "least_loaded")
+    )
+    return StudySpec(
+        name="chaos-capacity",
+        description=(
+            "Crash-and-recover chaos run: three replicas through a "
+            "straggler window, a rolling triple crash with a total "
+            "outage, and a brownout, under two routing policies"
+        ),
+        stages=stages,
+    )
+
+
 def _platform_tuning() -> StudySpec:
     """examples/platform_tuning.py as data: grid search, then serve the winner."""
     space = SpaceSpec(
@@ -477,6 +555,11 @@ register_study(
     "fleet-capacity",
     "Minimum fleet size per routing policy under a diurnal load",
     _fleet_capacity,
+)
+register_study(
+    "chaos-capacity",
+    "Router comparison under a crash-and-recover fault schedule",
+    _chaos_capacity,
 )
 register_study(
     "platform-tuning",

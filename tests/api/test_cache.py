@@ -257,7 +257,7 @@ class TestSessionPersistence:
         fresh = Session(cache_dir=tmp_path)
         fresh.run(workload, chips=2)
         fresh.run(workload, chips=4)
-        assert fresh.cache_info() == (0, 0, 2, 2)
+        assert fresh.cache_info() == (0, 0, 2, 2, 0)
 
     def test_corrupt_store_falls_back_to_the_engine(self, tmp_path, workload):
         warm = Session(cache_dir=tmp_path)

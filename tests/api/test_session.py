@@ -101,7 +101,7 @@ class TestMemoisation:
         session.run(workload, chips=8)
         session.cache_clear()
         info = session.cache_info()
-        assert info == (0, 0, 0, 0)
+        assert info == (0, 0, 0, 0, 0)
         session.run(workload, chips=8)
         assert session.cache_info().misses == 1
 

@@ -1,0 +1,455 @@
+"""Unit tests for fault injection and failover (stubbed phase costs).
+
+Same style as ``test_fleet_simulator.py``: a linear stub cost model
+makes every faulted timeline hand-computable, so these tests pin the
+resilience semantics — crash failover, bounded retries, timeouts,
+hedged dispatch, graceful degradation, unavailability accounting —
+independently of the real block engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    AdmissionController,
+    FaultEvent,
+    FaultModel,
+    FleetSimulator,
+    ReplicaTemplate,
+    RetryPolicy,
+    SLOClass,
+)
+from repro.serving import PhaseCost, Request
+
+
+class StubCosts:
+    """Linear phase costs (prefill: 10 ms/token, decode: 1 ms/step)."""
+
+    def __init__(self, prefill_per_token=0.01, decode_step=0.001,
+                 max_context=1024):
+        self.prefill_per_token = prefill_per_token
+        self.decode_step = decode_step
+        self.max_context = max_context
+
+    def prefill_cost(self, prompt_tokens):
+        seconds = prompt_tokens * self.prefill_per_token
+        return PhaseCost(seconds=seconds, energy_joules=seconds)
+
+    def decode_cost(self, context_length):
+        return PhaseCost(seconds=self.decode_step,
+                         energy_joules=self.decode_step)
+
+
+def template(costs=None):
+    return ReplicaTemplate(
+        preset="stub", chips=8, role="any", costs=costs or StubCosts()
+    )
+
+
+def req(request_id, arrival_s, prompt=10, output=2, priority=0):
+    return Request(
+        request_id=request_id,
+        arrival_s=arrival_s,
+        prompt_tokens=prompt,
+        output_tokens=output,
+        priority=priority,
+    )
+
+
+def conserve(result):
+    """The request-conservation invariants every run must satisfy."""
+    stats = result.resilience
+    shed = stats.shed if stats is not None else 0
+    assert result.arrived == result.admitted + result.rejected + shed
+    drained = result.completed
+    if stats is not None:
+        drained += stats.failed + stats.timed_out
+    assert result.admitted == drained
+    assert result.in_flight == 0
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+class TestFaultEventParsing:
+    def test_crash_forms(self):
+        permanent = FaultEvent.parse("crash:2@10")
+        assert permanent == FaultEvent(kind="crash", replica=2, start_s=10.0)
+        assert permanent.end_s is None
+        window = FaultEvent.parse("crash:0@5+30")
+        assert window.duration_s == 30.0
+        assert window.end_s == 35.0
+
+    def test_slowdown_and_brownout_forms(self):
+        slow = FaultEvent.parse("slow:1@10+20x3")
+        assert slow == FaultEvent(
+            kind="slowdown", replica=1, start_s=10.0, duration_s=20.0,
+            factor=3.0,
+        )
+        brown = FaultEvent.parse("brownout@50+5x1.5")
+        assert brown.kind == "brownout"
+        assert brown.replica is None
+        assert brown.factor == 1.5
+
+    @pytest.mark.parametrize("text", [
+        "crash:0",            # missing @START
+        "bogus:0@5",          # unknown kind
+        "crash:x@5",          # bad replica id
+        "crash:0@abc",        # bad number
+        "crash:0@-5",         # negative start
+        "slow:1@10+20",       # slowdown without a factor
+        "slow:1@10x2",        # slowdown without a duration
+        "brownout:2@5+5x2",   # brownout cannot target a replica
+        "brownout@5+5x0.5",   # factor must exceed 1
+    ])
+    def test_malformed_events_are_rejected(self, text):
+        with pytest.raises(ConfigurationError, match="fault"):
+            FaultEvent.parse(text)
+
+
+class TestFaultModelParsing:
+    def test_mixed_tokens(self):
+        model = FaultModel.parse(
+            ["crash:0@10+5", "random:100:20:600"], seed=7, shed_below=0.5
+        )
+        assert len(model.events) == 1
+        assert model.crash_mtbf_s == 100.0
+        assert model.crash_mttr_s == 20.0
+        assert model.horizon_s == 600.0
+        assert model.seed == 7
+        assert model.shed_below == 0.5
+
+    def test_random_layer_needs_a_horizon(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            FaultModel.parse(["random:100"])
+
+    def test_malformed_random_layer(self):
+        with pytest.raises(ConfigurationError, match="fault"):
+            FaultModel.parse(["random:abc"])
+        with pytest.raises(ConfigurationError, match="fault"):
+            FaultModel.parse(["random:1:2:3:4"])
+
+    def test_shed_validation(self):
+        with pytest.raises(ConfigurationError, match="shed_below"):
+            FaultModel(shed_below=1.5)
+        with pytest.raises(ConfigurationError, match="shed_keep"):
+            FaultModel(shed_below=0.5, shed_keep=0)
+
+    def test_validate_replicas_rejects_out_of_range_targets(self):
+        model = FaultModel(events=(FaultEvent.parse("crash:5@1"),))
+        with pytest.raises(ConfigurationError, match="static"):
+            model.validate_replicas(2)
+        model.validate_replicas(6)  # in range: no error
+
+    def test_schedule_is_deterministic_and_sorted(self):
+        model = FaultModel.parse(
+            ["crash:1@50+10", "random:60:30:600"], seed=3
+        )
+        first = model.schedule(range(4))
+        second = model.schedule(range(4))
+        assert first == second
+        starts = [event.start_s for event in first]
+        assert starts == sorted(starts)
+        assert any(event.start_s == 50.0 for event in first)
+
+
+class TestRetryPolicyParsing:
+    def test_shorthand_positions(self):
+        assert RetryPolicy.parse("30") == RetryPolicy(timeout_s=30.0)
+        assert RetryPolicy.parse(":3") == RetryPolicy(max_retries=3)
+        full = RetryPolicy.parse("30:3:0.5:2")
+        assert full == RetryPolicy(
+            max_retries=3, backoff_s=0.5, timeout_s=30.0, hedge_after_s=2.0
+        )
+
+    def test_backoff_growth(self):
+        policy = RetryPolicy(backoff_s=0.5, backoff_multiplier=2.0)
+        assert policy.backoff_for(1) == 0.5
+        assert policy.backoff_for(2) == 1.0
+        assert policy.backoff_for(3) == 2.0
+
+    @pytest.mark.parametrize("text", ["abc", "30:3:0.5:2:9", "30:-1"])
+    def test_malformed_policies_are_rejected(self, text):
+        with pytest.raises(ConfigurationError, match="retry"):
+            RetryPolicy.parse(text)
+
+
+# ----------------------------------------------------------------------
+# Crash failover and retry budgets
+# ----------------------------------------------------------------------
+class TestCrashFailover:
+    def test_in_flight_request_fails_over_to_the_healthy_replica(self):
+        # Prompt 100 on replica 0: prefill [0, 1.0].  The crash at 0.5
+        # aborts it; the retry re-dispatches to replica 1 and the
+        # request completes there from scratch.
+        simulator = FleetSimulator(
+            [template(), template()],
+            router="round_robin",
+            faults=FaultModel(events=(FaultEvent.parse("crash:0@0.5"),)),
+            retry=RetryPolicy(max_retries=2, backoff_s=0.0),
+        )
+        result = simulator.run([req(0, 0.0, prompt=100, output=3)])
+        stats = result.resilience
+        assert result.completed == 1
+        assert stats.crashes == 1
+        assert stats.retries == 1
+        assert stats.failed == 0
+        # The aborted half-grant is wasted work, not throughput.
+        assert stats.wasted_busy_s == pytest.approx(0.5)
+        assert stats.first_attempt_completed == 0
+        assert result.makespan_s == pytest.approx(0.5 + 1.002)
+        conserve(result)
+
+    def test_exhausted_retry_budget_fails_the_request(self):
+        simulator = FleetSimulator(
+            [template()],
+            faults=FaultModel(events=(FaultEvent.parse("crash:0@0.5"),)),
+            retry=RetryPolicy(max_retries=0),
+        )
+        result = simulator.run([req(0, 0.0, prompt=100, output=3)])
+        stats = result.resilience
+        assert result.completed == 0
+        assert stats.failed == 1
+        assert stats.retries == 0
+        conserve(result)
+
+    def test_crash_and_recover_window_restores_service(self):
+        # Sole replica down over [1, 11]; the request arriving at 20
+        # is served normally after recovery.
+        simulator = FleetSimulator(
+            [template()],
+            faults=FaultModel(events=(FaultEvent.parse("crash:0@1+10"),)),
+            retry=RetryPolicy(),
+        )
+        result = simulator.run([req(0, 20.0, prompt=100, output=3)])
+        stats = result.resilience
+        assert result.completed == 1
+        assert stats.crashes == 1
+        assert stats.recoveries == 1
+        assert stats.replica_downtime_s == pytest.approx(10.0)
+        assert stats.unavailable_s == pytest.approx(10.0)
+        assert stats.unavailable_windows == 1
+        conserve(result)
+
+    def test_arrivals_during_a_total_outage_are_shed(self):
+        simulator = FleetSimulator(
+            [template()],
+            faults=FaultModel(events=(FaultEvent.parse("crash:0@1+10"),)),
+            retry=RetryPolicy(),
+        )
+        result = simulator.run(
+            [req(0, 5.0, prompt=10, output=2), req(1, 20.0)]
+        )
+        stats = result.resilience
+        assert stats.shed == 1  # nothing to dispatch to at t=5
+        assert result.completed == 1
+        conserve(result)
+
+
+# ----------------------------------------------------------------------
+# Timeouts and hedging
+# ----------------------------------------------------------------------
+class TestTimeouts:
+    def test_request_stuck_in_queue_times_out(self):
+        # Replica busy with a 1.002 s grant; the 0.3 s timeout of the
+        # queued request expires before it ever enters service.
+        simulator = FleetSimulator(
+            [template()],
+            retry=RetryPolicy(timeout_s=0.3),
+        )
+        result = simulator.run([
+            req(0, 0.0, prompt=100, output=3),
+            req(1, 0.1, prompt=10, output=2),
+        ])
+        stats = result.resilience
+        assert result.completed == 1
+        assert stats.timed_out == 1
+        conserve(result)
+
+    def test_started_requests_are_never_timed_out(self):
+        # The sole request enters service immediately: its long grant
+        # outlives the deadline, but timeouts only abandon requests that
+        # never reached service.
+        simulator = FleetSimulator(
+            [template()],
+            retry=RetryPolicy(timeout_s=0.3),
+        )
+        result = simulator.run([req(0, 0.0, prompt=100, output=3)])
+        assert result.completed == 1
+        assert result.resilience.timed_out == 0
+        conserve(result)
+
+    def test_per_class_timeout_overrides_the_policy(self):
+        classes = [
+            SLOClass(name="patient", timeout_s=60.0),
+            SLOClass(name="impatient", timeout_s=0.2),
+        ]
+        simulator = FleetSimulator(
+            [template()],
+            admission=AdmissionController(classes),
+            retry=RetryPolicy(timeout_s=60.0),
+        )
+        result = simulator.run([
+            req(0, 0.0, prompt=100, output=3, priority=0),
+            req(1, 0.1, prompt=10, output=2, priority=1),
+        ])
+        assert result.resilience.timed_out == 1
+        conserve(result)
+
+
+class TestHedging:
+    def test_hedge_dispatches_a_second_copy_once(self):
+        # Both replicas busy until ~1.0; the queued request hedges at
+        # 0.2 + 0.1 and exactly one copy completes.
+        simulator = FleetSimulator(
+            [template(), template()],
+            router="least_loaded",
+            retry=RetryPolicy(hedge_after_s=0.1),
+        )
+        result = simulator.run([
+            req(0, 0.0, prompt=100, output=3),
+            req(1, 0.0, prompt=100, output=3),
+            req(2, 0.2, prompt=10, output=2),
+        ])
+        stats = result.resilience
+        assert result.completed == 3
+        assert stats.hedges == 1
+        assert stats.hedge_wins <= 1
+        conserve(result)
+
+    def test_hedged_sibling_survives_a_crash(self):
+        # Round robin queues request 2's primary copy on replica 0
+        # behind the long request 0; the hedge puts a second copy on
+        # replica 1.  When replica 0 crashes, request 0 (started, no
+        # retries left) fails, but request 2 survives through its
+        # hedged sibling without consuming a retry.
+        simulator = FleetSimulator(
+            [template(), template()],
+            router="round_robin",
+            faults=FaultModel(events=(FaultEvent.parse("crash:0@0.5"),)),
+            retry=RetryPolicy(max_retries=0, hedge_after_s=0.1),
+        )
+        result = simulator.run([
+            req(0, 0.0, prompt=100, output=3),
+            req(1, 0.0, prompt=100, output=3),
+            req(2, 0.2, prompt=10, output=2),
+        ])
+        stats = result.resilience
+        assert result.completed == 2  # requests 1 and 2
+        assert stats.failed == 1      # request 0: started, no budget
+        assert stats.hedges == 1
+        assert stats.retries == 0
+        conserve(result)
+
+
+# ----------------------------------------------------------------------
+# Slowdowns, brownouts, graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_slowdown_stretches_service_on_the_straggler(self):
+        healthy = FleetSimulator([template()]).run(
+            [req(0, 0.0, prompt=100, output=3)]
+        )
+        slowed = FleetSimulator(
+            [template()],
+            faults=FaultModel(
+                events=(FaultEvent.parse("slow:0@0+100x2"),)
+            ),
+        ).run([req(0, 0.0, prompt=100, output=3)])
+        assert slowed.completed == 1
+        assert slowed.makespan_s > healthy.makespan_s
+        assert slowed.resilience.degraded_completed == 1
+        assert slowed.resilience.healthy_completed == 0
+        conserve(slowed)
+
+    def test_brownout_slows_every_replica(self):
+        healthy = FleetSimulator([template(), template()]).run(
+            [req(0, 0.0, prompt=100, output=3),
+             req(1, 0.0, prompt=100, output=3)]
+        )
+        browned = FleetSimulator(
+            [template(), template()],
+            faults=FaultModel(
+                events=(FaultEvent.parse("brownout@0+100x2"),)
+            ),
+        ).run([req(0, 0.0, prompt=100, output=3),
+               req(1, 0.0, prompt=100, output=3)])
+        assert browned.completed == 2
+        assert browned.makespan_s > healthy.makespan_s
+        conserve(browned)
+
+    def test_low_priority_classes_are_shed_while_degraded(self):
+        # Two of three replicas crash: healthy capacity 1/3 < 0.9, so
+        # only the highest-priority class keeps being admitted.
+        classes = [
+            SLOClass(name="interactive", priority=1),
+            SLOClass(name="batch", priority=0),
+        ]
+        simulator = FleetSimulator(
+            [template(), template(), template()],
+            admission=AdmissionController(classes),
+            faults=FaultModel(
+                events=(
+                    FaultEvent.parse("crash:1@1+100"),
+                    FaultEvent.parse("crash:2@1+100"),
+                ),
+                shed_below=0.9,
+                shed_keep=1,
+            ),
+            retry=RetryPolicy(),
+        )
+        result = simulator.run([
+            req(0, 5.0, priority=0),
+            req(1, 5.1, priority=1),
+            req(2, 6.0, priority=0),
+        ])
+        stats = result.resilience
+        assert stats.shed == 1  # the batch request
+        assert result.completed == 2
+        batch_row = next(
+            row for row in result.classes if row["name"] == "batch"
+        )
+        assert batch_row["shed"] == 1
+        conserve(result)
+
+
+# ----------------------------------------------------------------------
+# Construction-time validation and reporting
+# ----------------------------------------------------------------------
+class TestSimulatorIntegration:
+    def test_fault_targets_are_validated_against_the_static_fleet(self):
+        with pytest.raises(ConfigurationError, match="static"):
+            FleetSimulator(
+                [template()],
+                faults=FaultModel(
+                    events=(FaultEvent.parse("crash:3@1"),)
+                ),
+            )
+
+    def test_fault_free_run_has_no_resilience_block(self):
+        result = FleetSimulator([template()]).run([req(0, 0.0)])
+        assert result.resilience is None
+        assert "resilience" not in result.to_dict()
+        assert all("shed" not in row for row in result.classes)
+
+    def test_faulted_report_renders_resilience_lines(self):
+        from repro.fleet.metrics import FleetReport
+
+        simulator = FleetSimulator(
+            [template(), template()],
+            faults=FaultModel(events=(FaultEvent.parse("crash:0@0.5+5"),)),
+            retry=RetryPolicy(max_retries=2),
+        )
+        result = simulator.run([req(0, 0.0, prompt=100, output=3)])
+        report = FleetReport(
+            model="stub", strategy="paper", router="round_robin",
+            policy="fifo", seed=0, result=result,
+        )
+        text = report.render()
+        assert "resilience" in text
+        assert "goodput" in text
+        assert "availability" in text
+        document = result.to_dict()
+        assert document["resilience"]["crashes"] == 1

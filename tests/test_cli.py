@@ -457,6 +457,82 @@ class TestFleetCommand:
             "cannot parse --autoscale",
         )
 
+    def test_fleet_faults_produce_a_resilience_block(self, capsys):
+        assert main(
+            self.FLEET + [
+                "--faults", "crash:0@5+10",
+                "--retry", "20:2:0.5",
+                "--json", "--no-cache",
+            ]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        resilience = document["metrics"]["resilience"]
+        assert resilience["crashes"] == 1
+        assert resilience["recoveries"] == 1
+        assert resilience["unavailable_s"] == 10.0
+        assert all(
+            "shed" in row for row in document["metrics"]["classes"]
+        )
+
+    def test_fleet_fault_free_json_has_no_resilience_block(self, capsys):
+        assert main(self.FLEET + ["--json", "--no-cache"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "resilience" not in document["metrics"]
+        assert all(
+            "shed" not in row for row in document["metrics"]["classes"]
+        )
+
+    def test_fleet_malformed_faults_errors(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["fleet", "--faults", "crash:0"],
+            "cannot parse fault",
+            "missing @START",
+        )
+        expect_cli_error(
+            capsys,
+            ["fleet", "--faults", "bogus:1@5"],
+            "cannot parse fault",
+            "unknown kind",
+        )
+        expect_cli_error(
+            capsys,
+            ["fleet", "--faults", "random:abc"],
+            "cannot parse fault",
+        )
+        expect_cli_error(
+            capsys,
+            ["fleet", "--faults", "crash:9@5"],
+            "replica 9",
+            "static",
+        )
+
+    def test_fleet_malformed_retry_errors(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["fleet", "--retry", "abc"],
+            "cannot parse retry policy",
+            "bad number",
+        )
+        expect_cli_error(
+            capsys,
+            ["fleet", "--retry", "30:3:0.5:2:9"],
+            "cannot parse retry policy",
+            "too many fields",
+        )
+        expect_cli_error(
+            capsys,
+            ["fleet", "--retry", "30:-1"],
+            "cannot parse retry policy",
+        )
+
+    def test_fleet_malformed_shed_below_errors(self, capsys):
+        expect_cli_error(
+            capsys,
+            ["fleet", "--shed-below", "1.5"],
+            "shed_below",
+        )
+
     def test_fleet_replay_rejects_a_conflicting_seed(self, capsys):
         expect_cli_error(
             capsys,
