@@ -97,3 +97,46 @@ def test_tuning_runs_share_the_session_cache(run_once):
     assert elapsed < MAX_SECONDS, (
         f"tuning tour took {elapsed:.1f} s (budget: {MAX_SECONDS:.0f} s)"
     )
+
+
+def test_parallel_tune_is_byte_identical_and_interactive(run_once):
+    """4-worker tune: same bytes as serial, still interactive wall clock.
+
+    The throughput claim (parallel evaluations/s vs the serial baseline)
+    lives in ``run_all.py`` where both sides run in fresh processes; this
+    test pins the correctness half — worker fan-out must not change a
+    single byte of the result — plus a generous wall-clock ceiling.
+    """
+    import json
+
+    from repro.analysis.export import tune_result_to_dict
+
+    workload = autoregressive(tinyllama_42m(), 128)
+    space = _space()
+
+    def tour():
+        documents = {}
+        start = time.perf_counter()
+        for workers in (None, 4):
+            session = Session()  # fresh cache per drive: same work both times
+            result = session.tune(
+                workload,
+                space,
+                searcher="random",
+                budget=BUDGET,
+                seed=0,
+                objectives=("latency", "hw_cost"),
+                parallel=workers,
+            )
+            documents[workers] = json.dumps(
+                tune_result_to_dict(result, include_cache=False),
+                sort_keys=True,
+            )
+        return time.perf_counter() - start, documents
+
+    elapsed, documents = run_once(tour)
+    assert documents[None] == documents[4], (
+        "parallel tune changed the result document"
+    )
+    print(f"\nserial + 4-worker tune, budget {BUDGET}: {elapsed * 1e3:.1f} ms")
+    assert elapsed < MAX_SECONDS

@@ -8,6 +8,8 @@ from .export import (
     fleet_report_to_dict,
     fleet_report_to_json,
     report_to_dict,
+    search_state_to_dict,
+    search_state_to_json,
     sweep_to_csv,
     sweep_to_json,
     sweep_to_records,
@@ -57,6 +59,8 @@ __all__ = [
     "report_to_dict",
     "runtime_breakdown_table",
     "scaling_points",
+    "search_state_to_dict",
+    "search_state_to_json",
     "scaling_table",
     "speedup",
     "sweep_to_csv",

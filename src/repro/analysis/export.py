@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle with repro.api
     from ..api.result import EvalResult
     from ..api.session import CacheInfo, Comparison, EvalSweep
     from ..dse.engine import TuneResult
+    from ..dse.orchestrator import SearchState
     from ..fleet.metrics import FleetReport
 
 #: Column order of the sweep CSV export.
@@ -237,6 +238,21 @@ def tune_result_to_dict(
 def tune_result_to_json(result: "TuneResult", *, indent: int = 2) -> str:
     """Serialise a tuning run to a JSON document (``repro tune --json``)."""
     return json.dumps(tune_result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def search_state_to_dict(state: "SearchState") -> Dict[str, Any]:
+    """Flatten a tuning checkpoint into JSON-serialisable primitives.
+
+    The same schema-versioned document ``repro tune --checkpoint``
+    writes (kind ``search_state``); see
+    :class:`~repro.dse.orchestrator.SearchState`.
+    """
+    return state.to_spec().to_dict()
+
+
+def search_state_to_json(state: "SearchState") -> str:
+    """Serialise a tuning checkpoint exactly as written to disk."""
+    return state.to_json()
 
 
 def fleet_report_to_dict(

@@ -36,7 +36,7 @@ from typing import (
 )
 
 from ..core.placement import PrefetchAccounting
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ReproError
 from ..graph.transformer import TransformerConfig
 from ..graph.workload import Workload
 from ..hw.platform import MultiChipPlatform
@@ -338,6 +338,31 @@ def _evaluate_point(payload) -> Tuple[bool, EvalResult]:
     if store is not None:
         store.put(key, result)
     return True, result
+
+
+def _evaluate_chunk(payloads):
+    """Evaluate a batch of points in one worker task.
+
+    Chunking amortises the per-task submit/pickle round-trip over many
+    points, which is what lets :meth:`Session.prefill` approach ideal
+    speedup when individual evaluations are only milliseconds (the DSE
+    orchestrator's regime).  Failures are per-point, not per-chunk: each
+    entry of the returned list is ``(key, status, value)`` where status
+    is ``"ok"`` (value is ``(ran_engine, result)``), ``"infeasible"``
+    (a :class:`ReproError`; the serial path re-raises it cheaply and
+    assigns it meaning), or ``"error"`` (value is the repr of an
+    unexpected exception).
+    """
+    out = []
+    for payload in payloads:
+        key = payload[4]
+        try:
+            out.append((key, "ok", _evaluate_point(payload)))
+        except ReproError:
+            out.append((key, "infeasible", None))
+        except Exception as error:  # pragma: no cover - defensive
+            out.append((key, "error", repr(error)))
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -1044,6 +1069,10 @@ class Session:
         objectives: Sequence = ("latency", "energy"),
         constraints: Sequence = (),
         serving=None,
+        parallel: Optional[int] = None,
+        checkpoint=None,
+        checkpoint_every: Optional[int] = None,
+        resume=None,
     ):
         """Search a platform/partition design space for ``workload``.
 
@@ -1075,6 +1104,21 @@ class Session:
             serving: Optional :class:`~repro.dse.engine.ServingScenario`
                 for serving-level objectives (``slo``,
                 ``energy_per_request``).
+            parallel: Optional worker-process count for batch prefill
+                (:meth:`prefill`); results are byte-identical for any
+                worker count — only wall-clock and cache statistics
+                change.
+            checkpoint: Optional path where the run's resumable
+                :class:`~repro.dse.orchestrator.SearchState` is written
+                (atomically) every ``checkpoint_every`` unique
+                evaluations and on completion.
+            checkpoint_every: Checkpoint cadence in unique evaluations
+                (default :data:`repro.dse.DEFAULT_CHECKPOINT_EVERY`
+                when a checkpoint path is set).
+            resume: Optional path of a previously written checkpoint to
+                resume from; the finished run is byte-identical to an
+                uninterrupted one, and checkpointed points are never
+                re-paid.
         """
         if not isinstance(workload, Workload):
             from ..spec.specs import TuneSpec
@@ -1090,6 +1134,10 @@ class Session:
                     and tuple(objectives) == ("latency", "energy")
                     and not tuple(constraints)
                     and serving is None
+                    and parallel is None
+                    and checkpoint is None
+                    and checkpoint_every is None
+                    and resume is None
                 ),
             )
             if spec is not None:
@@ -1108,37 +1156,50 @@ class Session:
             objectives=objectives,
             constraints=constraints,
             serving=serving,
+            parallel=parallel,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         )
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _prefill_parallel(
+    def prefill(
         self,
-        workload: Workload,
-        chips: Sequence[int],
-        strategy: str,
-        parallel: int,
+        requests: Sequence[Tuple[Workload, str, MultiChipPlatform]],
+        *,
+        parallel: Optional[int] = None,
     ) -> None:
-        """Evaluate uncached sweep points in a process pool, filling the cache.
+        """Warm the caches for a batch of evaluations using worker processes.
 
-        Points already warm in the in-memory *or* persistent cache never
-        reach the pool, and worker results are written back to the
-        persistent store, so a repeated parallel sweep — even from a
-        fresh process — performs zero engine runs.
+        Each request is a ``(workload, strategy, platform)`` triple; the
+        uncached ones are evaluated in a process pool of up to
+        ``parallel`` workers and merged into this session's caches, so
+        the subsequent serial :meth:`run` calls are all cache hits.
+        This is the fan-out behind ``repro sweep --parallel`` and the
+        DSE orchestrator's parallel evaluation
+        (:mod:`repro.dse.orchestrator`).
+
+        Prefill is best-effort and never changes results — it only moves
+        evaluations into workers ahead of time.  Points already warm in
+        the in-memory *or* persistent cache never reach the pool; worker
+        results are written back to the persistent store (when the
+        session carries one), so a repeated parallel drive — even from a
+        fresh process — performs zero engine runs.  Sessions without
+        memoisation, or carrying custom kernel/energy models (which may
+        not survive pickling), skip the pool silently; a failed pool or
+        worker falls back to the serial path with a warning.
         """
+        if parallel is None or parallel <= 1:
+            return
+        if not self.memoize or self.kernels is not None or self.energy is not None:
+            return
         options = self.options()
-        store = (
-            self._store
-            if _strategy_is_persistable(get_strategy(strategy))
-            else None
-        )
-        cache_dir = str(store.directory) if store is not None else None
         pending: List[Tuple[str, tuple]] = []
         seen = set()
-        for count in chips:
-            platform = self.resolve_platform(count)
-            key = self._cache_key(strategy, workload, platform, options)
+        for workload, strategy, platform in requests:
+            impl = get_strategy(strategy)
+            store = self._store if _strategy_is_persistable(impl) else None
+            cache_dir = str(store.directory) if store is not None else None
+            key = self._cache_key(impl.name, workload, platform, options)
             if key in self._cache or key in seen:
                 continue
             if store is not None:
@@ -1149,7 +1210,7 @@ class Session:
                     continue
             seen.add(key)
             pending.append(
-                (key, (strategy, workload, platform, options, key, cache_dir))
+                (key, (impl.name, workload, platform, options, key, cache_dir))
             )
         if len(pending) < 2:
             return
@@ -1165,49 +1226,88 @@ class Session:
             # the serial path, which re-raises any genuine evaluation
             # error.
             warnings.warn(
-                f"parallel sweep prefill unavailable ({error}); "
+                f"parallel prefill unavailable ({error}); "
                 "evaluating serially",
                 RuntimeWarning,
                 stacklevel=2,
             )
             return
         failures = 0
-        first_error: Optional[BaseException] = None
+        first_error = None
+        workers = min(parallel, len(pending))
+        # Several points per task: the submit/pickle round-trip amortises
+        # over the chunk, so millisecond-scale evaluations still win.
+        # Four chunks per worker keeps the pool load-balanced when chunk
+        # costs are uneven (mixed chip counts, infeasible points).
+        chunk_size = max(1, -(-len(pending) // (workers * 4)))
+        chunks = [
+            [payload for _, payload in pending[start:start + chunk_size]]
+            for start in range(0, len(pending), chunk_size)
+        ]
         with pool:
-            futures = [
-                (key, pool.submit(_evaluate_point, payload))
-                for key, payload in pending
-            ]
             # The workers already wrote their results to the persistent
             # store; the parent only fills its in-memory layer.  A point
             # a worker answered from disk (written meanwhile by a
             # concurrent process) counts as a disk hit, not an engine
             # run.  A failed worker (spawn start method without the
             # strategy registered in the child, broken pool, ...) only
-            # forfeits its own point: completed results are kept, and
+            # forfeits its own chunk: completed results are kept, and
             # the serial path re-evaluates the remainder, re-raising any
-            # genuine evaluation error.
-            for key, future in futures:
+            # genuine evaluation error.  Infeasible designs
+            # (partitioning, capacity, ...) are expected under
+            # design-space search and fail identically — and cheaply —
+            # on the serial path, which is what assigns them meaning, so
+            # they are not warned about.
+            futures = [pool.submit(_evaluate_chunk, chunk) for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
                 try:
-                    ran_engine, result = future.result()
+                    entries = future.result()
                 except Exception as error:
-                    failures += 1
+                    failures += len(chunk)
                     if first_error is None:
                         first_error = error
                     continue
-                self._cache[key] = result
-                if ran_engine:
-                    self._misses += 1
-                else:
-                    self._disk_hits += 1
+                for key, status, value in entries:
+                    if status == "infeasible":
+                        continue
+                    if status != "ok":
+                        failures += 1
+                        if first_error is None:
+                            first_error = value
+                        continue
+                    ran_engine, result = value
+                    self._cache[key] = result
+                    if ran_engine:
+                        self._misses += 1
+                    else:
+                        self._disk_hits += 1
         if failures:
             warnings.warn(
-                f"parallel sweep prefill lost {failures} of "
+                f"parallel prefill lost {failures} of "
                 f"{len(pending)} point(s) ({first_error}); evaluating "
                 "the remainder serially",
                 RuntimeWarning,
                 stacklevel=2,
             )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _prefill_parallel(
+        self,
+        workload: Workload,
+        chips: Sequence[int],
+        strategy: str,
+        parallel: int,
+    ) -> None:
+        """Prefill one strategy's chip-count sweep (see :meth:`prefill`)."""
+        self.prefill(
+            [
+                (workload, strategy, self.resolve_platform(count))
+                for count in chips
+            ],
+            parallel=parallel,
+        )
 
 
 _DEFAULT_SESSION: Optional[Session] = None

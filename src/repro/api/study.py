@@ -225,7 +225,10 @@ class Study:
         self.session = session if session is not None else Session()
 
     def run(
-        self, output_dir: Optional[Union[str, Path]] = None
+        self,
+        output_dir: Optional[Union[str, Path]] = None,
+        *,
+        parallel: Optional[int] = None,
     ) -> StudyResult:
         """Execute every stage in order; optionally write the artifacts.
 
@@ -233,11 +236,40 @@ class Study:
         object and JSON payload.  With ``output_dir``, the directory is
         created if needed and receives one ``<stage>.json`` per stage
         plus the ``study.json`` manifest.
+
+        ``parallel`` overrides the evaluation worker count for every tune
+        stage (see :meth:`Session.tune`); artifacts are unaffected because
+        parallel tune is byte-identical to serial.
+
+        Tune stages that set ``checkpoint_every`` are checkpointed into
+        ``<output_dir>/<stage>.checkpoint.json`` and automatically resume
+        from that file when a previous run of the same study left one
+        behind — interrupt ``repro study run``, re-run it with the same
+        output directory, and the search picks up where it stopped
+        without re-paying for evaluated points.
         """
+        resolved_dir = Path(output_dir) if output_dir is not None else None
+        if resolved_dir is not None:
+            # Create upfront so mid-run tune checkpoints have a home.
+            resolved_dir.mkdir(parents=True, exist_ok=True)
         outcomes: Dict[str, StageOutcome] = {}
         ordered = []
         for stage in self.spec.stages:
-            result = execute(self.session, stage.spec, stages=outcomes)
+            overrides: Dict[str, Any] = {}
+            if stage.spec.kind == "tune":
+                if parallel is not None:
+                    overrides["parallel"] = parallel
+                if (
+                    resolved_dir is not None
+                    and stage.spec.checkpoint_every is not None
+                ):
+                    checkpoint = resolved_dir / f"{stage.name}.checkpoint.json"
+                    overrides["checkpoint"] = str(checkpoint)
+                    if checkpoint.exists():
+                        overrides["resume"] = str(checkpoint)
+            result = execute(
+                self.session, stage.spec, stages=outcomes, **overrides
+            )
             outcome = StageOutcome(
                 name=stage.name,
                 kind=stage.spec.kind,
@@ -246,12 +278,10 @@ class Study:
             )
             outcomes[stage.name] = outcome
             ordered.append(outcome)
-        resolved_dir = Path(output_dir) if output_dir is not None else None
         study = StudyResult(
             spec=self.spec, stages=tuple(ordered), output_dir=resolved_dir
         )
         if resolved_dir is not None:
-            resolved_dir.mkdir(parents=True, exist_ok=True)
             for outcome in ordered:
                 (resolved_dir / outcome.artifact_name).write_text(
                     outcome.artifact_text(), encoding="utf-8"

@@ -58,6 +58,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -717,6 +718,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="strategy choices of the space (default: paper)",
     )
+    tune.add_argument(
+        "--parallel",
+        default=None,
+        metavar="N",
+        help=(
+            "evaluate candidate batches in N worker processes; output is "
+            "byte-identical to --parallel 1 (default: serial)"
+        ),
+    )
+    tune.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a resumable search checkpoint here every "
+            "--checkpoint-every unique evaluations and on completion"
+        ),
+    )
+    tune.add_argument(
+        "--checkpoint-every",
+        default=None,
+        metavar="N",
+        help=(
+            "checkpoint cadence in unique evaluations "
+            "(default: 25; needs --checkpoint)"
+        ),
+    )
+    tune.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume from a checkpoint written by an earlier interrupted "
+            "run; the finished search is byte-identical to an "
+            "uninterrupted one"
+        ),
+    )
     _add_json_argument(tune)
 
     studies = subparsers.add_parser(
@@ -761,6 +799,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="for `init`: write the template here instead of stdout",
+    )
+    study.add_argument(
+        "--parallel",
+        default=None,
+        metavar="N",
+        help=(
+            "for `run`: evaluate tune stages with N worker processes; "
+            "artifacts are byte-identical to a serial run"
+        ),
     )
     _add_json_argument(study)
 
@@ -1495,12 +1542,76 @@ def _command_fleet(args: argparse.Namespace) -> List[str]:
     return [report.render()]
 
 
+def _positive_int_flag(value: Optional[str], flag: str) -> Optional[int]:
+    """Parse an integer CLI flag that must be >= 1.
+
+    Raised as a :class:`ConfigurationError` so every malformed value
+    exits with the CLI's uniform one-line ``error: ...`` contract
+    instead of an argparse usage dump.
+    """
+    if value is None:
+        return None
+    from .errors import ConfigurationError
+
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"{flag} must be an integer, got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise ConfigurationError(f"{flag} must be >= 1, got {parsed}")
+    return parsed
+
+
+def _checkpoint_path_flag(value: Optional[str], flag: str) -> Optional[str]:
+    """Validate a checkpoint path flag (non-blank, not a directory)."""
+    if value is None:
+        return None
+    from .errors import ConfigurationError
+
+    if not value.strip():
+        raise ConfigurationError(f"{flag} needs a file path, got {value!r}")
+    if Path(value).is_dir():
+        raise ConfigurationError(
+            f"{flag} must name a checkpoint file, and {value!r} is a "
+            "directory"
+        )
+    return value
+
+
 def _command_tune(args: argparse.Namespace) -> List[str]:
+    from .errors import ConfigurationError
+
     spec = _tune_spec_from_args(args)
+    parallel = _positive_int_flag(args.parallel, "--parallel")
+    checkpoint = _checkpoint_path_flag(args.checkpoint, "--checkpoint")
+    checkpoint_every = _positive_int_flag(
+        args.checkpoint_every, "--checkpoint-every"
+    )
+    resume = _checkpoint_path_flag(args.resume, "--resume")
+    if checkpoint_every is not None and checkpoint is None:
+        raise ConfigurationError(
+            "--checkpoint-every needs --checkpoint to set where "
+            "checkpoints are written"
+        )
     if args.emit_spec:
+        if parallel is not None or checkpoint_every is not None:
+            spec = replace(
+                spec, parallel=parallel, checkpoint_every=checkpoint_every
+            )
         return [spec.to_json().rstrip("\n")]
     session = _session_from_args(args)
-    result = session.tune(spec)
+    from .spec.runner import execute
+
+    result = execute(
+        session,
+        spec,
+        parallel=parallel,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
     if args.json:
         return [tune_result_to_json(result)]
     return [result.render()]
@@ -1715,8 +1826,9 @@ def _command_study(args: argparse.Namespace) -> List[str]:
             "study run takes exactly one spec file or registered study name"
         )
     study_spec = _load_study_target(args.target[0])
+    parallel = _positive_int_flag(args.parallel, "--parallel")
     runner = Study(study_spec, session=_session_from_args(args))
-    result = runner.run(args.output_dir)
+    result = runner.run(args.output_dir, parallel=parallel)
     if args.json:
         return [json.dumps(result.to_document(), indent=2, sort_keys=True)]
     lines = [result.render()]

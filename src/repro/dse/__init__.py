@@ -11,11 +11,16 @@ simulator.  Three declarative layers compose into
   strategy from every point;
 * :mod:`repro.dse.searchers` — pluggable search algorithms behind
   :func:`register_searcher` (grid, random, simulated annealing,
-  evolutionary), all driving evaluations through one shared memoising
+  evolutionary, successive halving, surrogate-ranked batches), all
+  driving evaluations through one shared memoising
   :class:`~repro.api.Session`;
 * :mod:`repro.dse.objectives` / :mod:`repro.dse.pareto` — named
   multi-objective metrics (latency, energy, hardware-cost proxy, serving
-  SLO attainment) with Pareto-front extraction and constraint filtering.
+  SLO attainment) with Pareto-front extraction and constraint filtering;
+* :mod:`repro.dse.orchestrator` — production-scale search drives:
+  process-pool parallel evaluation, schema-versioned checkpoint/resume
+  (:class:`SearchState`), both byte-identical to a serial uninterrupted
+  run (see docs/DSE.md, "Scaling search").
 
 Quick tour::
 
@@ -51,6 +56,12 @@ from .objectives import (
     register_objective,
     unregister_objective,
 )
+from .orchestrator import (
+    DEFAULT_CHECKPOINT_EVERY,
+    SearchOrchestrator,
+    SearchState,
+    load_search_state,
+)
 from .pareto import (
     Constraint,
     dominates,
@@ -63,8 +74,10 @@ from .searchers import (
     AnnealingSearcher,
     EvolutionarySearcher,
     GridSearcher,
+    HalvingSearcher,
     RandomSearcher,
     SearchAlgorithm,
+    SurrogateSearcher,
     get_searcher,
     list_searchers,
     register_searcher,
@@ -91,11 +104,13 @@ __all__ = [
     "Candidate",
     "ChoiceAxis",
     "Constraint",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DesignEvaluator",
     "DesignPoint",
     "EvolutionarySearcher",
     "FloatAxis",
     "GridSearcher",
+    "HalvingSearcher",
     "IntAxis",
     "Measurement",
     "Objective",
@@ -103,9 +118,12 @@ __all__ = [
     "Point",
     "RandomSearcher",
     "SearchAlgorithm",
+    "SearchOrchestrator",
     "SearchSpace",
+    "SearchState",
     "Sense",
     "ServingScenario",
+    "SurrogateSearcher",
     "TuneResult",
     "Value",
     "default_space",
@@ -116,6 +134,7 @@ __all__ = [
     "hardware_cost_units",
     "list_objectives",
     "list_searchers",
+    "load_search_state",
     "materialise",
     "objective_vector",
     "pareto_front",

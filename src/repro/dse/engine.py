@@ -12,7 +12,6 @@ the :class:`TuneResult` behind :meth:`repro.api.Session.tune` and the
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -203,6 +202,28 @@ class DesignEvaluator:
     def evaluations_requested(self) -> int:
         """Total :meth:`evaluate` calls, including cache-hit repeats."""
         return self._requested
+
+    @property
+    def unique_evaluations(self) -> int:
+        """Number of unique candidates known (preloaded ones included)."""
+        return len(self._candidates)
+
+    def is_cached(self, point: Mapping[str, Value]) -> bool:
+        """Whether ``point`` already has a candidate (no engine run needed)."""
+        return point_key(point) in self._candidates
+
+    def preload(self, candidates: Sequence[Candidate]) -> None:
+        """Seed the memo with previously evaluated candidates.
+
+        This is how a checkpoint resume avoids re-paying evaluated
+        points: the searcher replays deterministically and every
+        preloaded point is answered from here, without an engine run and
+        without touching :attr:`evaluations_requested`.  Insertion order
+        is preserved, so :attr:`history` keeps the original evaluation
+        order.
+        """
+        for candidate in candidates:
+            self._candidates.setdefault(candidate.point, candidate)
 
     def evaluate(self, point: Mapping[str, Value]) -> Candidate:
         """Measure one point (memoised by canonical point identity)."""
@@ -420,6 +441,10 @@ def run_tune(
     objectives: Sequence[Union[str, Objective]] = ("latency", "energy"),
     constraints: Sequence[Union[str, Constraint]] = (),
     serving: Optional[ServingScenario] = None,
+    parallel: Optional[int] = None,
+    checkpoint: Optional[Any] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: Optional[Any] = None,
 ) -> TuneResult:
     """Search a design space for ``workload`` and extract the Pareto front.
 
@@ -427,7 +452,15 @@ def run_tune(
     for the user-facing contract.  Constraint objectives that are not
     also Pareto objectives are measured anyway (so a run can constrain on
     ``slo`` while trading off ``latency`` vs ``hw_cost``).
+
+    Every run is driven through the
+    :class:`~repro.dse.orchestrator.SearchOrchestrator`, which adds
+    process-pool prefill (``parallel``) and checkpoint/resume
+    (``checkpoint``/``checkpoint_every``/``resume``) without changing
+    the visited candidate sequence — a parallel or resumed run is
+    byte-identical to a serial uninterrupted one.
     """
+    from .orchestrator import SearchOrchestrator
     from .searchers import get_searcher
 
     if budget <= 0:
@@ -452,13 +485,20 @@ def run_tune(
     evaluator = DesignEvaluator(
         session, workload, tuple(measured), serving=serving
     )
-    algorithm.search(
+    orchestrator = SearchOrchestrator(
+        evaluator,
+        algorithm,
         resolved_space,
-        evaluator.evaluate,
         pareto_objectives,
         budget=budget,
-        rng=random.Random(seed),
+        seed=seed,
+        constraints=resolved_constraints,
+        parallel=parallel,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
+    orchestrator.run()
     candidates = evaluator.history
     eligible = filter_constraints(candidates, resolved_constraints)
     front = tuple(pareto_front(eligible, pareto_objectives))

@@ -1,0 +1,446 @@
+"""The search orchestrator: parallel evaluation, checkpoint, resume.
+
+:class:`SearchOrchestrator` sits between :func:`repro.dse.engine.run_tune`
+and a registered search algorithm and adds the production concerns the
+searchers themselves stay free of:
+
+* **Parallel evaluation.**  Candidate batches are fanned across worker
+  processes through :meth:`repro.api.Session.prefill` (the same
+  process-pool plumbing behind ``repro sweep --parallel``), warming the
+  session's caches before the searcher asks.  The searcher still drives
+  every evaluation serially against the (now warm) cache, so the visited
+  sequence — and therefore every artifact — is **byte-identical** for
+  any worker count; only the cache statistics differ.  Searchers opt in
+  by exposing ``plan(space, budget=..., rng=...)`` (a result-independent
+  point schedule, e.g. grid/random) or by calling
+  ``evaluate.prefill(points)`` before evaluating a batch (the
+  multi-fidelity searchers).
+* **Checkpoint/resume.**  Every ``checkpoint_every`` unique evaluations
+  (and once more on completion or :class:`KeyboardInterrupt`) the run's
+  :class:`SearchState` — searcher identity, RNG state, evaluated
+  candidates, incumbent front, budget spent — is written atomically as a
+  schema-versioned JSON document.  Resume *replays* the search: the
+  evaluator is preloaded with the checkpointed candidates and the
+  searcher re-runs from the same seed, so checkpointed points are
+  answered without engine runs while the visited order, budget
+  accounting, and RNG draws exactly reproduce an uninterrupted run.
+  Replay keeps every registered searcher resumable without making any
+  of them checkpoint-aware.
+
+The ``REPRO_TUNE_INTERRUPT_AFTER`` environment variable makes
+interruption testable: after that many *new* evaluations the orchestrator
+raises :class:`~repro.errors.SearchInterrupted` without writing a further
+checkpoint — simulating a hard kill at an arbitrary point between
+checkpoint boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import AnalysisError, ReproError, SearchInterrupted
+from .engine import Candidate, DesignEvaluator
+from .objectives import Objective
+from .pareto import Constraint, filter_constraints, pareto_front
+from .space import Point, SearchSpace, materialise, point_key
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "INTERRUPT_ENV",
+    "SearchOrchestrator",
+    "SearchState",
+    "load_search_state",
+]
+
+#: Checkpoint cadence (unique evaluations) when a checkpoint path is set
+#: but no explicit interval was requested.
+DEFAULT_CHECKPOINT_EVERY = 25
+
+#: Environment variable holding the test hook "interrupt after N new
+#: evaluations" (see the module docstring).
+INTERRUPT_ENV = "REPRO_TUNE_INTERRUPT_AFTER"
+
+
+# ----------------------------------------------------------------------
+# Search state
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SearchState:
+    """A tuning run's resumable state, as written at a checkpoint.
+
+    Attributes:
+        searcher: Canonical searcher name.
+        seed: The search seed.
+        budget: The evaluation budget of the run.
+        workload: Name of the tuned workload (resume fingerprint).
+        axes: Axis names of the searched space, in canonical order.
+        space_size: Point count of the space (``None`` when continuous).
+        objectives: Names of every *measured* objective, in order
+            (Pareto objectives first, then constraint-only ones).
+        constraints: Rendered constraint expressions.
+        evaluations_requested: Searcher evaluation calls so far,
+            cache-hit repeats included — the budget spent.
+        rng_state: JSON-ready :meth:`random.Random.getstate` snapshot at
+            checkpoint time.
+        candidates: Unique evaluated candidates, in evaluation order.
+        front: Indices into ``candidates`` forming the incumbent
+            constraint-feasible Pareto front.
+    """
+
+    searcher: str
+    seed: int
+    budget: int
+    workload: str
+    axes: Tuple[str, ...]
+    space_size: Optional[int]
+    objectives: Tuple[str, ...]
+    constraints: Tuple[str, ...]
+    evaluations_requested: int
+    rng_state: Any
+    candidates: Tuple[Candidate, ...]
+    front: Tuple[int, ...]
+
+    def to_spec(self):
+        """The serialisable :class:`~repro.spec.SearchStateSpec` form."""
+        from ..spec.specs import SearchStateSpec
+
+        return SearchStateSpec(
+            searcher=self.searcher,
+            seed=self.seed,
+            budget=self.budget,
+            workload=self.workload,
+            axes=self.axes,
+            space_size=self.space_size,
+            objectives=self.objectives,
+            constraints=self.constraints,
+            evaluations_requested=self.evaluations_requested,
+            rng_state=self.rng_state,
+            candidates=tuple(
+                candidate.as_dict() for candidate in self.candidates
+            ),
+            front=self.front,
+        )
+
+    def to_json(self) -> str:
+        """Canonical checkpoint text (schema tag, sorted keys, newline)."""
+        return self.to_spec().to_json()
+
+    @classmethod
+    def from_spec(cls, spec) -> "SearchState":
+        """Rebuild the runtime state from its serialised spec form."""
+        return cls(
+            searcher=spec.searcher,
+            seed=spec.seed,
+            budget=spec.budget,
+            workload=spec.workload,
+            axes=tuple(spec.axes),
+            space_size=spec.space_size,
+            objectives=tuple(spec.objectives),
+            constraints=tuple(spec.constraints),
+            evaluations_requested=spec.evaluations_requested,
+            rng_state=spec.rng_state,
+            candidates=tuple(
+                _candidate_from_dict(data, index)
+                for index, data in enumerate(spec.candidates)
+            ),
+            front=tuple(spec.front),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomically write the checkpoint document to ``path``."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        staging = target.with_name(target.name + ".tmp")
+        staging.write_text(self.to_json(), encoding="utf-8")
+        os.replace(staging, target)
+
+
+def _candidate_from_dict(data: Mapping[str, Any], index: int) -> Candidate:
+    """Rebuild one :class:`Candidate` from its ``as_dict`` form."""
+    try:
+        point = data["point"]
+        return Candidate(
+            point=tuple(sorted(point.items())),
+            strategy=data["strategy"],
+            num_chips=data["num_chips"],
+            feasible=data["feasible"],
+            objective_values=tuple(data["objectives"].items()),
+            block_cycles=data["block_cycles"],
+            block_runtime_seconds=data["block_runtime_seconds"],
+            block_energy_joules=data["block_energy_joules"],
+            note=data.get("note", ""),
+        )
+    except (KeyError, AttributeError, TypeError) as error:
+        raise AnalysisError(
+            f"checkpoint candidates[{index}] is not a serialised "
+            f"candidate ({error!r})"
+        ) from None
+
+
+def load_search_state(path: Union[str, Path]) -> SearchState:
+    """Read and validate a checkpoint document.
+
+    Raises:
+        AnalysisError: If the file is missing or not valid JSON.
+        SpecError: If the document is structurally invalid (with the
+            JSON path of the offending field).
+    """
+    from ..spec.specs import SearchStateSpec
+
+    target = Path(path)
+    try:
+        text = target.read_text(encoding="utf-8")
+    except OSError as error:
+        raise AnalysisError(
+            f"cannot read checkpoint {target}: {error.strerror or error}"
+        ) from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise AnalysisError(
+            f"checkpoint {target} is not valid JSON: {error}"
+        ) from None
+    return SearchState.from_spec(SearchStateSpec.from_dict(data, path=str(target)))
+
+
+# ----------------------------------------------------------------------
+# Orchestrator
+# ----------------------------------------------------------------------
+class _OrchestratedEvaluate:
+    """The evaluate callable handed to the searcher.
+
+    Delegates to the orchestrator, which tracks fresh evaluations for
+    checkpoints and the interrupt hook; ``prefill`` lets batch-oriented
+    searchers warm the session cache across worker processes.
+    """
+
+    def __init__(self, orchestrator: "SearchOrchestrator") -> None:
+        self._orchestrator = orchestrator
+
+    def __call__(self, point: Point) -> Candidate:
+        return self._orchestrator._evaluate(point)
+
+    def prefill(self, points: Sequence[Point]) -> None:
+        """Warm the caches for ``points`` across worker processes."""
+        self._orchestrator._prefill(points)
+
+
+class SearchOrchestrator:
+    """Drives one search algorithm with parallelism and checkpointing.
+
+    Construction only records the configuration; :meth:`run` performs
+    the search, leaving the results in the evaluator (its ``history``
+    and ``evaluations_requested`` are what :func:`~repro.dse.engine.
+    run_tune` turns into the :class:`~repro.dse.engine.TuneResult`).
+    """
+
+    def __init__(
+        self,
+        evaluator: DesignEvaluator,
+        algorithm,
+        space: SearchSpace,
+        objectives: Sequence[Objective],
+        *,
+        budget: int,
+        seed: int,
+        constraints: Sequence[Constraint] = (),
+        parallel: Optional[int] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        resume: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if parallel is not None and parallel < 1:
+            raise AnalysisError(
+                f"parallel worker count must be >= 1, got {parallel}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise AnalysisError(
+                f"checkpoint interval must be >= 1, got {checkpoint_every}"
+            )
+        self.evaluator = evaluator
+        self.algorithm = algorithm
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.constraints = tuple(constraints)
+        self.budget = budget
+        self.seed = seed
+        self.workers = parallel if parallel is not None else 1
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.checkpoint_every = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else DEFAULT_CHECKPOINT_EVERY
+        )
+        self.resume = Path(resume) if resume is not None else None
+        self._rng = random.Random(seed)
+        self._fresh = 0
+        self._interrupt_after = self._read_interrupt_hook()
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Execute the search (resuming first when configured)."""
+        if self.resume is not None:
+            state = load_search_state(self.resume)
+            self._validate_resume(state)
+            self.evaluator.preload(state.candidates)
+        evaluate = _OrchestratedEvaluate(self)
+        if self.workers > 1:
+            plan = getattr(self.algorithm, "plan", None)
+            if plan is not None:
+                # A cloned generator keeps the searcher's own draws
+                # untouched; result-independent schedules (grid, random)
+                # are therefore exactly the points `search` will visit.
+                evaluate.prefill(
+                    plan(self.space, budget=self.budget, rng=random.Random(self.seed))
+                )
+        try:
+            self.algorithm.search(
+                self.space,
+                evaluate,
+                self.objectives,
+                budget=self.budget,
+                rng=self._rng,
+            )
+        except KeyboardInterrupt:
+            # Best-effort salvage on a genuine ^C: persist whatever the
+            # run has paid for, then let the interrupt propagate.
+            self._write_checkpoint()
+            raise
+        self._write_checkpoint()
+
+    # ------------------------------------------------------------------
+    # Evaluation plumbing
+    # ------------------------------------------------------------------
+    def _evaluate(self, point: Point) -> Candidate:
+        fresh = not self.evaluator.is_cached(point)
+        if (
+            fresh
+            and self._interrupt_after is not None
+            and self._fresh >= self._interrupt_after
+        ):
+            raise SearchInterrupted(
+                f"tuning interrupted after {self._fresh} new evaluations "
+                f"({INTERRUPT_ENV}={self._interrupt_after}); resume from "
+                "the last checkpoint to continue"
+            )
+        candidate = self.evaluator.evaluate(point)
+        if fresh:
+            self._fresh += 1
+            if (
+                self.checkpoint is not None
+                and self.evaluator.unique_evaluations % self.checkpoint_every
+                == 0
+            ):
+                self._write_checkpoint()
+        return candidate
+
+    def _prefill(self, points: Sequence[Point]) -> None:
+        if self.workers <= 1:
+            return
+        requests: List[tuple] = []
+        seen = set()
+        for point in points:
+            key = point_key(point)
+            if key in seen or self.evaluator.is_cached(point):
+                continue
+            try:
+                design = materialise(
+                    point,
+                    default_strategy=self.evaluator.default_strategy,
+                    workload=self.evaluator.workload,
+                )
+            except ReproError:
+                # Invalid or infeasible points are diagnosed (and, for
+                # infeasibility, recorded) by the serial evaluation.
+                continue
+            seen.add(key)
+            workload = (
+                design.workload
+                if design.workload is not None
+                else self.evaluator.workload
+            )
+            requests.append((workload, design.strategy, design.platform))
+        if requests:
+            self.evaluator.session.prefill(requests, parallel=self.workers)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _state(self) -> SearchState:
+        candidates = self.evaluator.history
+        eligible = filter_constraints(candidates, self.constraints)
+        front = pareto_front(eligible, self.objectives)
+        positions = {
+            candidate.point: index
+            for index, candidate in enumerate(candidates)
+        }
+        return SearchState(
+            searcher=self.algorithm.name,
+            seed=self.seed,
+            budget=self.budget,
+            workload=self.evaluator.workload.name,
+            axes=tuple(self.space.names),
+            space_size=self.space.size,
+            objectives=tuple(
+                objective.name for objective in self.evaluator.objectives
+            ),
+            constraints=tuple(
+                constraint.render() for constraint in self.constraints
+            ),
+            evaluations_requested=self.evaluator.evaluations_requested,
+            rng_state=self._rng.getstate(),
+            candidates=candidates,
+            front=tuple(positions[candidate.point] for candidate in front),
+        )
+
+    def _write_checkpoint(self) -> None:
+        if self.checkpoint is None:
+            return
+        self._state().save(self.checkpoint)
+
+    def _validate_resume(self, state: SearchState) -> None:
+        expected = (
+            ("searcher", self.algorithm.name, state.searcher),
+            ("seed", self.seed, state.seed),
+            ("budget", self.budget, state.budget),
+            ("workload", self.evaluator.workload.name, state.workload),
+            ("axes", tuple(self.space.names), state.axes),
+            ("space_size", self.space.size, state.space_size),
+            (
+                "objectives",
+                tuple(objective.name for objective in self.evaluator.objectives),
+                state.objectives,
+            ),
+            (
+                "constraints",
+                tuple(constraint.render() for constraint in self.constraints),
+                state.constraints,
+            ),
+        )
+        for field, ours, theirs in expected:
+            if ours != theirs:
+                raise AnalysisError(
+                    f"checkpoint {self.resume} was written by a different "
+                    f"search: its {field} is {theirs!r}, this run's is "
+                    f"{ours!r}"
+                )
+
+    @staticmethod
+    def _read_interrupt_hook() -> Optional[int]:
+        raw = os.environ.get(INTERRUPT_ENV)
+        if raw is None or not raw.strip():
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise AnalysisError(
+                f"{INTERRUPT_ENV} must be an integer, got {raw!r}"
+            ) from None
+        return value if value >= 0 else None

@@ -45,6 +45,17 @@ class AnalysisError(ReproError):
     """An analysis or experiment was asked to combine incompatible results."""
 
 
+class SearchInterrupted(ReproError):
+    """A tuning run stopped before exhausting its evaluation budget.
+
+    Raised by the DSE orchestrator when an interrupt is requested (the
+    ``REPRO_TUNE_INTERRUPT_AFTER`` test hook).  When the run carried a
+    checkpoint path, the state written at the last checkpoint boundary
+    survives on disk and ``repro tune --resume`` (or a Study-stage
+    re-run) continues the search without re-paying evaluated points.
+    """
+
+
 class ArchitectureError(ConfigurationError):
     """A declarative architecture description cannot be lowered to a model.
 

@@ -36,7 +36,13 @@ __all__ = [
 DEFAULT_BUDGETS: Tuple[int, ...] = (6, 12, 24)
 
 #: Compared stochastic searchers, in presentation order.
-DEFAULT_SEARCHERS: Tuple[str, ...] = ("random", "anneal", "evolution")
+DEFAULT_SEARCHERS: Tuple[str, ...] = (
+    "random",
+    "anneal",
+    "evolution",
+    "halving",
+    "surrogate",
+)
 
 #: The study's Pareto objectives.
 DEFAULT_OBJECTIVES: Tuple[str, ...] = ("latency", "hw_cost")

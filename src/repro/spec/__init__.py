@@ -39,6 +39,7 @@ from .specs import (
     RunnableSpec,
     SLOClassSpec,
     ScenarioSpec,
+    SearchStateSpec,
     ServingSpec,
     SpaceSpec,
     StageSpec,
@@ -71,6 +72,7 @@ __all__ = [
     "SLOClassSpec",
     "SPEC_SCHEMA_VERSION",
     "ScenarioSpec",
+    "SearchStateSpec",
     "ServingSpec",
     "SpaceSpec",
     "SpecBase",

@@ -125,6 +125,10 @@ def execute(
     spec: RunnableSpec,
     *,
     stages: Optional[Mapping[str, Any]] = None,
+    parallel: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: Optional[str] = None,
 ):
     """Run one spec through ``session`` and return its native result.
 
@@ -132,7 +136,21 @@ def execute(
     ``kind`` and ``result`` attributes) when executing inside a study;
     standalone execution passes none, and any reference then fails with
     a precise error.
+
+    ``parallel``, ``checkpoint``, ``checkpoint_every``, and ``resume``
+    are orchestrator overrides for tune specs (CLI flags and Study
+    auto-resume); ``parallel``/``checkpoint_every`` fall back to the
+    spec's own fields when not given.  Passing any of them with a
+    non-tune spec is an error.
     """
+    overrides = (parallel, checkpoint, checkpoint_every, resume)
+    if any(value is not None for value in overrides) and not isinstance(
+        spec, TuneSpec
+    ):
+        raise AnalysisError(
+            "parallel/checkpoint/resume apply to tune specs only, not "
+            f"{type(spec).__name__}"
+        )
     if isinstance(spec, EvalSpec):
         return _execute_eval(session, spec, stages)
     if isinstance(spec, SweepSpec):
@@ -144,7 +162,15 @@ def execute(
     if isinstance(spec, FleetSpec):
         return _execute_fleet(session, spec, stages)
     if isinstance(spec, TuneSpec):
-        return _execute_tune(session, spec, stages)
+        return _execute_tune(
+            session,
+            spec,
+            stages,
+            parallel=parallel,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
     if isinstance(spec, StudySpec):
         raise AnalysisError(
             "a study spec is a pipeline, not a single evaluation; run it "
@@ -256,7 +282,16 @@ def _pin_chips(space_spec: Optional[SpaceSpec], chips: int):
     return SearchSpace(axes=axes)
 
 
-def _execute_tune(session, spec: TuneSpec, stages):
+def _execute_tune(
+    session,
+    spec: TuneSpec,
+    stages,
+    *,
+    parallel: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: Optional[str] = None,
+):
     workload = spec.workload.build()
     if spec.chips_from is not None:
         sweep = _stage_result(stages, spec.chips_from, "sweep", "chips_from")
@@ -275,4 +310,12 @@ def _execute_tune(session, spec: TuneSpec, stages):
             objectives=spec.objectives,
             constraints=spec.constraints,
             serving=scenario,
+            parallel=parallel if parallel is not None else spec.parallel,
+            checkpoint=checkpoint,
+            checkpoint_every=(
+                checkpoint_every
+                if checkpoint_every is not None
+                else spec.checkpoint_every
+            ),
+            resume=resume,
         )

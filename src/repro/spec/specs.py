@@ -52,6 +52,7 @@ __all__ = [
     "RunnableSpec",
     "SLOClassSpec",
     "ScenarioSpec",
+    "SearchStateSpec",
     "ServingSpec",
     "SpaceSpec",
     "StageSpec",
@@ -1484,6 +1485,8 @@ class TuneSpec(SpecBase):
     serving: Optional[ScenarioSpec] = None
     chips_from: Optional[str] = None
     prefetch: str = "hidden"
+    parallel: Optional[int] = None
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "objectives", tuple(self.objectives))
@@ -1492,6 +1495,14 @@ class TuneSpec(SpecBase):
             raise SpecError(f"budget must be positive, got {self.budget}")
         if not self.objectives:
             raise SpecError("tune needs at least one objective")
+        if self.parallel is not None and self.parallel < 1:
+            raise SpecError(
+                f"parallel worker count must be >= 1, got {self.parallel}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise SpecError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
         _prefetch_value(self.prefetch)
 
     def validate(self, path: str = "$") -> None:
@@ -1545,6 +1556,86 @@ class TuneSpec(SpecBase):
                 ),
                 chips_from=reader.opt_str("chips_from"),
                 prefetch=reader.str_("prefetch", "hidden"),
+                parallel=reader.opt_int("parallel"),
+                checkpoint_every=reader.opt_int("checkpoint_every"),
+            )
+        except SpecError as error:
+            raise _rescope(error, path)
+        reader.finish()
+        return spec
+
+
+@_register
+@dataclass(frozen=True)
+class SearchStateSpec(SpecBase):
+    """A tuning run's checkpoint document (``repro tune --checkpoint``).
+
+    The serialised form of :class:`repro.dse.orchestrator.SearchState`:
+    the search's identity fields (used as a resume fingerprint), the
+    budget spent, the searcher RNG state, every evaluated candidate in
+    evaluation order, and the incumbent front as indices into the
+    candidate list.  All fields are required, so a checkpoint document
+    always carries the whole state.  This spec is *not* runnable — it is
+    consumed by ``repro tune --resume`` and Study-stage resume.
+    """
+
+    kind = "search_state"
+
+    searcher: str
+    seed: int
+    budget: int
+    workload: str
+    axes: Tuple[str, ...]
+    space_size: Optional[int]
+    objectives: Tuple[str, ...]
+    constraints: Tuple[str, ...]
+    evaluations_requested: int
+    rng_state: Any
+    candidates: Tuple[Mapping[str, Any], ...]
+    front: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "objectives", tuple(self.objectives))
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        object.__setattr__(self, "candidates", tuple(self.candidates))
+        object.__setattr__(self, "front", tuple(self.front))
+        if self.evaluations_requested < 0:
+            raise SpecError(
+                "evaluations_requested must be >= 0, got "
+                f"{self.evaluations_requested}"
+            )
+        for index in self.front:
+            if not 0 <= index < len(self.candidates):
+                raise SpecError(
+                    f"front index {index} outside the candidate list "
+                    f"(length {len(self.candidates)})"
+                )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "$") -> "SearchStateSpec":
+        reader = Fields(data, path, cls.kind)
+        raw_candidates = reader.seq("candidates")
+        for index, item in enumerate(raw_candidates):
+            if not isinstance(item, Mapping) or "point" not in item:
+                raise spec_error(
+                    f"{reader.child_path('candidates')}[{index}]",
+                    "expected a serialised candidate mapping with a 'point'",
+                )
+        try:
+            spec = cls(
+                searcher=reader.str_("searcher"),
+                seed=reader.int_("seed"),
+                budget=reader.int_("budget"),
+                workload=reader.str_("workload"),
+                axes=reader.str_tuple("axes"),
+                space_size=reader.opt_int("space_size"),
+                objectives=reader.str_tuple("objectives"),
+                constraints=reader.str_tuple("constraints"),
+                evaluations_requested=reader.int_("evaluations_requested"),
+                rng_state=reader.take("rng_state"),
+                candidates=tuple(raw_candidates),
+                front=reader.int_tuple("front"),
             )
         except SpecError as error:
             raise _rescope(error, path)

@@ -454,6 +454,70 @@ def _paper_pipeline() -> StudySpec:
     )
 
 
+def _dse_scale() -> StudySpec:
+    """Production-scale surrogate search over a ~14k-point design space."""
+    space = SpaceSpec(
+        axes=(
+            AxisSpec(axis="choice", name="chips", choices=(1, 2, 4, 8, 16)),
+            AxisSpec(
+                axis="float",
+                name="link_gbps",
+                low=0.125,
+                high=2.0,
+                levels=(0.125, 0.25, 0.5, 1.0, 2.0),
+            ),
+            AxisSpec(
+                axis="choice",
+                name="l2_kib",
+                choices=(1024, 2048, 4096, 8192),
+            ),
+            AxisSpec(
+                axis="float",
+                name="freq_mhz",
+                low=200.0,
+                high=500.0,
+                levels=(200.0, 300.0, 400.0, 500.0),
+            ),
+            AxisSpec(
+                axis="float",
+                name="link_pj_per_byte",
+                low=50.0,
+                high=200.0,
+                levels=(50.0, 100.0, 200.0),
+            ),
+            AxisSpec(axis="choice", name="group_size", choices=(2, 4)),
+            AxisSpec(axis="choice", name="kv_heads", choices=(2, 4, 8)),
+            AxisSpec(
+                axis="choice",
+                name="strategy",
+                choices=("paper", "tensor_parallel"),
+            ),
+        )
+    )
+    return StudySpec(
+        name="dse-scale",
+        description=(
+            "Surrogate-guided search over a 14,400-point platform x "
+            "partition x architecture space with periodic checkpoints; "
+            "parallel and interrupted-then-resumed runs are byte-"
+            "identical to a serial uninterrupted one"
+        ),
+        stages=(
+            StageSpec(
+                name="search",
+                spec=TuneSpec(
+                    space=space,
+                    searcher="surrogate",
+                    budget=32,
+                    seed=0,
+                    objectives=("latency", "energy", "hw_cost"),
+                    checkpoint_every=8,
+                ),
+            ),
+        ),
+    )
+
+
 def _model_zoo() -> StudySpec:
     """Partition strategies across the generated architecture zoo."""
     platform = PlatformSpec(chips=4)
@@ -570,6 +634,11 @@ register_study(
     "paper-pipeline",
     "Sweep + compare + tune + serve as one replayable pipeline",
     _paper_pipeline,
+)
+register_study(
+    "dse-scale",
+    "10k+-point surrogate-guided platform search with checkpoint/resume",
+    _dse_scale,
 )
 register_study(
     "model-zoo",

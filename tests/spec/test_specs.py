@@ -20,6 +20,7 @@ from repro.spec import (
     StageSpec,
     StudySpec,
     SweepSpec,
+    SearchStateSpec,
     TraceSpec,
     TuneSpec,
     WorkloadSpec,
@@ -346,3 +347,73 @@ class TestInlineArch:
         spec = spec_from_dict(document)
         with pytest.raises(SpecError, match=r"arch.blocks\[0\].kv_heads"):
             spec.validate()
+
+
+class TestOrchestratorSpecs:
+    """TuneSpec orchestration fields and the SearchStateSpec checkpoint."""
+
+    STATE = {
+        "searcher": "random",
+        "seed": 0,
+        "budget": 4,
+        "workload": "tinyllama-42m/autoregressive",
+        "axes": ("chips",),
+        "space_size": 2,
+        "objectives": ("latency",),
+        "constraints": (),
+        "evaluations_requested": 3,
+        "rng_state": [3, [1, 2], None],
+        "candidates": ({"point": {"chips": 1}, "feasible": True},),
+        "front": (0,),
+    }
+
+    def test_tune_orchestration_fields_roundtrip(self):
+        spec = TuneSpec(budget=3, parallel=4, checkpoint_every=10)
+        parsed = roundtrip(spec)
+        assert parsed.parallel == 4
+        assert parsed.checkpoint_every == 10
+        data = spec.to_dict()
+        assert data["parallel"] == 4
+        assert data["checkpoint_every"] == 10
+        # Defaults stay off the wire.
+        assert "parallel" not in TuneSpec(budget=3).to_dict()
+        assert "checkpoint_every" not in TuneSpec(budget=3).to_dict()
+
+    def test_tune_orchestration_fields_validate(self):
+        with pytest.raises(SpecError, match="parallel"):
+            TuneSpec(parallel=0)
+        with pytest.raises(SpecError, match="checkpoint_every"):
+            TuneSpec(checkpoint_every=0)
+
+    def test_search_state_roundtrip(self):
+        spec = SearchStateSpec(**self.STATE)
+        assert loads(spec.to_json()) == spec
+        assert SearchStateSpec.from_dict(spec.to_dict()) == spec
+
+    def test_search_state_front_must_index_candidates(self):
+        with pytest.raises(SpecError, match="front index"):
+            SearchStateSpec(**{**self.STATE, "front": (1,)})
+
+    def test_search_state_candidates_must_carry_points(self):
+        document = SearchStateSpec(**self.STATE).to_dict()
+        document["candidates"] = [{"feasible": True}]
+        with pytest.raises(SpecError, match=r"candidates\[0\]"):
+            spec_from_dict(document)
+
+    def test_search_state_missing_field_reports_path(self):
+        document = SearchStateSpec(**self.STATE).to_dict()
+        del document["rng_state"]
+        with pytest.raises(SpecError, match="rng_state"):
+            spec_from_dict(document)
+
+    def test_search_state_is_not_a_runnable_stage(self):
+        with pytest.raises(SpecError, match="must be one of"):
+            spec_from_dict(
+                {
+                    "kind": "study",
+                    "name": "s",
+                    "stages": [
+                        {"name": "a", "spec": {"kind": "search_state"}}
+                    ],
+                }
+            )

@@ -256,6 +256,104 @@ class TestTuneCommand:
         expect_cli_error(capsys, self.TUNE + ["--objectives", "karma"], "karma")
 
 
+class TestTuneOrchestratorFlags:
+    """The orchestrator flags: --parallel/--checkpoint/--resume."""
+
+    TUNE = TestTuneCommand.TUNE + ["--json", "--no-cache"]
+
+    @staticmethod
+    def _sans_cache(text: str) -> dict:
+        document = json.loads(text)
+        document.pop("cache", None)
+        return document
+
+    def test_malformed_parallel_errors(self, capsys):
+        expect_cli_error(
+            capsys, self.TUNE + ["--parallel", "x"],
+            "--parallel", "integer", "'x'",
+        )
+        expect_cli_error(
+            capsys, self.TUNE + ["--parallel", "0"], "--parallel", ">= 1",
+        )
+
+    def test_malformed_checkpoint_errors(self, capsys, tmp_path):
+        expect_cli_error(
+            capsys, self.TUNE + ["--checkpoint", "  "], "--checkpoint",
+        )
+        expect_cli_error(
+            capsys,
+            self.TUNE + ["--checkpoint", str(tmp_path)],
+            "--checkpoint", "directory",
+        )
+        expect_cli_error(
+            capsys,
+            self.TUNE + ["--checkpoint-every", "5"],
+            "--checkpoint-every", "needs --checkpoint",
+        )
+        expect_cli_error(
+            capsys,
+            self.TUNE + ["--checkpoint", str(tmp_path / "ck.json"),
+                         "--checkpoint-every", "none"],
+            "--checkpoint-every", "integer",
+        )
+
+    def test_malformed_resume_errors(self, capsys, tmp_path):
+        expect_cli_error(
+            capsys,
+            self.TUNE + ["--resume", str(tmp_path / "missing.json")],
+            "cannot read checkpoint",
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        expect_cli_error(
+            capsys, self.TUNE + ["--resume", str(bad)], "not valid JSON",
+        )
+
+    def test_resume_from_a_different_search_errors(self, capsys, tmp_path):
+        checkpoint = tmp_path / "ck.json"
+        assert main(
+            self.TUNE + ["--checkpoint", str(checkpoint)]
+        ) == 0
+        capsys.readouterr()
+        expect_cli_error(
+            capsys,
+            self.TUNE[:2] + ["9"] + self.TUNE[3:]  # --budget 9, not 8
+            + ["--resume", str(checkpoint)],
+            "different search", "budget",
+        )
+
+    def test_parallel_tune_is_byte_identical_to_serial(self, capsys):
+        assert main(self.TUNE) == 0
+        serial = self._sans_cache(capsys.readouterr().out)
+        assert main(self.TUNE + ["--parallel", "2"]) == 0
+        fanned = self._sans_cache(capsys.readouterr().out)
+        assert fanned == serial
+
+    def test_checkpoint_resume_reproduces_the_run(self, capsys, tmp_path):
+        checkpoint = tmp_path / "ck.json"
+        assert main(
+            self.TUNE + ["--checkpoint", str(checkpoint),
+                         "--checkpoint-every", "3"]
+        ) == 0
+        reference = self._sans_cache(capsys.readouterr().out)
+        final_checkpoint = checkpoint.read_bytes()
+        assert json.loads(final_checkpoint)["kind"] == "search_state"
+        assert main(self.TUNE + ["--resume", str(checkpoint)]) == 0
+        resumed = self._sans_cache(capsys.readouterr().out)
+        assert resumed == reference
+        assert checkpoint.read_bytes() == final_checkpoint
+
+    def test_emit_spec_carries_the_orchestrator_fields(self, capsys, tmp_path):
+        assert main(
+            self.TUNE + ["--emit-spec", "--parallel", "4",
+                         "--checkpoint", str(tmp_path / "ck.json"),
+                         "--checkpoint-every", "7"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["parallel"] == 4
+        assert document["checkpoint_every"] == 7
+
+
 class TestCacheVisibility:
     def test_sweep_json_reports_cache_statistics(self, capsys):
         assert main(["sweep", "--chips", "1", "8", "--json"]) == 0
